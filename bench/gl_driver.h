@@ -1,0 +1,144 @@
+/**
+ * @file
+ * GL-driving helpers for the graphics benches.
+ *
+ * The benches reach OpenGL ES exactly the way apps on each system
+ * do: Android configurations call the domestic libGLESv2/libEGL
+ * exports; Cider-iOS calls the generated diplomatic OpenGLES.dylib
+ * and EAGL diplomats; the iPad calls its native Apple builds. The
+ * same driver code paths therefore pick up diplomat overhead, the
+ * fence bug, and GPU speed differences automatically.
+ */
+
+#ifndef CIDER_BENCH_GL_DRIVER_H
+#define CIDER_BENCH_GL_DRIVER_H
+
+#include "bench/bench_util.h"
+#include "ios/eagl.h"
+
+namespace cider::bench {
+
+/** Resolved GL entry points for the active ecosystem. */
+class GlDriver
+{
+  public:
+    GlDriver(CiderSystem &sys, binfmt::UserEnv &env)
+        : sys_(sys), env_(env),
+          ios_(runsIosBinaries(sys.config()))
+    {
+        const binfmt::LibraryImage *gl =
+            ios_ ? sys.iosLibraries().find("OpenGLES.dylib")
+                 : sys.androidLibraries().find("libGLESv2.so");
+        gl_ = gl;
+        if (ios_)
+            eagl_ = sys.iosLibraries().find("EAGL.dylib");
+        else
+            egl_ = sys.androidLibraries().find("libEGL.so");
+    }
+
+    /** Create + bind a render surface; false on failure. */
+    bool
+    makeCurrent(std::int64_t width, std::int64_t height)
+    {
+        if (ios_) {
+            ctx_ = callI(eagl_, ios::kEaglCreateContext,
+                         {width, height});
+            if (ctx_ <= 0)
+                return false;
+            return callI(eagl_, ios::kEaglSetCurrent, {ctx_}) == 1;
+        }
+        callI(egl_, "eglInitialize", {});
+        ctx_ = callI(egl_, "eglCreateWindowSurface", {width, height});
+        if (ctx_ <= 0)
+            return false;
+        return callI(egl_, "eglMakeCurrent", {ctx_}) == 1;
+    }
+
+    void
+    call(const char *name, std::vector<binfmt::Value> args = {})
+    {
+        const binfmt::Symbol *sym = gl_->exports.find(name);
+        if (sym)
+            sym->fn(env_, args);
+    }
+
+    /** Swap/present the current surface. */
+    void
+    present()
+    {
+        if (ios_)
+            callI(eagl_, ios::kEaglPresent, {ctx_});
+        else
+            callI(egl_, "eglSwapBuffers", {ctx_});
+    }
+
+    bool ok() const { return gl_ && (ios_ ? eagl_ : egl_) != nullptr; }
+
+  private:
+    std::int64_t
+    callI(const binfmt::LibraryImage *lib, const char *name,
+          std::vector<std::int64_t> args)
+    {
+        if (!lib)
+            return -1;
+        const binfmt::Symbol *sym = lib->exports.find(name);
+        if (!sym)
+            return -1;
+        std::vector<binfmt::Value> values;
+        for (std::int64_t a : args)
+            values.emplace_back(a);
+        return binfmt::valueI64(sym->fn(env_, values));
+    }
+
+    CiderSystem &sys_;
+    binfmt::UserEnv &env_;
+    bool ios_;
+    const binfmt::LibraryImage *gl_ = nullptr;
+    const binfmt::LibraryImage *egl_ = nullptr;
+    const binfmt::LibraryImage *eagl_ = nullptr;
+    std::int64_t ctx_ = 0;
+};
+
+/** Render one 3D frame: @p calls GL calls, @p draws draw calls
+ *  covering @p vertices in total, then a flush. */
+inline void
+render3dFrame(GlDriver &gl, int calls, int draws, int vertices)
+{
+    int verts_per_draw = vertices / std::max(1, draws);
+    int state_calls = std::max(0, calls - draws - 1);
+    int emitted_draws = 0;
+    for (int i = 0; i < state_calls; ++i) {
+        switch (i % 3) {
+          case 0:
+            gl.call("glUniform1f",
+                    {std::int64_t{1}, binfmt::Value{0.5}});
+            break;
+          case 1:
+            gl.call("glBindTexture",
+                    {std::int64_t{0}, std::int64_t{1}});
+            break;
+          default:
+            gl.call("glUniformMatrix4fv", {std::int64_t{2}});
+            break;
+        }
+        // Interleave draws evenly through the stream.
+        if (state_calls > 0 &&
+            i % std::max(1, state_calls / std::max(1, draws)) == 0 &&
+            emitted_draws < draws) {
+            gl.call("glDrawArrays",
+                    {std::int64_t{4}, std::int64_t{0},
+                     std::int64_t{verts_per_draw}});
+            ++emitted_draws;
+        }
+    }
+    while (emitted_draws < draws) {
+        gl.call("glDrawArrays", {std::int64_t{4}, std::int64_t{0},
+                                 std::int64_t{verts_per_draw}});
+        ++emitted_draws;
+    }
+    gl.call("glFlush");
+}
+
+} // namespace cider::bench
+
+#endif // CIDER_BENCH_GL_DRIVER_H

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * The PassMark-style workload suite used by the Figure 6 benches.
+ *
+ * The paper runs the commercial PassMark app in both ecosystems: the
+ * Android version is Java interpreted by Dalvik, the iOS version is
+ * native Objective-C. Accordingly every CPU/memory kernel here exists
+ * twice with the same operation mix: a DexLite method interpreted by
+ * the Dalvik VM (per-instruction dispatch cost) and a native C++
+ * function whose operations are charged directly at the device
+ * profile's op costs.
+ */
+
+#ifndef CIDER_BENCH_PASSMARK_H
+#define CIDER_BENCH_PASSMARK_H
+
+#include <array>
+
+#include "android/dalvik.h"
+#include "base/cost_clock.h"
+#include "binfmt/dex.h"
+#include "binfmt/program.h"
+#include "hw/device_profile.h"
+
+namespace cider::bench::passmark {
+
+using binfmt::DexAssembler;
+using binfmt::DexFile;
+using binfmt::DexOp;
+
+/**
+ * Build the Android PassMark .dex: every CPU kernel as an
+ * interpretable method taking the iteration count in locals[0].
+ */
+inline DexFile
+buildDexSuite()
+{
+    DexFile file;
+    file.name = "passmark.dex";
+
+    // integer: per iteration one add, one mul, one div plus the loop
+    // bookkeeping (compare + decrement).
+    {
+        DexAssembler as(file, "integer", 2);
+        as.constI(1).store(1);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.load(1).load(0).op(DexOp::Add);   // t += i
+        as.constI(3).op(DexOp::Mul);          // t *= 3
+        as.constI(7).op(DexOp::Div).store(1); // t /= 7
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.load(1).ret();
+        as.finish();
+    }
+
+    // floating-point: fadd, fmul, fdiv per iteration.
+    {
+        DexAssembler as(file, "fp", 2);
+        as.constF(1.0).store(1);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.load(1).constF(1.5).op(DexOp::FAdd);
+        as.constF(1.0001).op(DexOp::FMul);
+        as.constF(1.0002).op(DexOp::FDiv).store(1);
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.load(1).ret();
+        as.finish();
+    }
+
+    // find-primes: trial division, 16 divisions per candidate.
+    {
+        DexAssembler as(file, "primes", 3);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.constI(16).store(1); // inner divisor count
+        std::int64_t inner = as.here();
+        as.load(1);
+        std::size_t inner_done = as.jz();
+        as.load(0).load(1).constI(1).op(DexOp::Add)
+            .op(DexOp::Mod).store(2); // candidate % divisor
+        as.load(1).constI(1).op(DexOp::Sub).store(1);
+        as.op(DexOp::Jmp, inner);
+        as.patch(inner_done, as.here());
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.constI(0).ret();
+        as.finish();
+    }
+
+    // string-sort: bubble passes over a 64-element array; each
+    // element visit is a read, compare, and conditional write.
+    {
+        DexAssembler as(file, "sort", 4);
+        // l1 = array of 64 pseudo-random keys
+        as.constI(64).op(DexOp::ArrNew).store(1);
+        as.constI(63).store(2);
+        std::int64_t fill = as.here();
+        as.load(2);
+        std::size_t filled = as.jz();
+        as.load(1).load(2).load(2).constI(2477).op(DexOp::Mul)
+            .constI(8191).op(DexOp::Mod).op(DexOp::ArrSet);
+        as.load(2).constI(1).op(DexOp::Sub).store(2);
+        as.op(DexOp::Jmp, fill);
+        as.patch(filled, as.here());
+        // l0 passes of compare+swap-ish work
+        std::int64_t pass = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.constI(62).store(2);
+        std::int64_t walk = as.here();
+        as.load(2);
+        std::size_t walked = as.jz();
+        // if arr[i] < arr[i+1]: arr[i] = arr[i+1]
+        as.load(1).load(2).op(DexOp::ArrGet);
+        as.load(1).load(2).constI(1).op(DexOp::Add).op(DexOp::ArrGet);
+        as.op(DexOp::CmpLt);
+        std::size_t noswap = as.jz();
+        as.load(1).load(2).load(1).load(2).constI(1).op(DexOp::Add)
+            .op(DexOp::ArrGet).op(DexOp::ArrSet);
+        as.patch(noswap, as.here());
+        as.load(2).constI(1).op(DexOp::Sub).store(2);
+        as.op(DexOp::Jmp, walk);
+        as.patch(walked, as.here());
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, pass);
+        as.patch(done, as.here());
+        as.constI(0).ret();
+        as.finish();
+    }
+
+    // encryption: x = (x*31 + key) % 65536 per block.
+    {
+        DexAssembler as(file, "encrypt", 2);
+        as.constI(12345).store(1);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.load(1).constI(31).op(DexOp::Mul)
+            .constI(40503).op(DexOp::Add)
+            .constI(65536).op(DexOp::Mod).store(1);
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.load(1).ret();
+        as.finish();
+    }
+
+    // compression: run-length style — compare, branch, count.
+    {
+        DexAssembler as(file, "compress", 3);
+        as.constI(0).store(1);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.load(0).constI(3).op(DexOp::Mod).constI(0).op(DexOp::CmpEq);
+        std::size_t differs = as.jz();
+        as.load(1).constI(1).op(DexOp::Add).store(1);
+        as.patch(differs, as.here());
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.load(1).ret();
+        as.finish();
+    }
+
+    // memory-write / memory-read: the Java tests hand 512-byte blocks
+    // to a native memcopy helper (System.arraycopy), so interpreter
+    // dispatch is paid per block rather than per byte.
+    for (const char *name : {"memwrite", "memread"}) {
+        DexAssembler as(file, name, 1);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.constI(512).callNative(std::string("block_") + name);
+        as.op(DexOp::Drop);
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.constI(0).ret();
+        as.finish();
+        file.methods[name].code[3].a = 1; // callNative arg count
+    }
+
+    return file;
+}
+
+/** Register the JNI block-copy natives on a VM. */
+inline void
+registerMemoryNatives(android::DalvikVm &vm,
+                      const hw::DeviceProfile &profile)
+{
+    vm.registerNative(
+        "block_memwrite",
+        [&profile](std::vector<android::DexVal> &args) {
+            std::int64_t bytes = android::dexI(args.at(0));
+            charge(static_cast<std::uint64_t>(bytes) *
+                   profile.memWriteBytePs / 1000);
+            return android::DexVal{bytes};
+        });
+    vm.registerNative(
+        "block_memread",
+        [&profile](std::vector<android::DexVal> &args) {
+            std::int64_t bytes = android::dexI(args.at(0));
+            charge(static_cast<std::uint64_t>(bytes) *
+                   profile.memReadBytePs / 1000);
+            return android::DexVal{bytes};
+        });
+}
+
+/**
+ * Native (Objective-C / iOS build) kernels: identical operation mixes
+ * charged straight at the profile's op costs — no interpreter
+ * dispatch. Each returns the number of logical operations performed.
+ */
+class NativeSuite
+{
+  public:
+    NativeSuite(const hw::DeviceProfile &profile, hw::Codegen cg)
+        : profile_(profile), cg_(cg)
+    {}
+
+    std::uint64_t
+    integer(std::uint64_t iters) const
+    {
+        std::uint64_t ps = 0;
+        volatile std::int64_t t = 1;
+        for (std::uint64_t i = iters; i > 0; --i) {
+            t = t + static_cast<std::int64_t>(i);
+            t = t * 3;
+            t = t / 7;
+            ps += opPs(hw::CpuOp::IntAdd) + opPs(hw::CpuOp::IntMul) +
+                  opPs(hw::CpuOp::IntDiv) + 2 * opPs(hw::CpuOp::IntAdd);
+        }
+        charge(ps / 1000);
+        return iters;
+    }
+
+    std::uint64_t
+    fp(std::uint64_t iters) const
+    {
+        std::uint64_t ps = 0;
+        volatile double t = 1.0;
+        for (std::uint64_t i = iters; i > 0; --i) {
+            t = (t + 1.5) * 1.0001 / 1.0002;
+            ps += opPs(hw::CpuOp::DoubleAdd) +
+                  2 * opPs(hw::CpuOp::DoubleMul) +
+                  2 * opPs(hw::CpuOp::IntAdd);
+        }
+        charge(ps / 1000);
+        return iters;
+    }
+
+    std::uint64_t
+    primes(std::uint64_t candidates) const
+    {
+        std::uint64_t ps = 0;
+        volatile std::int64_t sink = 0;
+        for (std::uint64_t c = candidates; c > 0; --c) {
+            for (int d = 16; d > 0; --d) {
+                sink = sink + static_cast<std::int64_t>(c) % (d + 1);
+                ps += opPs(hw::CpuOp::IntDiv) +
+                      3 * opPs(hw::CpuOp::IntAdd);
+            }
+            ps += 2 * opPs(hw::CpuOp::IntAdd);
+        }
+        charge(ps / 1000);
+        return candidates;
+    }
+
+    std::uint64_t
+    sort(std::uint64_t passes) const
+    {
+        std::array<std::int64_t, 64> arr;
+        for (std::size_t i = 0; i < arr.size(); ++i)
+            arr[i] = static_cast<std::int64_t>((i * 2477) % 8191);
+        std::uint64_t ps = 0;
+        for (std::uint64_t p = 0; p < passes; ++p) {
+            for (std::size_t i = 0; i + 1 < arr.size(); ++i) {
+                if (arr[i] < arr[i + 1])
+                    arr[i] = arr[i + 1];
+                // two reads, compare, conditional write, bookkeeping
+                ps += 2 * (8 * profile_.memReadBytePs) +
+                      3 * opPs(hw::CpuOp::IntAdd) +
+                      8 * profile_.memWriteBytePs;
+            }
+        }
+        charge(ps / 1000);
+        return passes;
+    }
+
+    std::uint64_t
+    encrypt(std::uint64_t blocks) const
+    {
+        std::uint64_t ps = 0;
+        volatile std::int64_t x = 12345;
+        for (std::uint64_t b = blocks; b > 0; --b) {
+            x = (x * 31 + 40503) % 65536;
+            ps += opPs(hw::CpuOp::IntMul) + opPs(hw::CpuOp::IntAdd) +
+                  opPs(hw::CpuOp::IntDiv) + 2 * opPs(hw::CpuOp::IntAdd);
+        }
+        charge(ps / 1000);
+        return blocks;
+    }
+
+    std::uint64_t
+    compress(std::uint64_t symbols) const
+    {
+        std::uint64_t ps = 0;
+        volatile std::int64_t runs = 0;
+        for (std::uint64_t s = symbols; s > 0; --s) {
+            if (s % 3 == 0)
+                runs = runs + 1;
+            ps += opPs(hw::CpuOp::IntDiv) + 3 * opPs(hw::CpuOp::IntAdd);
+        }
+        charge(ps / 1000);
+        return symbols;
+    }
+
+    std::uint64_t
+    memwrite(std::uint64_t bytes) const
+    {
+        charge(bytes * profile_.memWriteBytePs / 1000);
+        return bytes;
+    }
+
+    std::uint64_t
+    memread(std::uint64_t bytes) const
+    {
+        charge(bytes * profile_.memReadBytePs / 1000);
+        return bytes;
+    }
+
+  private:
+    std::uint64_t
+    opPs(hw::CpuOp op) const
+    {
+        return profile_.cpuOpPs(op, cg_);
+    }
+
+    const hw::DeviceProfile &profile_;
+    hw::Codegen cg_;
+};
+
+} // namespace cider::bench::passmark
+
+#endif // CIDER_BENCH_PASSMARK_H

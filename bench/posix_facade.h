@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Persona-neutral libc facade for benchmark programs.
+ *
+ * lmbench is compiled twice in the paper — once with the Linux GCC
+ * toolchain against bionic, once with Xcode against libSystem. This
+ * facade is that dual build: the same benchmark source routes through
+ * Bionic or LibSystem depending on the persona the program runs
+ * under, so every measurement exercises the right kernel ABI.
+ */
+
+#ifndef CIDER_BENCH_POSIX_FACADE_H
+#define CIDER_BENCH_POSIX_FACADE_H
+
+#include <memory>
+
+#include "android/bionic.h"
+#include "ios/libsystem.h"
+#include "xnu/xnu_signals.h"
+
+namespace cider::bench {
+
+class Posix
+{
+  public:
+    explicit Posix(binfmt::UserEnv &env) : env_(env)
+    {
+        if (isIos())
+            darwin_ = std::make_unique<ios::LibSystem>(env_);
+        else
+            bionic_ = std::make_unique<android::Bionic>(env_);
+    }
+
+    bool isIos() const
+    {
+        return env_.thread.persona() == kernel::Persona::Ios;
+    }
+
+    int
+    open(const std::string &path, int flags)
+    {
+        return isIos() ? darwin_->open(path, flags)
+                       : bionic_->open(path, flags);
+    }
+
+    int
+    close(int fd)
+    {
+        return isIos() ? darwin_->close(fd) : bionic_->close(fd);
+    }
+
+    std::int64_t
+    read(int fd, Bytes &out, std::size_t n)
+    {
+        return isIos() ? darwin_->read(fd, out, n)
+                       : bionic_->read(fd, out, n);
+    }
+
+    std::int64_t
+    write(int fd, const Bytes &data)
+    {
+        return isIos() ? darwin_->write(fd, data)
+                       : bionic_->write(fd, data);
+    }
+
+    int
+    pipe(int fds[2])
+    {
+        return isIos() ? darwin_->pipe(fds) : bionic_->pipe(fds);
+    }
+
+    int
+    unlink(const std::string &path)
+    {
+        return isIos() ? darwin_->unlink(path) : bionic_->unlink(path);
+    }
+
+    int
+    socketpair(int fds[2])
+    {
+        if (isIos()) {
+            // Darwin's socketpair wrapper: two connected sockets.
+            // LibSystem lacks a direct wrapper; emulate via the BSD
+            // table like the real libc shim does.
+            kernel::SyscallArgs args =
+                kernel::makeArgs(static_cast<void *>(fds));
+            kernel::SyscallResult r = env_.kernel.trap(
+                env_.thread, kernel::TrapClass::XnuBsd,
+                xnu::xnuno::SOCKETPAIR, std::move(args));
+            return r.ok() ? 0 : -1;
+        }
+        return bionic_->socketpair(fds);
+    }
+
+    int
+    select(std::vector<int> &rd, std::vector<int> &wr,
+           std::vector<int> &ready)
+    {
+        return isIos() ? darwin_->select(rd, wr, ready)
+                       : bionic_->select(rd, wr, ready);
+    }
+
+    int
+    getpid()
+    {
+        return isIos() ? darwin_->getpid() : bionic_->getpid();
+    }
+
+    int
+    nullSyscall()
+    {
+        return isIos() ? darwin_->nullSyscall()
+                       : bionic_->nullSyscall();
+    }
+
+    int
+    fork(kernel::EntryFn child)
+    {
+        return isIos() ? darwin_->fork(std::move(child))
+                       : bionic_->fork(std::move(child));
+    }
+
+    int
+    waitpid(int pid, int *status)
+    {
+        return isIos() ? darwin_->wait4(pid, status)
+                       : bionic_->waitpid(pid, status);
+    }
+
+    int
+    execve(const std::string &path,
+           const std::vector<std::string> &argv)
+    {
+        return isIos() ? darwin_->execve(path, argv)
+                       : bionic_->execve(path, argv);
+    }
+
+    [[noreturn]] void
+    exit(int code)
+    {
+        if (isIos())
+            darwin_->exit(code);
+        else
+            bionic_->exit(code);
+    }
+
+    /** SIGUSR1 in this persona's native numbering. */
+    int
+    sigUsr1() const
+    {
+        return isIos() ? xnu::dsig::USR1 : kernel::lsig::USR1;
+    }
+
+    int
+    sigaction(int native_signo, kernel::SignalHandlerFn handler)
+    {
+        return isIos()
+                   ? darwin_->sigaction(native_signo,
+                                        std::move(handler))
+                   : bionic_->sigaction(native_signo,
+                                        std::move(handler));
+    }
+
+    int
+    kill(int pid, int native_signo)
+    {
+        return isIos() ? darwin_->kill(pid, native_signo)
+                       : bionic_->kill(pid, native_signo);
+    }
+
+    binfmt::UserEnv &env() { return env_; }
+
+  private:
+    binfmt::UserEnv &env_;
+    std::unique_ptr<android::Bionic> bionic_;
+    std::unique_ptr<ios::LibSystem> darwin_;
+};
+
+} // namespace cider::bench
+
+#endif // CIDER_BENCH_POSIX_FACADE_H

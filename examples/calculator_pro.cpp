@@ -1,0 +1,218 @@
+/**
+ * @file
+ * "Calculator Pro": the paper's Figure 4b scenario.
+ *
+ * A full iOS app on Cider: a calculator with an on-screen keypad
+ * (tap recognition over a button grid), hardware-accelerated
+ * rendering of every keypress through the diplomatic EAGL/OpenGL ES
+ * stack into SurfaceFlinger, an iAd-style banner fetched from a Mach
+ * service, and configd-backed locale lookup.
+ *
+ *   ./calculator_pro "12+34" "7*6"
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cider_system.h"
+#include "ios/dyld.h"
+#include "ios/eagl.h"
+#include "ios/services.h"
+#include "ios/uikit.h"
+
+using namespace cider;
+
+namespace {
+
+/** Keypad geometry: 4 columns x 5 rows starting at (20, 120). */
+char
+keyAt(float x, float y)
+{
+    static const char *rows[5] = {"789/", "456*", "123-", "0=+C",
+                                  "    "};
+    int col = static_cast<int>((x - 20) / 70);
+    int row = static_cast<int>((y - 120) / 70);
+    if (col < 0 || col > 3 || row < 0 || row > 3)
+        return 0;
+    return rows[row][col];
+}
+
+/** Screen position of a key (inverse of keyAt). */
+std::pair<float, float>
+keyPos(char key)
+{
+    static const char *rows[5] = {"789/", "456*", "123-", "0=+C",
+                                  "    "};
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            if (rows[r][c] == key)
+                return {20 + 70.0f * c + 35, 120 + 70.0f * r + 35};
+    return {0, 0};
+}
+
+struct CalcState
+{
+    std::string display;
+    std::vector<std::string> results;
+    int framesRendered = 0;
+};
+
+CalcState g_calc;
+
+long
+evaluate(const std::string &expr)
+{
+    // One binary operation, as a pocket calculator would chain it.
+    for (std::size_t i = 1; i < expr.size(); ++i) {
+        char op = expr[i];
+        if (op == '+' || op == '-' || op == '*' || op == '/') {
+            long lhs = std::atol(expr.substr(0, i).c_str());
+            long rhs = std::atol(expr.substr(i + 1).c_str());
+            switch (op) {
+              case '+':
+                return lhs + rhs;
+              case '-':
+                return lhs - rhs;
+              case '*':
+                return lhs * rhs;
+              default:
+                return rhs != 0 ? lhs / rhs : 0;
+            }
+        }
+    }
+    return std::atol(expr.c_str());
+}
+
+int
+calculatorMain(binfmt::UserEnv &env)
+{
+    ios::UIApplication app(env);
+    ios::LibSystem libc(env);
+
+    // Locale from configd, like a real app reading system config.
+    std::string locale = ios::configGet(libc, "AppleLocale");
+    std::printf("[calc] locale: %s\n",
+                locale.empty() ? "(unset)" : locale.c_str());
+
+    // iAd banner: ask the ad "service" for a banner over Mach IPC.
+    std::string banner = ios::configGet(libc, "iAd.banner");
+    std::printf("[calc] iAd banner: %s\n",
+                banner.empty() ? "(none)" : banner.c_str());
+
+    // EAGL context for the keypad rendering.
+    const binfmt::Symbol *eagl_create =
+        ios::Dyld::resolve(env, ios::kEaglCreateContext);
+    const binfmt::Symbol *eagl_current =
+        ios::Dyld::resolve(env, ios::kEaglSetCurrent);
+    const binfmt::Symbol *eagl_present =
+        ios::Dyld::resolve(env, ios::kEaglPresent);
+    const binfmt::Symbol *gl_clear = ios::Dyld::resolve(env, "glClear");
+    std::vector<binfmt::Value> dims{std::int64_t{768},
+                                    std::int64_t{1024}};
+    std::int64_t ctx = binfmt::valueI64(eagl_create->fn(env, dims));
+    std::vector<binfmt::Value> ctx_arg{ctx};
+    eagl_current->fn(env, ctx_arg);
+
+    auto render = [&] {
+        std::vector<binfmt::Value> none;
+        gl_clear->fn(env, none);
+        eagl_present->fn(env, ctx_arg);
+        ++g_calc.framesRendered;
+    };
+    render(); // first frame
+
+    app.addRecognizer(std::make_unique<ios::TapGestureRecognizer>(
+        [&](float x, float y) {
+            char key = keyAt(x, y);
+            if (!key)
+                return;
+            if (key == '=') {
+                long value = evaluate(g_calc.display);
+                g_calc.results.push_back(g_calc.display + " = " +
+                                         std::to_string(value));
+                std::printf("[calc] %s\n",
+                            g_calc.results.back().c_str());
+                g_calc.display.clear();
+            } else if (key == 'C') {
+                g_calc.display.clear();
+            } else {
+                g_calc.display.push_back(key);
+            }
+            render(); // every keypress redraws through the GPU
+        }));
+
+    return app.run(env.argv.size() > 1 ? env.argv[1] : "");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> expressions;
+    for (int i = 1; i < argc; ++i)
+        expressions.emplace_back(argv[i]);
+    if (expressions.empty())
+        expressions = {"12+34", "7*6", "100/4"};
+
+    core::SystemOptions opts;
+    opts.config = core::SystemConfig::CiderIos;
+    opts.startServices = true;
+    core::CiderSystem sys(opts);
+
+    // Seed the "system config": locale and an ad banner.
+    sys.runInProcess("seed", kernel::Persona::Ios,
+                     [](binfmt::UserEnv &env) {
+                         ios::LibSystem libc(env);
+                         ios::configSet(libc, "AppleLocale", "en_US");
+                         ios::configSet(libc, "iAd.banner",
+                                        "Play Papers — 4.5 stars");
+                         return 0;
+                     });
+
+    // Install and launch from the home screen.
+    sys.programs().add("calc.main", calculatorMain);
+    core::IpaPackage package;
+    package.appName = "CalculatorPro";
+    binfmt::MachOBuilder macho(binfmt::MachOFileType::Execute);
+    macho.entry("calc.main")
+        .codegen(hw::Codegen::XcodeClang)
+        .segment("__TEXT", 32)
+        .dylib("libSystem.dylib")
+        .dylib("UIKit.dylib");
+    package.binary = macho.build();
+    sys.installIpa(core::buildIpa(package));
+    int session = sys.launcher().launch("CalculatorPro");
+
+    // Type each expression on the on-screen keypad, then '='.
+    auto tap = [&](char key) {
+        auto [x, y] = keyPos(key);
+        android::MotionEvent ev;
+        ev.action = android::MotionAction::Down;
+        ev.x = x;
+        ev.y = y;
+        sys.input().inject(ev);
+        ev.action = android::MotionAction::Up;
+        sys.input().inject(ev);
+    };
+    for (const std::string &expr : expressions) {
+        for (char c : expr)
+            tap(c);
+        tap('=');
+    }
+
+    sys.ciderPress().stop(session);
+    int rc = sys.ciderPress().join(session);
+
+    std::printf("\ncalculator exited %d; %d frames rendered through "
+                "diplomatic GL; %zu results\n",
+                rc, g_calc.framesRendered, g_calc.results.size());
+    std::printf("GPU: %llu vertices, SurfaceFlinger frames: %llu\n",
+                static_cast<unsigned long long>(
+                    sys.gpu().stats().vertices),
+                static_cast<unsigned long long>(
+                    sys.surfaceFlinger().framesComposed()));
+    return rc == 0 && g_calc.results.size() == expressions.size() ? 0
+                                                                  : 1;
+}

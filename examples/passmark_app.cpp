@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The PassMark benchmark app (the paper's Figure 4d scenario).
+ *
+ * Runs the CPU suite the way each ecosystem's PassMark build does:
+ * Dalvik-interpreted dex on Android configurations, native code on
+ * iOS ones — on whichever system configuration you pick.
+ *
+ *   ./passmark_app            # Cider running the iOS PassMark app
+ *   ./passmark_app vanilla    # vanilla Android (Dalvik app)
+ *   ./passmark_app cider-android
+ *   ./passmark_app ipad
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/passmark.h"
+#include "base/logging.h"
+#include "core/cider_system.h"
+
+using namespace cider;
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    core::SystemConfig config = core::SystemConfig::CiderIos;
+    if (argc > 1) {
+        std::string pick = argv[1];
+        if (pick == "vanilla")
+            config = core::SystemConfig::VanillaAndroid;
+        else if (pick == "cider-android")
+            config = core::SystemConfig::CiderAndroid;
+        else if (pick == "cider-ios")
+            config = core::SystemConfig::CiderIos;
+        else if (pick == "ipad")
+            config = core::SystemConfig::IPadMini;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [vanilla|cider-android|cider-ios|"
+                         "ipad]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    core::SystemOptions opts;
+    opts.config = config;
+    core::CiderSystem sys(opts);
+    bool ios_app = config == core::SystemConfig::CiderIos ||
+                   config == core::SystemConfig::IPadMini;
+
+    std::printf("PassMark PerformanceTest Mobile — %s (%s build)\n",
+                core::systemConfigName(config),
+                ios_app ? "native iOS" : "Dalvik/Java");
+
+    constexpr std::uint64_t kIters = 20000;
+    const char *tests[] = {"integer", "fp",      "primes",
+                           "sort",    "encrypt", "compress"};
+
+    kernel::Process &proc = sys.kernel().createProcess(
+        "passmark",
+        ios_app ? kernel::Persona::Ios : kernel::Persona::Android);
+    kernel::Thread &main_thread = proc.mainThread();
+    kernel::ThreadScope scope(main_thread);
+    binfmt::UserEnv env{sys.kernel(), main_thread, {"passmark"}};
+
+    binfmt::DexFile suite = bench::passmark::buildDexSuite();
+    bench::passmark::NativeSuite native(
+        sys.profile(),
+        ios_app ? hw::Codegen::XcodeClang : hw::Codegen::LinuxGcc);
+
+    double total_score = 0;
+    for (const char *test : tests) {
+        std::uint64_t iters =
+            std::strcmp(test, "sort") == 0 ? kIters / 60 : kIters;
+        std::uint64_t ns = measureVirtual([&] {
+            if (ios_app) {
+                if (!std::strcmp(test, "integer"))
+                    native.integer(iters);
+                else if (!std::strcmp(test, "fp"))
+                    native.fp(iters);
+                else if (!std::strcmp(test, "primes"))
+                    native.primes(iters);
+                else if (!std::strcmp(test, "sort"))
+                    native.sort(iters);
+                else if (!std::strcmp(test, "encrypt"))
+                    native.encrypt(iters);
+                else
+                    native.compress(iters);
+            } else {
+                sys.dalvik().run(suite, test,
+                                 {static_cast<std::int64_t>(iters)});
+            }
+        });
+        double ops_per_sec =
+            ns > 0 ? static_cast<double>(iters) * 1e9 /
+                         static_cast<double>(ns)
+                   : 0;
+        total_score += ops_per_sec / 1e6;
+        std::printf("  %-10s %12.2f kops/s\n", test,
+                    ops_per_sec / 1e3);
+    }
+    std::printf("composite score: %.2f\n", total_score);
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The Yelp fallback scenario (paper section 6.4).
+ *
+ * "The iOS Yelp app runs on Cider even though GPS and location
+ * services are currently unsupported. Yelp simply assumes the user's
+ * current location is unavailable, and continues to function as it
+ * would on an Apple device with location services disabled."
+ *
+ * The app probes the I/O Kit registry for a GPS device (absent on
+ * the Nexus 7 build), takes the fallback path, and still serves
+ * search results; the touchscreen (which *is* bridged) is found and
+ * used. Pass --with-gps to register a GPS device and watch the same
+ * binary take the located path instead.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cider_system.h"
+#include "ios/libsystem.h"
+#include "ios/uikit.h"
+
+using namespace cider;
+
+namespace {
+
+struct YelpProbe
+{
+    bool locationAvailable = false;
+    std::string touchVendor;
+    std::vector<std::string> results;
+};
+
+YelpProbe g_probe;
+
+int
+yelpMain(binfmt::UserEnv &env)
+{
+    ios::LibSystem libc(env);
+
+    // Location: look for a GPS device through I/O Kit, exactly how
+    // an iOS location framework locates hardware.
+    std::uint64_t gps = libc.ioServiceGetMatchingService("gps0");
+    if (gps != 0) {
+        g_probe.locationAvailable = true;
+        std::printf("[yelp] location fix from %s\n",
+                    libc.ioRegistryGetProperty(gps, "vendor").c_str());
+    } else {
+        std::printf("[yelp] location services unavailable — "
+                    "falling back to manual search\n");
+    }
+
+    // The touchscreen *is* bridged into I/O Kit by Cider.
+    std::uint64_t touch = libc.ioServiceGetMatchingService(
+        "touchscreen");
+    if (touch != 0)
+        g_probe.touchVendor =
+            libc.ioRegistryGetProperty(touch, "vendor");
+
+    // Search "restaurants" with whatever location state we have.
+    const char *nearby[] = {"Shake Shack", "Joe's Pizza",
+                            "Katz's Delicatessen"};
+    const char *anywhere[] = {"Top 100 US restaurants",
+                              "Popular near Salt Lake City"};
+    if (g_probe.locationAvailable)
+        for (const char *r : nearby)
+            g_probe.results.emplace_back(r);
+    else
+        for (const char *r : anywhere)
+            g_probe.results.emplace_back(r);
+
+    for (const std::string &r : g_probe.results)
+        std::printf("[yelp]   %s\n", r.c_str());
+
+    // Cache the results in the app sandbox (overlaid filesystem).
+    int fd = libc.open("/Documents/yelp-cache.txt",
+                       kernel::oflag::CREAT | kernel::oflag::RDWR);
+    if (fd >= 0) {
+        Bytes blob;
+        for (const std::string &r : g_probe.results)
+            blob.insert(blob.end(), r.begin(), r.end());
+        libc.write(fd, blob);
+        libc.close(fd);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool with_gps = argc > 1 && !std::strcmp(argv[1], "--with-gps");
+
+    core::SystemOptions opts;
+    opts.config = core::SystemConfig::CiderIos;
+    core::CiderSystem sys(opts);
+
+    if (with_gps) {
+        // An alternate device build that *does* have GPS hardware:
+        // the Linux driver is bridged into I/O Kit automatically.
+        auto gps = std::make_unique<kernel::Device>("gps0", "gps");
+        gps->setProperty("vendor", "ublox-m8");
+        sys.kernel().devices().add(std::move(gps));
+    }
+
+    sys.installMachOExecutable("/data/ios-apps/Yelp/Yelp",
+                               "yelp.main", yelpMain);
+    int rc = sys.runProgram("/data/ios-apps/Yelp/Yelp");
+
+    std::printf("\nYelp exited %d; location %s; touchscreen vendor "
+                "'%s'; %zu results; cache %s\n",
+                rc,
+                g_probe.locationAvailable ? "AVAILABLE" : "unavailable",
+                g_probe.touchVendor.c_str(), g_probe.results.size(),
+                sys.kernel().vfs().exists(
+                    "/data/ios/Documents/yelp-cache.txt")
+                    ? "written"
+                    : "missing");
+
+    bool ok = rc == 0 && !g_probe.results.empty() &&
+              g_probe.locationAvailable == with_gps;
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,327 @@
+#include "android/bionic.h"
+
+#include "base/cost_clock.h"
+#include "persona/tls.h"
+
+namespace cider::android {
+
+using kernel::SyscallArgs;
+using kernel::SyscallResult;
+using kernel::TrapClass;
+namespace nr = kernel::sysno;
+
+SyscallResult
+Bionic::trap(int nr, SyscallArgs args)
+{
+    return env_.kernel.trap(env_.thread, TrapClass::LinuxSyscall, nr,
+                            std::move(args));
+}
+
+std::int64_t
+Bionic::ret(const SyscallResult &r)
+{
+    if (!r.ok()) {
+        persona::ThreadTls::of(env_.thread)
+            .area(kernel::Persona::Android)
+            .setErrno(r.err);
+        return -1;
+    }
+    return r.value;
+}
+
+LibcState &
+Bionic::state()
+{
+    return env_.process().ext().get<LibcState>("bionic.state");
+}
+
+int
+Bionic::open(const std::string &path, int flags)
+{
+    return static_cast<int>(
+        ret(trap(nr::OPEN, kernel::makeArgs(path,
+                                            static_cast<std::int64_t>(
+                                                flags)))));
+}
+
+int
+Bionic::close(int fd)
+{
+    return static_cast<int>(
+        ret(trap(nr::CLOSE,
+                 kernel::makeArgs(static_cast<std::int64_t>(fd)))));
+}
+
+std::int64_t
+Bionic::read(int fd, Bytes &out, std::size_t n)
+{
+    return ret(trap(nr::READ,
+                    kernel::makeArgs(static_cast<std::int64_t>(fd), &out,
+                                     static_cast<std::uint64_t>(n))));
+}
+
+std::int64_t
+Bionic::write(int fd, const Bytes &data)
+{
+    const Bytes *p = &data;
+    return ret(trap(
+        nr::WRITE, kernel::makeArgs(static_cast<std::int64_t>(fd), p)));
+}
+
+int
+Bionic::dup(int fd)
+{
+    return static_cast<int>(ret(
+        trap(nr::DUP, kernel::makeArgs(static_cast<std::int64_t>(fd)))));
+}
+
+int
+Bionic::pipe(int fds[2])
+{
+    return static_cast<int>(
+        ret(trap(nr::PIPE, kernel::makeArgs(static_cast<void *>(fds)))));
+}
+
+int
+Bionic::mkdir(const std::string &path)
+{
+    return static_cast<int>(ret(trap(nr::MKDIR, kernel::makeArgs(path))));
+}
+
+int
+Bionic::unlink(const std::string &path)
+{
+    return static_cast<int>(
+        ret(trap(nr::UNLINK, kernel::makeArgs(path))));
+}
+
+int
+Bionic::rmdir(const std::string &path)
+{
+    return static_cast<int>(ret(trap(nr::RMDIR, kernel::makeArgs(path))));
+}
+
+int
+Bionic::ioctl(int fd, std::uint64_t req, void *arg)
+{
+    return static_cast<int>(
+        ret(trap(nr::IOCTL, kernel::makeArgs(static_cast<std::int64_t>(fd),
+                                             req, arg))));
+}
+
+std::int64_t
+Bionic::lseek(int fd, std::int64_t offset, int whence)
+{
+    return ret(trap(nr::LSEEK,
+                    kernel::makeArgs(static_cast<std::int64_t>(fd),
+                                     offset,
+                                     static_cast<std::int64_t>(
+                                         whence))));
+}
+
+int
+Bionic::stat(const std::string &path, kernel::StatBuf *out)
+{
+    return static_cast<int>(ret(trap(
+        nr::STAT, kernel::makeArgs(path, static_cast<void *>(out)))));
+}
+
+int
+Bionic::rename(const std::string &from, const std::string &to)
+{
+    return static_cast<int>(
+        ret(trap(nr::RENAME, kernel::makeArgs(from, to))));
+}
+
+int
+Bionic::dup2(int fd, int new_fd)
+{
+    return static_cast<int>(
+        ret(trap(nr::DUP2,
+                 kernel::makeArgs(static_cast<std::int64_t>(fd),
+                                  static_cast<std::int64_t>(new_fd)))));
+}
+
+int
+Bionic::getppid()
+{
+    return static_cast<int>(ret(trap(nr::GETPPID, kernel::makeArgs())));
+}
+
+int
+Bionic::select(std::vector<int> &rd, std::vector<int> &wr,
+               std::vector<int> &ready)
+{
+    return static_cast<int>(ret(trap(
+        nr::SELECT,
+        kernel::makeArgs(static_cast<void *>(&rd),
+                         static_cast<void *>(&wr),
+                         static_cast<void *>(&ready)))));
+}
+
+int
+Bionic::socket()
+{
+    return static_cast<int>(ret(trap(nr::SOCKET, kernel::makeArgs())));
+}
+
+int
+Bionic::bind(int fd, const std::string &path)
+{
+    return static_cast<int>(ret(trap(
+        nr::BIND, kernel::makeArgs(static_cast<std::int64_t>(fd), path))));
+}
+
+int
+Bionic::listen(int fd, int backlog)
+{
+    return static_cast<int>(
+        ret(trap(nr::LISTEN,
+                 kernel::makeArgs(static_cast<std::int64_t>(fd),
+                                  static_cast<std::int64_t>(backlog)))));
+}
+
+int
+Bionic::accept(int fd)
+{
+    return static_cast<int>(ret(trap(
+        nr::ACCEPT, kernel::makeArgs(static_cast<std::int64_t>(fd)))));
+}
+
+int
+Bionic::connect(int fd, const std::string &path)
+{
+    return static_cast<int>(ret(trap(
+        nr::CONNECT,
+        kernel::makeArgs(static_cast<std::int64_t>(fd), path))));
+}
+
+int
+Bionic::socketpair(int fds[2])
+{
+    return static_cast<int>(ret(trap(
+        nr::SOCKETPAIR, kernel::makeArgs(static_cast<void *>(fds)))));
+}
+
+int
+Bionic::getpid()
+{
+    return static_cast<int>(ret(trap(nr::GETPID, kernel::makeArgs())));
+}
+
+int
+Bionic::fork(kernel::EntryFn child_body)
+{
+    LibcState &st = state();
+    // pthread_atfork: prepare in the parent, then parent/child halves.
+    for (const auto &h : st.atforkHandlers)
+        if (h.prepare)
+            h.prepare();
+
+    kernel::EntryFn wrapped =
+        [child_body, handlers = st.atforkHandlers](
+            kernel::Thread &t) -> int {
+        for (const auto &h : handlers)
+            if (h.child)
+                h.child();
+        return child_body ? child_body(t) : 0;
+    };
+    std::int64_t pid = ret(trap(
+        nr::FORK, kernel::makeArgs(static_cast<void *>(&wrapped))));
+
+    for (const auto &h : st.atforkHandlers)
+        if (h.parent)
+            h.parent();
+    return static_cast<int>(pid);
+}
+
+int
+Bionic::execve(const std::string &path,
+               const std::vector<std::string> &argv)
+{
+    std::vector<std::string> args_copy = argv;
+    return static_cast<int>(ret(trap(
+        nr::EXECVE,
+        kernel::makeArgs(path, static_cast<void *>(&args_copy)))));
+}
+
+void
+Bionic::exit(int code)
+{
+    LibcState &st = state();
+    // Run atexit handlers most-recent-first, as the C runtime does.
+    for (auto it = st.atexitHandlers.rbegin();
+         it != st.atexitHandlers.rend(); ++it)
+        (*it)();
+    trap(nr::EXIT, kernel::makeArgs(static_cast<std::int64_t>(code)));
+    // The exit syscall unwinds via ProcessExit; reaching here means
+    // the kernel refused, which cannot happen.
+    throw kernel::ProcessExit{code};
+}
+
+int
+Bionic::waitpid(int pid, int *status)
+{
+    return static_cast<int>(
+        ret(trap(nr::WAITPID,
+                 kernel::makeArgs(static_cast<std::int64_t>(pid),
+                                  static_cast<void *>(status)))));
+}
+
+int
+Bionic::kill(int pid, int linux_signo)
+{
+    return static_cast<int>(
+        ret(trap(nr::KILL,
+                 kernel::makeArgs(static_cast<std::int64_t>(pid),
+                                  static_cast<std::int64_t>(
+                                      linux_signo)))));
+}
+
+int
+Bionic::sigaction(int linux_signo, kernel::SignalHandlerFn handler)
+{
+    kernel::SignalAction act;
+    if (handler) {
+        act.kind = kernel::SignalAction::Kind::Handler;
+        act.fn = std::move(handler);
+    } else {
+        act.kind = kernel::SignalAction::Kind::Ignore;
+    }
+    return static_cast<int>(
+        ret(trap(nr::SIGACTION,
+                 kernel::makeArgs(static_cast<std::int64_t>(linux_signo),
+                                  static_cast<void *>(&act)))));
+}
+
+int
+Bionic::nullSyscall()
+{
+    return static_cast<int>(
+        ret(trap(nr::NULL_SYSCALL, kernel::makeArgs())));
+}
+
+void
+Bionic::atexit(std::function<void()> fn)
+{
+    state().atexitHandlers.push_back(std::move(fn));
+}
+
+void
+Bionic::pthreadAtfork(std::function<void()> prepare,
+                      std::function<void()> parent,
+                      std::function<void()> child)
+{
+    state().atforkHandlers.push_back(
+        {std::move(prepare), std::move(parent), std::move(child)});
+}
+
+int
+Bionic::errno_() const
+{
+    return persona::ThreadTls::of(env_.thread)
+        .area(kernel::Persona::Android)
+        .errnoValue();
+}
+
+} // namespace cider::android

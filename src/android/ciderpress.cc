@@ -1,0 +1,211 @@
+#include "android/ciderpress.h"
+
+#include "android/bionic.h"
+#include "base/logging.h"
+
+namespace cider::android {
+
+namespace cpmsg {
+
+Bytes
+frame(std::uint8_t kind, const Bytes &payload)
+{
+    ByteWriter w;
+    w.u8(kind);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.raw(payload);
+    return w.take();
+}
+
+} // namespace cpmsg
+
+CiderPress::CiderPress(kernel::Kernel &k, InputSubsystem &input,
+                       SurfaceFlinger &flinger)
+    : kernel_(k), input_(input), flinger_(flinger)
+{
+    // CiderPress is itself a standard Android app process.
+    self_ = &kernel_.createProcess("ciderpress", kernel::Persona::Android);
+}
+
+CiderPress::~CiderPress()
+{
+    for (auto &[id, session] : sessions_) {
+        if (session->appHost.joinable()) {
+            stop(id);
+            session->appHost.join();
+        }
+        if (session->inputSubscription >= 0)
+            input_.unsubscribe(session->inputSubscription);
+    }
+}
+
+int
+CiderPress::launchIosApp(const std::string &macho_path,
+                         std::vector<std::string> extra_argv)
+{
+    auto session = std::make_unique<Session>();
+    session->id = nextSession_++;
+    session->socketPath =
+        "/dev/socket/ciderpress." + std::to_string(session->id);
+
+    kernel::Thread &self_thread = self_->mainThread();
+    kernel::ThreadScope scope(self_thread);
+    binfmt::UserEnv env{kernel_, self_thread, {}};
+    Bionic libc(env);
+
+    // Bridge endpoint the app's eventpump will connect back to.
+    int listen_fd = libc.socket();
+    if (listen_fd < 0 || libc.bind(listen_fd, session->socketPath) < 0 ||
+        libc.listen(listen_fd, 4) < 0) {
+        warn("ciderpress: cannot create bridge socket");
+        return -1;
+    }
+
+    // Launch the foreign binary in a fresh process on its own host
+    // thread; the Mach-O loader will flip its persona to iOS.
+    kernel::Process &app = kernel_.createProcess(
+        "ios-app." + std::to_string(session->id),
+        kernel::Persona::Android, self_);
+    session->proc = &app;
+
+    std::vector<std::string> argv{macho_path, session->socketPath};
+    argv.insert(argv.end(), extra_argv.begin(), extra_argv.end());
+
+    kernel::Kernel *k = &kernel_;
+    Session *raw = session.get();
+    std::string bridge_path = session->socketPath;
+    session->appHost = std::thread([k, &app, macho_path, argv, raw,
+                                    bridge_path] {
+        kernel::Thread &main = app.mainThread();
+        kernel::ThreadScope thread_scope(main);
+        int rc = 0;
+        try {
+            kernel::SyscallResult r =
+                k->sysExecve(main, macho_path, argv);
+            if (!r.ok()) {
+                warn("ciderpress: exec of ", macho_path,
+                     " failed with errno ", r.err);
+                rc = 127;
+                app.terminate(rc, main.clock().now());
+                // The eventpump never got to connect; do it on the
+                // dead app's behalf so CiderPress's accept returns.
+                binfmt::UserEnv env{*k, main, {}};
+                Bionic libc(env);
+                int fd = libc.socket();
+                if (fd >= 0)
+                    libc.connect(fd, bridge_path);
+            }
+        } catch (const kernel::ProcessExit &e) {
+            rc = e.code;
+        }
+        raw->appExitCode = rc;
+        raw->appDone = true;
+    });
+
+    // Wait for the eventpump to connect, then retire the listener.
+    int conn_fd = libc.accept(listen_fd);
+    libc.close(listen_fd);
+    kernel_.unixSockets().unbind(session->socketPath);
+    session->serverFd = conn_fd;
+
+    // Receive input on behalf of the app, like any foreground
+    // Android activity, and forward it through the bridge.
+    int sid = session->id;
+    session->inputSubscription =
+        input_.subscribe([this, sid](const MotionEvent &ev) {
+            sendEvent(sid, ev);
+        });
+
+    int id = session->id;
+    sessions_[id] = std::move(session);
+    return id;
+}
+
+CiderPress::Session *
+CiderPress::session(int id)
+{
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void
+CiderPress::sendControl(Session &s, std::uint8_t kind,
+                        const Bytes &payload)
+{
+    if (s.serverFd < 0)
+        return;
+    kernel::Thread &self_thread = self_->mainThread();
+    kernel::ThreadScope scope(self_thread);
+    binfmt::UserEnv env{kernel_, self_thread, {}};
+    Bionic libc(env);
+    Bytes framed = cpmsg::frame(kind, payload);
+    if (libc.write(s.serverFd, framed) < 0)
+        warn("ciderpress: bridge write failed");
+}
+
+void
+CiderPress::sendEvent(int id, const MotionEvent &ev)
+{
+    Session *s = session(id);
+    if (!s)
+        return;
+    sendControl(*s, cpmsg::Motion, serializeMotionEvent(ev));
+}
+
+void
+CiderPress::pause(int id)
+{
+    if (Session *s = session(id))
+        sendControl(*s, cpmsg::Pause);
+}
+
+void
+CiderPress::resume(int id)
+{
+    if (Session *s = session(id))
+        sendControl(*s, cpmsg::Resume);
+}
+
+void
+CiderPress::stop(int id)
+{
+    if (Session *s = session(id))
+        sendControl(*s, cpmsg::Stop);
+}
+
+int
+CiderPress::join(int id)
+{
+    Session *s = session(id);
+    if (!s)
+        return -1;
+    if (s->appHost.joinable())
+        s->appHost.join();
+    if (s->serverFd >= 0) {
+        kernel::Thread &self_thread = self_->mainThread();
+        kernel::ThreadScope scope(self_thread);
+        binfmt::UserEnv env{kernel_, self_thread, {}};
+        Bionic libc(env);
+        libc.close(s->serverFd);
+        s->serverFd = -1;
+    }
+    if (s->inputSubscription >= 0) {
+        input_.unsubscribe(s->inputSubscription);
+        s->inputSubscription = -1;
+    }
+    return s->appExitCode;
+}
+
+gpu::GraphicsBuffer
+CiderPress::screenshot(int id)
+{
+    Session *s = session(id);
+    if (!s || !s->proc)
+        return {};
+    auto layers = flinger_.layersOwnedBy(s->proc->name());
+    if (layers.empty())
+        return {};
+    return flinger_.screenshot(layers.front().id);
+}
+
+} // namespace cider::android

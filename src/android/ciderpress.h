@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CiderPress: the Android proxy app that hosts iOS apps.
+ *
+ * "CiderPress is a standard Android app that integrates launch and
+ * execution of an iOS app with Android's Launcher and system
+ * services" (paper section 3). It launches the foreign binary,
+ * forwards touch input over a UNIX socket to the app's eventpump
+ * thread, proxies app state changes (pause/resume/stop), and exposes
+ * the app's display layer for recents-list screenshots.
+ */
+
+#ifndef CIDER_ANDROID_CIDERPRESS_H
+#define CIDER_ANDROID_CIDERPRESS_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "android/input.h"
+#include "android/surfaceflinger.h"
+#include "kernel/kernel.h"
+
+namespace cider::android {
+
+/** Wire protocol over the CiderPress<->eventpump socket. */
+namespace cpmsg {
+
+inline constexpr std::uint8_t Motion = 0;
+inline constexpr std::uint8_t Pause = 1;
+inline constexpr std::uint8_t Resume = 2;
+inline constexpr std::uint8_t Stop = 3;
+
+/** Frame a message: [kind u8][len u32][payload]. */
+Bytes frame(std::uint8_t kind, const Bytes &payload);
+
+} // namespace cpmsg
+
+class CiderPress
+{
+  public:
+    CiderPress(kernel::Kernel &k, InputSubsystem &input,
+               SurfaceFlinger &flinger);
+    ~CiderPress();
+
+    /** One hosted iOS app. */
+    struct Session
+    {
+        int id = 0;
+        kernel::Process *proc = nullptr;
+        std::string socketPath;
+        int serverFd = -1; ///< connected fd on the CiderPress side
+        std::thread appHost;
+        std::atomic<bool> appDone{false};
+        int appExitCode = 0;
+        int inputSubscription = -1;
+    };
+
+    /**
+     * Launch the iOS binary at @p macho_path. Blocks until the app's
+     * eventpump has connected back. Returns the session id.
+     */
+    int launchIosApp(const std::string &macho_path,
+                     std::vector<std::string> extra_argv = {});
+
+    Session *session(int id);
+
+    /** Forward one touch event to the app. */
+    void sendEvent(int id, const MotionEvent &ev);
+
+    /** Proxied lifecycle transitions. */
+    void pause(int id);
+    void resume(int id);
+    void stop(int id);
+
+    /** Wait for the app to exit; returns its exit code. */
+    int join(int id);
+
+    /** Screenshot of the app's top layer (recents list). */
+    gpu::GraphicsBuffer screenshot(int id);
+
+    kernel::Process &process() { return *self_; }
+
+  private:
+    void sendControl(Session &s, std::uint8_t kind,
+                     const Bytes &payload = {});
+
+    kernel::Kernel &kernel_;
+    InputSubsystem &input_;
+    SurfaceFlinger &flinger_;
+    kernel::Process *self_;
+    std::map<int, std::unique_ptr<Session>> sessions_;
+    int nextSession_ = 1;
+};
+
+} // namespace cider::android
+
+#endif // CIDER_ANDROID_CIDERPRESS_H

@@ -1,0 +1,270 @@
+#include "android/dalvik.h"
+
+#include "base/cost_clock.h"
+#include "base/logging.h"
+
+namespace cider::android {
+
+using binfmt::DexFile;
+using binfmt::DexInsn;
+using binfmt::DexMethod;
+using binfmt::DexOp;
+
+std::int64_t
+dexI(const DexVal &v)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return *i;
+    if (const auto *f = std::get_if<double>(&v))
+        return static_cast<std::int64_t>(*f);
+    return 0;
+}
+
+double
+dexF(const DexVal &v)
+{
+    if (const auto *f = std::get_if<double>(&v))
+        return *f;
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return static_cast<double>(*i);
+    return 0.0;
+}
+
+void
+DalvikVm::registerNative(const std::string &name, NativeFn fn)
+{
+    natives_[name] = std::move(fn);
+}
+
+DexVal
+DalvikVm::run(const DexFile &file, const std::string &method,
+              std::vector<DexVal> args)
+{
+    const DexMethod *m = file.method(method);
+    if (!m)
+        cider_panic("dalvik: no method ", method, " in ", file.name);
+    return execute(file, *m, args, 0);
+}
+
+DexVal
+DalvikVm::execute(const DexFile &file, const DexMethod &method,
+                  std::vector<DexVal> &args, int depth)
+{
+    if (depth > 64)
+        cider_panic("dalvik: call depth exceeded in ", method.name);
+
+    std::vector<DexVal> locals(method.nlocals,
+                               DexVal{std::int64_t{0}});
+    for (std::size_t i = 0; i < args.size() && i < locals.size(); ++i)
+        locals[i] = args[i];
+    std::vector<DexVal> stack;
+    stack.reserve(16);
+
+    auto pop = [&stack]() -> DexVal {
+        if (stack.empty())
+            cider_panic("dalvik: operand stack underflow");
+        DexVal v = std::move(stack.back());
+        stack.pop_back();
+        return v;
+    };
+
+    const hw::Codegen cg = hw::Codegen::LinuxGcc;
+    std::uint64_t executed = 0;
+    std::uint64_t dispatch_ns_acc = 0;
+    std::uint64_t ps_acc = 0;
+
+    std::size_t pc = 0;
+    DexVal result{std::int64_t{0}};
+    while (pc < method.code.size()) {
+        const DexInsn &insn = method.code[pc];
+        ++pc;
+        ++executed;
+        // Interpreter dispatch: fetch, decode, indirect branch.
+        dispatch_ns_acc += profile_.dalvikDispatchNs;
+
+        switch (insn.op) {
+          case DexOp::Nop:
+            break;
+          case DexOp::ConstI:
+            stack.emplace_back(insn.a);
+            break;
+          case DexOp::ConstF:
+            stack.emplace_back(insn.f);
+            break;
+          case DexOp::Load:
+            stack.push_back(locals.at(static_cast<std::size_t>(insn.a)));
+            break;
+          case DexOp::Store:
+            locals.at(static_cast<std::size_t>(insn.a)) = pop();
+            break;
+          case DexOp::Add: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntAdd, cg);
+              stack.emplace_back(a + b);
+              break;
+          }
+          case DexOp::Sub: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntAdd, cg);
+              stack.emplace_back(a - b);
+              break;
+          }
+          case DexOp::Mul: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntMul, cg);
+              stack.emplace_back(a * b);
+              break;
+          }
+          case DexOp::Div: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntDiv, cg);
+              stack.emplace_back(b == 0 ? 0 : a / b);
+              break;
+          }
+          case DexOp::Mod: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntDiv, cg);
+              stack.emplace_back(b == 0 ? 0 : a % b);
+              break;
+          }
+          case DexOp::FAdd: {
+              double b = dexF(pop()), a = dexF(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::DoubleAdd, cg);
+              stack.emplace_back(a + b);
+              break;
+          }
+          case DexOp::FSub: {
+              double b = dexF(pop()), a = dexF(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::DoubleAdd, cg);
+              stack.emplace_back(a - b);
+              break;
+          }
+          case DexOp::FMul: {
+              double b = dexF(pop()), a = dexF(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::DoubleMul, cg);
+              stack.emplace_back(a * b);
+              break;
+          }
+          case DexOp::FDiv: {
+              double b = dexF(pop()), a = dexF(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::DoubleMul, cg);
+              stack.emplace_back(b == 0.0 ? 0.0 : a / b);
+              break;
+          }
+          case DexOp::CmpLt: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntAdd, cg);
+              stack.emplace_back(std::int64_t{a < b});
+              break;
+          }
+          case DexOp::CmpLe: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntAdd, cg);
+              stack.emplace_back(std::int64_t{a <= b});
+              break;
+          }
+          case DexOp::CmpEq: {
+              std::int64_t b = dexI(pop()), a = dexI(pop());
+              ps_acc += profile_.cpuOpPs(hw::CpuOp::IntAdd, cg);
+              stack.emplace_back(std::int64_t{a == b});
+              break;
+          }
+          case DexOp::Jmp:
+            pc = static_cast<std::size_t>(insn.a);
+            break;
+          case DexOp::Jz:
+            if (dexI(pop()) == 0)
+                pc = static_cast<std::size_t>(insn.a);
+            break;
+          case DexOp::Dup:
+            if (stack.empty())
+                cider_panic("dalvik: dup on empty stack");
+            stack.push_back(stack.back());
+            break;
+          case DexOp::Drop:
+            pop();
+            break;
+          case DexOp::Swap: {
+              DexVal b = pop(), a = pop();
+              stack.push_back(std::move(b));
+              stack.push_back(std::move(a));
+              break;
+          }
+          case DexOp::CallNative: {
+              const std::string &name = file.string(insn.sidx);
+              auto it = natives_.find(name);
+              if (it == natives_.end())
+                  cider_panic("dalvik: unknown native ", name);
+              std::vector<DexVal> nargs;
+              for (std::int64_t i = 0; i < insn.a; ++i)
+                  nargs.insert(nargs.begin(), pop());
+              ++stats_.nativeCalls;
+              stack.push_back(it->second(nargs));
+              break;
+          }
+          case DexOp::CallMethod: {
+              const std::string &name = file.string(insn.sidx);
+              const DexMethod *callee = file.method(name);
+              if (!callee)
+                  cider_panic("dalvik: unknown method ", name);
+              std::vector<DexVal> cargs;
+              for (std::int64_t i = 0; i < insn.a; ++i)
+                  cargs.insert(cargs.begin(), pop());
+              ++stats_.methodCalls;
+              // Flush accumulated dispatch cost before recursing so
+              // attribution stays ordered.
+              charge(dispatch_ns_acc + ps_acc / 1000);
+              dispatch_ns_acc = 0;
+              ps_acc = 0;
+              stack.push_back(execute(file, *callee, cargs, depth + 1));
+              break;
+          }
+          case DexOp::Ret:
+            result = stack.empty() ? DexVal{std::int64_t{0}} : pop();
+            pc = method.code.size();
+            break;
+          case DexOp::ArrNew: {
+              std::int64_t n = dexI(pop());
+              charge(static_cast<std::uint64_t>(n) * 8 *
+                     profile_.memWriteBytePs / 1000);
+              stack.emplace_back(
+                  std::make_shared<std::vector<std::int64_t>>(
+                      static_cast<std::size_t>(n), 0));
+              break;
+          }
+          case DexOp::ArrGet: {
+              std::int64_t idx = dexI(pop());
+              DexVal arrv = pop();
+              auto arr = std::get<
+                  std::shared_ptr<std::vector<std::int64_t>>>(arrv);
+              charge(8 * profile_.memReadBytePs / 1000);
+              stack.emplace_back(
+                  arr->at(static_cast<std::size_t>(idx)));
+              break;
+          }
+          case DexOp::ArrSet: {
+              std::int64_t val = dexI(pop());
+              std::int64_t idx = dexI(pop());
+              DexVal arrv = pop();
+              auto arr = std::get<
+                  std::shared_ptr<std::vector<std::int64_t>>>(arrv);
+              charge(8 * profile_.memWriteBytePs / 1000);
+              arr->at(static_cast<std::size_t>(idx)) = val;
+              break;
+          }
+          case DexOp::ArrLen: {
+              DexVal arrv = pop();
+              auto arr = std::get<
+                  std::shared_ptr<std::vector<std::int64_t>>>(arrv);
+              stack.emplace_back(
+                  static_cast<std::int64_t>(arr->size()));
+              break;
+          }
+        }
+    }
+    charge(dispatch_ns_acc + ps_acc / 1000);
+    stats_.instructions += executed;
+    return result;
+}
+
+} // namespace cider::android

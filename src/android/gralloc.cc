@@ -1,0 +1,65 @@
+#include "android/gralloc.h"
+
+#include "base/cost_clock.h"
+#include "kernel/kernel.h"
+
+namespace cider::android {
+
+binfmt::LibraryImage
+makeGrallocLibrary(gpu::BufferManager &buffers)
+{
+    binfmt::LibraryImage lib;
+    lib.name = "libgralloc.so";
+    lib.format = kernel::BinaryFormat::Elf;
+    lib.pages = 48;
+
+    gpu::BufferManager *mgr = &buffers;
+
+    lib.exports.add(kGrallocAlloc,
+                    [mgr](binfmt::UserEnv &env,
+                          std::vector<binfmt::Value> &args) {
+                        charge(env.kernel.profile().cyclesToNs(900));
+                        auto w = static_cast<std::uint32_t>(
+                            binfmt::valueI64(args.at(0)));
+                        auto h = static_cast<std::uint32_t>(
+                            binfmt::valueI64(args.at(1)));
+                        if (w == 0 || h == 0)
+                            return binfmt::Value{std::int64_t{0}};
+                        gpu::BufferPtr buf = mgr->create(w, h);
+                        return binfmt::Value{
+                            static_cast<std::int64_t>(buf->id)};
+                    });
+
+    lib.exports.add(kGrallocFree,
+                    [mgr](binfmt::UserEnv &,
+                          std::vector<binfmt::Value> &args) {
+                        bool ok = mgr->destroy(static_cast<std::uint32_t>(
+                            binfmt::valueI64(args.at(0))));
+                        return binfmt::Value{
+                            std::int64_t{ok ? 0 : -1}};
+                    });
+
+    lib.exports.add(kGrallocWidth,
+                    [mgr](binfmt::UserEnv &,
+                          std::vector<binfmt::Value> &args) {
+                        gpu::BufferPtr buf =
+                            mgr->find(static_cast<std::uint32_t>(
+                                binfmt::valueI64(args.at(0))));
+                        return binfmt::Value{static_cast<std::int64_t>(
+                            buf ? buf->width : 0)};
+                    });
+
+    lib.exports.add(kGrallocHeight,
+                    [mgr](binfmt::UserEnv &,
+                          std::vector<binfmt::Value> &args) {
+                        gpu::BufferPtr buf =
+                            mgr->find(static_cast<std::uint32_t>(
+                                binfmt::valueI64(args.at(0))));
+                        return binfmt::Value{static_cast<std::int64_t>(
+                            buf ? buf->height : 0)};
+                    });
+
+    return lib;
+}
+
+} // namespace cider::android

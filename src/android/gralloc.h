@@ -1,0 +1,35 @@
+/**
+ * @file
+ * libgralloc: Android's graphics memory allocation library.
+ *
+ * Cider's diplomatic IOSurface functions call into exactly this
+ * library (paper section 5.3), so its allocations come from the same
+ * BufferManager the iOS side sees — making cross-stack buffer
+ * hand-offs zero-copy.
+ */
+
+#ifndef CIDER_ANDROID_GRALLOC_H
+#define CIDER_ANDROID_GRALLOC_H
+
+#include "binfmt/program.h"
+#include "gpu/sim_gpu.h"
+
+namespace cider::android {
+
+/** Exported symbol names of libgralloc.so. */
+inline constexpr const char *kGrallocAlloc = "gralloc_alloc";
+inline constexpr const char *kGrallocFree = "gralloc_free";
+inline constexpr const char *kGrallocWidth = "gralloc_width";
+inline constexpr const char *kGrallocHeight = "gralloc_height";
+
+/**
+ * Build the libgralloc.so library image. Exports:
+ *  - gralloc_alloc(width, height) -> buffer id (0 on failure)
+ *  - gralloc_free(id) -> 0 / -1
+ *  - gralloc_width(id), gralloc_height(id)
+ */
+binfmt::LibraryImage makeGrallocLibrary(gpu::BufferManager &buffers);
+
+} // namespace cider::android
+
+#endif // CIDER_ANDROID_GRALLOC_H

@@ -1,0 +1,83 @@
+#include "android/input.h"
+
+#include <cstring>
+
+namespace cider::android {
+
+namespace {
+
+constexpr std::size_t kWireSize = 1 + 4 + 4 + 4 + 8 + 4;
+
+} // namespace
+
+std::size_t
+motionEventWireSize()
+{
+    return kWireSize;
+}
+
+Bytes
+serializeMotionEvent(const MotionEvent &ev)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(ev.action));
+    w.u32(static_cast<std::uint32_t>(ev.pointerId));
+    std::uint32_t xbits, ybits;
+    std::memcpy(&xbits, &ev.x, 4);
+    std::memcpy(&ybits, &ev.y, 4);
+    w.u32(xbits);
+    w.u32(ybits);
+    w.u64(ev.timeNs);
+    w.u32(static_cast<std::uint32_t>(ev.pointerCount));
+    return w.take();
+}
+
+bool
+parseMotionEvent(const Bytes &data, MotionEvent *out)
+{
+    if (data.size() < kWireSize || !out)
+        return false;
+    ByteReader r(data);
+    out->action = static_cast<MotionAction>(r.u8());
+    out->pointerId = static_cast<std::int32_t>(r.u32());
+    std::uint32_t xbits = r.u32();
+    std::uint32_t ybits = r.u32();
+    std::memcpy(&out->x, &xbits, 4);
+    std::memcpy(&out->y, &ybits, 4);
+    out->timeNs = r.u64();
+    out->pointerCount = static_cast<std::int32_t>(r.u32());
+    return r.ok();
+}
+
+int
+InputSubsystem::subscribe(Listener listener)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int id = nextId_++;
+    listeners_.emplace_back(id, std::move(listener));
+    return id;
+}
+
+void
+InputSubsystem::unsubscribe(int id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase_if(listeners_,
+                  [id](const auto &pair) { return pair.first == id; });
+}
+
+void
+InputSubsystem::inject(const MotionEvent &ev)
+{
+    std::vector<Listener> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[id, fn] : listeners_)
+            snapshot.push_back(fn);
+        delivered_ += snapshot.size();
+    }
+    for (const Listener &fn : snapshot)
+        fn(ev);
+}
+
+} // namespace cider::android

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Android input subsystem.
+ *
+ * Kernel input drivers feed events here; the framework routes them to
+ * the foreground app. CiderPress subscribes for the iOS app it
+ * proxies and forwards events over a UNIX socket to the app's
+ * eventpump thread (paper section 5.2). MotionEvents serialise to
+ * bytes because they genuinely travel through socket buffers.
+ */
+
+#ifndef CIDER_ANDROID_INPUT_H
+#define CIDER_ANDROID_INPUT_H
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "base/bytes.h"
+
+namespace cider::android {
+
+/** Touch event types. */
+enum class MotionAction : std::uint8_t
+{
+    Down = 0,
+    Move = 1,
+    Up = 2,
+    PointerDown = 3,
+    PointerUp = 4,
+};
+
+struct MotionEvent
+{
+    MotionAction action = MotionAction::Down;
+    std::int32_t pointerId = 0;
+    float x = 0;
+    float y = 0;
+    std::uint64_t timeNs = 0;
+    std::int32_t pointerCount = 1;
+
+    bool operator==(const MotionEvent &) const = default;
+};
+
+Bytes serializeMotionEvent(const MotionEvent &ev);
+bool parseMotionEvent(const Bytes &data, MotionEvent *out);
+/** Wire size of one serialised event. */
+std::size_t motionEventWireSize();
+
+/** The framework-side event router. */
+class InputSubsystem
+{
+  public:
+    using Listener = std::function<void(const MotionEvent &)>;
+
+    /** Register the foreground listener; returns a subscription id. */
+    int subscribe(Listener listener);
+    void unsubscribe(int id);
+
+    /** Inject an event from the (simulated) touchscreen driver. */
+    void inject(const MotionEvent &ev);
+
+    std::uint64_t eventsDelivered() const { return delivered_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<std::pair<int, Listener>> listeners_;
+    int nextId_ = 1;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace cider::android
+
+#endif // CIDER_ANDROID_INPUT_H

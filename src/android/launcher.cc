@@ -1,0 +1,37 @@
+#include "android/launcher.h"
+
+#include "base/logging.h"
+
+namespace cider::android {
+
+void
+Launcher::addShortcut(Shortcut s)
+{
+    entries_.push_back(std::move(s));
+}
+
+const Shortcut *
+Launcher::find(const std::string &label) const
+{
+    for (const Shortcut &s : entries_)
+        if (s.label == label)
+            return &s;
+    return nullptr;
+}
+
+int
+Launcher::launch(const std::string &label)
+{
+    const Shortcut *s = find(label);
+    if (!s) {
+        warn("launcher: no shortcut named ", label);
+        return -1;
+    }
+    if (!launchFn_) {
+        warn("launcher: no launch handler installed");
+        return -1;
+    }
+    return launchFn_(*s);
+}
+
+} // namespace cider::android

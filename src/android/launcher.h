@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Launcher/SystemServer: the Android home screen and app lifecycle.
+ *
+ * Shortcuts point either at Android apps (dex packages) or — for
+ * installed iOS apps — at CiderPress with the .ipa payload path, so
+ * "a user [can] click an icon on the Android home screen to start an
+ * iOS app" (paper section 3).
+ */
+
+#ifndef CIDER_ANDROID_LAUNCHER_H
+#define CIDER_ANDROID_LAUNCHER_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+
+namespace cider::android {
+
+/** One home-screen icon. */
+struct Shortcut
+{
+    std::string label;
+    /** Executable the shortcut starts (CiderPress for iOS apps). */
+    std::string target;
+    /** iOS app binary path forwarded to CiderPress (empty for
+     *  ordinary Android apps). */
+    std::string iosBinary;
+    /** Icon payload (taken from the .ipa for iOS apps). */
+    Bytes icon;
+};
+
+class Launcher
+{
+  public:
+    void addShortcut(Shortcut s);
+    const Shortcut *find(const std::string &label) const;
+    const std::vector<Shortcut> &shortcuts() const { return entries_; }
+
+    /**
+     * Launch callback wired by the system layer: receives the
+     * shortcut and returns a session/launch id (negative on error).
+     */
+    using LaunchFn = std::function<int(const Shortcut &)>;
+    void setLaunchFn(LaunchFn fn) { launchFn_ = std::move(fn); }
+
+    /** Click an icon. Returns the launch id or -1. */
+    int launch(const std::string &label);
+
+  private:
+    std::vector<Shortcut> entries_;
+    LaunchFn launchFn_;
+};
+
+} // namespace cider::android
+
+#endif // CIDER_ANDROID_LAUNCHER_H

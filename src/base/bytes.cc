@@ -1,0 +1,141 @@
+#include "base/bytes.h"
+
+#include "base/logging.h"
+
+namespace cider {
+
+void
+ByteWriter::u16(std::uint16_t v)
+{
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void
+ByteWriter::raw(const Bytes &data)
+{
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void
+ByteWriter::patchU32(std::size_t offset, std::uint32_t v)
+{
+    if (offset + 4 > buf_.size())
+        cider_panic("patchU32 out of range: offset ", offset,
+                    " size ", buf_.size());
+    buf_[offset + 0] = static_cast<std::uint8_t>(v);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 2] = static_cast<std::uint8_t>(v >> 16);
+    buf_[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+bool
+ByteReader::ensure(std::size_t n)
+{
+    if (!ok_ || pos_ + n > data_->size()) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    if (!ensure(1))
+        return 0;
+    return (*data_)[pos_++];
+}
+
+std::uint16_t
+ByteReader::u16()
+{
+    if (!ensure(2))
+        return 0;
+    std::uint16_t lo = u8();
+    std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    if (!ensure(4))
+        return 0;
+    std::uint32_t lo = u16();
+    std::uint32_t hi = u16();
+    return lo | (hi << 16);
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    if (!ensure(8))
+        return 0;
+    std::uint64_t lo = u32();
+    std::uint64_t hi = u32();
+    return lo | (hi << 32);
+}
+
+std::string
+ByteReader::str()
+{
+    std::uint32_t n = u32();
+    if (!ensure(n))
+        return {};
+    std::string s(data_->begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+}
+
+Bytes
+ByteReader::raw(std::size_t n)
+{
+    if (!ensure(n))
+        return {};
+    Bytes out(data_->begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+}
+
+void
+ByteReader::seek(std::size_t offset)
+{
+    if (offset > data_->size()) {
+        ok_ = false;
+        pos_ = data_->size();
+        return;
+    }
+    pos_ = offset;
+}
+
+std::size_t
+ByteReader::remaining() const
+{
+    return ok_ ? data_->size() - pos_ : 0;
+}
+
+} // namespace cider

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Little-endian byte stream serialisation used by the binary formats.
+ *
+ * Mach-O and ELF images in the simulator are genuine byte blobs: the
+ * builders serialise structures through ByteWriter and the kernel
+ * loaders parse them back through ByteReader, so malformed-image
+ * handling is exercised on real bytes rather than on in-memory objects.
+ */
+
+#ifndef CIDER_BASE_BYTES_H
+#define CIDER_BASE_BYTES_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cider {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** Append-only little-endian encoder. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /** Length-prefixed (u32) string. */
+    void str(const std::string &s);
+
+    /** Raw byte run without a length prefix. */
+    void raw(const Bytes &data);
+
+    /** Current encoded size in bytes. */
+    std::size_t size() const { return buf_.size(); }
+
+    /** Patch a previously written u32 at @p offset. */
+    void patchU32(std::size_t offset, std::uint32_t v);
+
+    const Bytes &bytes() const { return buf_; }
+    Bytes take() { return std::move(buf_); }
+
+  private:
+    Bytes buf_;
+};
+
+/**
+ * Cursor-based little-endian decoder. Reads past the end mark the
+ * reader bad and return zero values instead of throwing, mirroring how
+ * a kernel loader must survive truncated binaries.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const Bytes &data) : data_(&data) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    std::string str();
+    Bytes raw(std::size_t n);
+
+    /** Move the cursor to an absolute offset. */
+    void seek(std::size_t offset);
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const;
+
+    /** True when every read so far stayed in bounds. */
+    bool ok() const { return ok_; }
+
+  private:
+    bool ensure(std::size_t n);
+
+    const Bytes *data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace cider
+
+#endif // CIDER_BASE_BYTES_H

@@ -1,0 +1,40 @@
+#include "base/cost_clock.h"
+
+namespace cider {
+
+namespace {
+
+thread_local CostClock *t_active = nullptr;
+
+} // namespace
+
+CostClock *
+CostClock::current()
+{
+    return t_active;
+}
+
+CostScope::CostScope(CostClock &clock) : prev_(t_active)
+{
+    t_active = &clock;
+}
+
+CostScope::~CostScope()
+{
+    t_active = prev_;
+}
+
+void
+charge(std::uint64_t ns)
+{
+    if (t_active)
+        t_active->charge(ns);
+}
+
+std::uint64_t
+virtualNow()
+{
+    return t_active ? t_active->now() : 0;
+}
+
+} // namespace cider

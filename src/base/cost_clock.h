@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic virtual-time accounting.
+ *
+ * Every simulated hardware or kernel operation charges a cost, in
+ * virtual nanoseconds, to the CostClock of the simulated thread that
+ * performs it. Benchmarks read clock deltas instead of wall time, which
+ * makes all reported latencies deterministic and independent of host
+ * scheduling.
+ *
+ * A real (host) thread enters a simulated context by installing a clock
+ * with CostScope; free function charge() bills the innermost installed
+ * clock and is a no-op when no context is active.
+ */
+
+#ifndef CIDER_BASE_COST_CLOCK_H
+#define CIDER_BASE_COST_CLOCK_H
+
+#include <cstdint>
+
+namespace cider {
+
+/** Accumulator of virtual nanoseconds for one simulated thread. */
+class CostClock
+{
+  public:
+    /** Advance this clock by @p ns virtual nanoseconds. */
+    void charge(std::uint64_t ns) { ns_ += ns; }
+
+    /** Current virtual time of this clock in nanoseconds. */
+    std::uint64_t now() const { return ns_; }
+
+    /** Reset virtual time to zero. */
+    void reset() { ns_ = 0; }
+
+    /** The clock installed on the calling host thread, if any. */
+    static CostClock *current();
+
+  private:
+    std::uint64_t ns_ = 0;
+
+    friend class CostScope;
+};
+
+/**
+ * RAII guard installing a CostClock as the calling host thread's
+ * active virtual clock. Scopes nest; the innermost wins.
+ */
+class CostScope
+{
+  public:
+    explicit CostScope(CostClock &clock);
+    ~CostScope();
+
+    CostScope(const CostScope &) = delete;
+    CostScope &operator=(const CostScope &) = delete;
+
+  private:
+    CostClock *prev_;
+};
+
+/** Charge @p ns to the active clock; no-op without an active clock. */
+void charge(std::uint64_t ns);
+
+/** Virtual time of the active clock, or 0 without one. */
+std::uint64_t virtualNow();
+
+/**
+ * Measure the virtual time consumed by a callable run under the
+ * currently active clock.
+ */
+template <typename Fn>
+std::uint64_t
+measureVirtual(Fn &&fn)
+{
+    CostClock *clock = CostClock::current();
+    std::uint64_t begin = clock ? clock->now() : 0;
+    fn();
+    std::uint64_t end = clock ? clock->now() : 0;
+    return end - begin;
+}
+
+} // namespace cider
+
+#endif // CIDER_BASE_COST_CLOCK_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * Workload generators and property tests need reproducible randomness
+ * that is independent of the host libc, so the whole simulator shares
+ * this one tiny generator.
+ */
+
+#ifndef CIDER_BASE_RNG_H
+#define CIDER_BASE_RNG_H
+
+#include <cstdint>
+
+namespace cider {
+
+/** SplitMix64 generator; tiny, fast, and fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace cider
+
+#endif // CIDER_BASE_RNG_H

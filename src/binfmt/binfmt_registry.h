@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Kernel binfmt handlers: the ELF loader and Cider's in-kernel
+ * Mach-O loader.
+ *
+ * The Mach-O loader is the entry point of the whole compatibility
+ * architecture: when it loads an iOS binary it *tags the current
+ * thread with the iOS persona*, which from then on selects the XNU
+ * kernel ABI for every trap the thread makes (paper section 4.1).
+ */
+
+#ifndef CIDER_BINFMT_BINFMT_REGISTRY_H
+#define CIDER_BINFMT_BINFMT_REGISTRY_H
+
+#include <functional>
+
+#include "binfmt/elf.h"
+#include "binfmt/macho.h"
+#include "binfmt/program.h"
+#include "kernel/kernel.h"
+
+namespace cider::binfmt {
+
+/**
+ * User-space bootstrap run before a fresh image's main: the dynamic
+ * linker (dyld for Mach-O, the bionic linker for ELF) plus libc
+ * initialisation. Wired in by the system layer so loaders stay
+ * independent of the user-space stacks they start.
+ */
+using MachOBootstrap =
+    std::function<void(UserEnv &, const MachOImage &)>;
+using ElfBootstrap = std::function<void(UserEnv &, const ElfImage &)>;
+
+/** Domestic ELF binfmt handler. */
+class ElfLoader : public kernel::BinaryLoader
+{
+  public:
+    ElfLoader(const ProgramRegistry &programs, ElfBootstrap bootstrap)
+        : programs_(programs), bootstrap_(std::move(bootstrap))
+    {}
+
+    const char *name() const override { return "binfmt-elf"; }
+    bool probe(const Bytes &blob) const override { return isElf(blob); }
+    kernel::SyscallResult load(kernel::Kernel &k, kernel::Thread &t,
+                               const Bytes &blob, const std::string &path,
+                               const std::vector<std::string> &argv)
+        override;
+
+  private:
+    const ProgramRegistry &programs_;
+    ElfBootstrap bootstrap_;
+};
+
+/** Cider's Mach-O binfmt handler built into the domestic kernel. */
+class MachOLoader : public kernel::BinaryLoader
+{
+  public:
+    MachOLoader(const ProgramRegistry &programs, MachOBootstrap bootstrap)
+        : programs_(programs), bootstrap_(std::move(bootstrap))
+    {}
+
+    const char *name() const override { return "binfmt-macho"; }
+    bool probe(const Bytes &blob) const override { return isMachO(blob); }
+    kernel::SyscallResult load(kernel::Kernel &k, kernel::Thread &t,
+                               const Bytes &blob, const std::string &path,
+                               const std::vector<std::string> &argv)
+        override;
+
+  private:
+    const ProgramRegistry &programs_;
+    MachOBootstrap bootstrap_;
+};
+
+} // namespace cider::binfmt
+
+#endif // CIDER_BINFMT_BINFMT_REGISTRY_H

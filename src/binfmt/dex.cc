@@ -1,0 +1,203 @@
+#include "binfmt/dex.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace cider::binfmt {
+
+std::uint32_t
+DexFile::intern(const std::string &s)
+{
+    for (std::uint32_t i = 0; i < strings.size(); ++i)
+        if (strings[i] == s)
+            return i;
+    strings.push_back(s);
+    return static_cast<std::uint32_t>(strings.size()) - 1;
+}
+
+const std::string &
+DexFile::string(std::uint32_t idx) const
+{
+    if (idx >= strings.size())
+        cider_panic("dex string index ", idx, " out of range in ", name);
+    return strings[idx];
+}
+
+const DexMethod *
+DexFile::method(const std::string &method_name) const
+{
+    auto it = methods.find(method_name);
+    return it == methods.end() ? nullptr : &it->second;
+}
+
+Bytes
+serializeDex(const DexFile &file)
+{
+    ByteWriter w;
+    w.u32(kDexMagic);
+    w.str(file.name);
+    w.u32(static_cast<std::uint32_t>(file.strings.size()));
+    for (const auto &s : file.strings)
+        w.str(s);
+    w.u32(static_cast<std::uint32_t>(file.methods.size()));
+    for (const auto &[name, m] : file.methods) {
+        w.str(name);
+        w.u32(m.nlocals);
+        w.u32(static_cast<std::uint32_t>(m.code.size()));
+        for (const auto &insn : m.code) {
+            w.u8(static_cast<std::uint8_t>(insn.op));
+            w.i64(insn.a);
+            std::uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(insn.f));
+            std::memcpy(&bits, &insn.f, sizeof(bits));
+            w.u64(bits);
+            w.u32(insn.sidx);
+        }
+    }
+    return w.take();
+}
+
+std::optional<DexFile>
+parseDex(const Bytes &blob)
+{
+    ByteReader r(blob);
+    if (r.u32() != kDexMagic || !r.ok())
+        return std::nullopt;
+    DexFile file;
+    file.name = r.str();
+    std::uint32_t nstrings = r.u32();
+    for (std::uint32_t i = 0; i < nstrings && r.ok(); ++i)
+        file.strings.push_back(r.str());
+    std::uint32_t nmethods = r.u32();
+    for (std::uint32_t i = 0; i < nmethods && r.ok(); ++i) {
+        DexMethod m;
+        m.name = r.str();
+        m.nlocals = r.u32();
+        std::uint32_t ninsns = r.u32();
+        for (std::uint32_t j = 0; j < ninsns && r.ok(); ++j) {
+            DexInsn insn;
+            insn.op = static_cast<DexOp>(r.u8());
+            insn.a = r.i64();
+            std::uint64_t bits = r.u64();
+            std::memcpy(&insn.f, &bits, sizeof(bits));
+            insn.sidx = r.u32();
+            m.code.push_back(insn);
+        }
+        file.methods[m.name] = std::move(m);
+    }
+    if (!r.ok())
+        return std::nullopt;
+    return file;
+}
+
+DexAssembler::DexAssembler(DexFile &file, const std::string &method_name,
+                           std::uint32_t nlocals)
+    : file_(file)
+{
+    method_.name = method_name;
+    method_.nlocals = nlocals;
+}
+
+void
+DexAssembler::finish()
+{
+    if (finished_)
+        cider_panic("DexAssembler::finish called twice for ", method_.name);
+    finished_ = true;
+    file_.methods[method_.name] = std::move(method_);
+}
+
+DexAssembler &
+DexAssembler::op(DexOp o, std::int64_t a)
+{
+    DexInsn insn;
+    insn.op = o;
+    insn.a = a;
+    method_.code.push_back(insn);
+    return *this;
+}
+
+DexAssembler &
+DexAssembler::constI(std::int64_t v)
+{
+    return op(DexOp::ConstI, v);
+}
+
+DexAssembler &
+DexAssembler::constF(double v)
+{
+    DexInsn insn;
+    insn.op = DexOp::ConstF;
+    insn.f = v;
+    method_.code.push_back(insn);
+    return *this;
+}
+
+DexAssembler &
+DexAssembler::load(std::int64_t slot)
+{
+    return op(DexOp::Load, slot);
+}
+
+DexAssembler &
+DexAssembler::store(std::int64_t slot)
+{
+    return op(DexOp::Store, slot);
+}
+
+DexAssembler &
+DexAssembler::callNative(const std::string &name)
+{
+    DexInsn insn;
+    insn.op = DexOp::CallNative;
+    insn.sidx = file_.intern(name);
+    method_.code.push_back(insn);
+    return *this;
+}
+
+DexAssembler &
+DexAssembler::callMethod(const std::string &name)
+{
+    DexInsn insn;
+    insn.op = DexOp::CallMethod;
+    insn.sidx = file_.intern(name);
+    method_.code.push_back(insn);
+    return *this;
+}
+
+DexAssembler &
+DexAssembler::ret()
+{
+    return op(DexOp::Ret);
+}
+
+std::int64_t
+DexAssembler::here() const
+{
+    return static_cast<std::int64_t>(method_.code.size());
+}
+
+std::size_t
+DexAssembler::jmp()
+{
+    op(DexOp::Jmp, -1);
+    return method_.code.size() - 1;
+}
+
+std::size_t
+DexAssembler::jz()
+{
+    op(DexOp::Jz, -1);
+    return method_.code.size() - 1;
+}
+
+void
+DexAssembler::patch(std::size_t at, std::int64_t target)
+{
+    if (at >= method_.code.size())
+        cider_panic("DexAssembler::patch out of range");
+    method_.code[at].a = target;
+}
+
+} // namespace cider::binfmt

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DexLite: the Dalvik-style bytecode container.
+ *
+ * Android apps in the simulator ship bytecode that the Dalvik VM
+ * (android/dalvik.h) *interprets*, while iOS apps run native text.
+ * That asymmetry — interpreted dex vs. native Objective-C — is what
+ * makes the iOS PassMark app faster than the Android one on identical
+ * hardware in the paper's Figure 6, so the interpreter here is a real
+ * one: a stack machine with a per-instruction dispatch cost.
+ */
+
+#ifndef CIDER_BINFMT_DEX_H
+#define CIDER_BINFMT_DEX_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+
+namespace cider::binfmt {
+
+/** DexLite opcodes. */
+enum class DexOp : std::uint8_t
+{
+    Nop = 0,
+    ConstI,  ///< push immediate integer (a)
+    ConstF,  ///< push immediate double (f)
+    Load,    ///< push local[a]
+    Store,   ///< pop into local[a]
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    CmpLt,   ///< push (x < y)
+    CmpLe,
+    CmpEq,
+    Jmp,     ///< pc = a
+    Jz,      ///< pop; if zero pc = a
+    Dup,
+    Drop,
+    Swap,
+    CallNative, ///< call bridge function strings[sidx]
+    CallMethod, ///< call method strings[sidx] in same file
+    Ret,        ///< pop return value, leave method
+    ArrNew,     ///< pop n, push new int array of n zeros
+    ArrGet,     ///< pop idx, arr; push arr[idx]
+    ArrSet,     ///< pop val, idx, arr
+    ArrLen,
+};
+
+/** One instruction. */
+struct DexInsn
+{
+    DexOp op = DexOp::Nop;
+    std::int64_t a = 0;       ///< integer operand / jump target
+    double f = 0.0;           ///< float immediate
+    std::uint32_t sidx = 0;   ///< string-table index
+};
+
+/** One method: code plus its local-variable count. */
+struct DexMethod
+{
+    std::string name;
+    std::uint32_t nlocals = 0;
+    std::vector<DexInsn> code;
+};
+
+/** A .dex container. */
+struct DexFile
+{
+    std::string name;
+    std::vector<std::string> strings;
+    std::map<std::string, DexMethod> methods;
+
+    /** Intern @p s, returning its table index. */
+    std::uint32_t intern(const std::string &s);
+    const std::string &string(std::uint32_t idx) const;
+    const DexMethod *method(const std::string &name) const;
+};
+
+inline constexpr std::uint32_t kDexMagic = 0x0a786564; // "dex\n"
+
+Bytes serializeDex(const DexFile &file);
+std::optional<DexFile> parseDex(const Bytes &blob);
+
+/**
+ * Small assembler with label fix-ups for writing test/benchmark
+ * methods by hand.
+ */
+class DexAssembler
+{
+  public:
+    DexAssembler(DexFile &file, const std::string &method_name,
+                 std::uint32_t nlocals);
+
+    /** Finish and install the method into the file. */
+    void finish();
+
+    DexAssembler &op(DexOp o, std::int64_t a = 0);
+    DexAssembler &constI(std::int64_t v);
+    DexAssembler &constF(double v);
+    DexAssembler &load(std::int64_t slot);
+    DexAssembler &store(std::int64_t slot);
+    DexAssembler &callNative(const std::string &name);
+    DexAssembler &callMethod(const std::string &name);
+    DexAssembler &ret();
+
+    /** Current instruction index (jump target). */
+    std::int64_t here() const;
+
+    /** Emit a jump with a patchable target; returns the insn index. */
+    std::size_t jmp();
+    std::size_t jz();
+    /** Patch insn @p at to jump to @p target. */
+    void patch(std::size_t at, std::int64_t target);
+
+  private:
+    DexFile &file_;
+    DexMethod method_;
+    bool finished_ = false;
+};
+
+} // namespace cider::binfmt
+
+#endif // CIDER_BINFMT_DEX_H

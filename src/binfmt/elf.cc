@@ -1,0 +1,168 @@
+#include "binfmt/elf.h"
+
+namespace cider::binfmt {
+
+namespace {
+
+enum class Section : std::uint32_t
+{
+    Segment = 1,
+    Needed = 2,
+    Dynsym = 3,
+    Entry = 4,
+    Tool = 5,
+};
+
+} // namespace
+
+std::uint64_t
+ElfImage::totalPages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &seg : segments)
+        total += seg.pages;
+    return total;
+}
+
+ElfBuilder::ElfBuilder(ElfType type)
+{
+    image_.type = type;
+}
+
+ElfBuilder &
+ElfBuilder::entry(const std::string &symbol)
+{
+    image_.entrySymbol = symbol;
+    return *this;
+}
+
+ElfBuilder &
+ElfBuilder::segment(const std::string &name, std::uint64_t pages)
+{
+    image_.segments.push_back({name, pages});
+    return *this;
+}
+
+ElfBuilder &
+ElfBuilder::needed(const std::string &name)
+{
+    image_.needed.push_back(name);
+    return *this;
+}
+
+ElfBuilder &
+ElfBuilder::exportSymbol(const std::string &name)
+{
+    image_.dynsyms.push_back(name);
+    return *this;
+}
+
+ElfBuilder &
+ElfBuilder::codegen(hw::Codegen cg)
+{
+    image_.codegen = cg;
+    return *this;
+}
+
+Bytes
+ElfBuilder::build() const
+{
+    return serializeElf(image_);
+}
+
+Bytes
+serializeElf(const ElfImage &image)
+{
+    ByteWriter w;
+    w.u32(kElfMagic);
+    w.u16(static_cast<std::uint16_t>(image.type));
+
+    std::uint32_t nrecs = static_cast<std::uint32_t>(
+        image.segments.size() + image.needed.size() +
+        image.dynsyms.size() + (image.entrySymbol.empty() ? 0 : 1) + 1);
+    w.u32(nrecs);
+
+    for (const auto &seg : image.segments) {
+        w.u32(static_cast<std::uint32_t>(Section::Segment));
+        w.str(seg.name);
+        w.u64(seg.pages);
+    }
+    for (const auto &dep : image.needed) {
+        w.u32(static_cast<std::uint32_t>(Section::Needed));
+        w.str(dep);
+    }
+    for (const auto &sym : image.dynsyms) {
+        w.u32(static_cast<std::uint32_t>(Section::Dynsym));
+        w.str(sym);
+    }
+    if (!image.entrySymbol.empty()) {
+        w.u32(static_cast<std::uint32_t>(Section::Entry));
+        w.str(image.entrySymbol);
+    }
+    w.u32(static_cast<std::uint32_t>(Section::Tool));
+    w.u8(image.codegen == hw::Codegen::XcodeClang ? 1 : 0);
+
+    return w.take();
+}
+
+bool
+isElf(const Bytes &blob)
+{
+    if (blob.size() < 4)
+        return false;
+    ByteReader r(blob);
+    return r.u32() == kElfMagic;
+}
+
+std::optional<ElfImage>
+parseElf(const Bytes &blob)
+{
+    ByteReader r(blob);
+    if (r.u32() != kElfMagic || !r.ok())
+        return std::nullopt;
+
+    ElfImage image;
+    std::uint16_t type = r.u16();
+    if (type != static_cast<std::uint16_t>(ElfType::Exec) &&
+        type != static_cast<std::uint16_t>(ElfType::Dyn))
+        return std::nullopt;
+    image.type = static_cast<ElfType>(type);
+
+    std::uint32_t nrecs = r.u32();
+    if (!r.ok())
+        return std::nullopt;
+    for (std::uint32_t i = 0; i < nrecs; ++i) {
+        std::uint32_t tag = r.u32();
+        if (!r.ok())
+            return std::nullopt;
+        switch (static_cast<Section>(tag)) {
+          case Section::Segment: {
+              ElfSegment seg;
+              seg.name = r.str();
+              seg.pages = r.u64();
+              image.segments.push_back(std::move(seg));
+              break;
+          }
+          case Section::Needed:
+            image.needed.push_back(r.str());
+            break;
+          case Section::Dynsym:
+            image.dynsyms.push_back(r.str());
+            break;
+          case Section::Entry:
+            image.entrySymbol = r.str();
+            break;
+          case Section::Tool:
+            image.codegen = r.u8() ? hw::Codegen::XcodeClang
+                                   : hw::Codegen::LinuxGcc;
+            break;
+          default:
+            return std::nullopt;
+        }
+        if (!r.ok())
+            return std::nullopt;
+    }
+    return image;
+}
+
+} // namespace cider::binfmt

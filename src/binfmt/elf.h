@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ELF object model: builder, byte serialisation, and parser.
+ *
+ * The domestic counterpart of macho.h: Android binaries and shared
+ * objects are ELF images with an entry symbol, program headers
+ * (segments), DT_NEEDED dependencies, and a dynamic-symbol export
+ * list (used by the diplomat generator to match foreign imports to
+ * domestic exports).
+ */
+
+#ifndef CIDER_BINFMT_ELF_H
+#define CIDER_BINFMT_ELF_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+#include "hw/device_profile.h"
+
+namespace cider::binfmt {
+
+/** "\x7fELF" little-endian. */
+inline constexpr std::uint32_t kElfMagic = 0x464c457f;
+
+/** ELF object types we model (real ET_* values). */
+enum class ElfType : std::uint16_t
+{
+    Exec = 2, ///< ET_EXEC
+    Dyn = 3,  ///< ET_DYN (shared object)
+};
+
+struct ElfSegment
+{
+    std::string name;
+    std::uint64_t pages;
+};
+
+/** Parsed (or to-be-built) ELF image. */
+struct ElfImage
+{
+    ElfType type = ElfType::Exec;
+    hw::Codegen codegen = hw::Codegen::LinuxGcc;
+    std::string entrySymbol;
+    std::vector<ElfSegment> segments;
+    std::vector<std::string> needed;  ///< DT_NEEDED entries
+    std::vector<std::string> dynsyms; ///< exported dynamic symbols
+
+    std::uint64_t totalPages() const;
+};
+
+/** Fluent builder producing serialised ELF blobs. */
+class ElfBuilder
+{
+  public:
+    explicit ElfBuilder(ElfType type = ElfType::Exec);
+
+    ElfBuilder &entry(const std::string &symbol);
+    ElfBuilder &segment(const std::string &name, std::uint64_t pages);
+    ElfBuilder &needed(const std::string &name);
+    ElfBuilder &exportSymbol(const std::string &name);
+    ElfBuilder &codegen(hw::Codegen cg);
+
+    Bytes build() const;
+    const ElfImage &image() const { return image_; }
+
+  private:
+    ElfImage image_;
+};
+
+Bytes serializeElf(const ElfImage &image);
+bool isElf(const Bytes &blob);
+std::optional<ElfImage> parseElf(const Bytes &blob);
+
+} // namespace cider::binfmt
+
+#endif // CIDER_BINFMT_ELF_H

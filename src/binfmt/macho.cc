@@ -1,0 +1,155 @@
+#include "binfmt/macho.h"
+
+namespace cider::binfmt {
+
+std::uint64_t
+MachOImage::totalPages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &seg : segments)
+        total += seg.pages;
+    return total;
+}
+
+MachOBuilder::MachOBuilder(MachOFileType type)
+{
+    image_.fileType = type;
+}
+
+MachOBuilder &
+MachOBuilder::entry(const std::string &symbol)
+{
+    image_.entrySymbol = symbol;
+    return *this;
+}
+
+MachOBuilder &
+MachOBuilder::segment(const std::string &name, std::uint64_t pages)
+{
+    image_.segments.push_back({name, pages});
+    return *this;
+}
+
+MachOBuilder &
+MachOBuilder::dylib(const std::string &name)
+{
+    image_.dylibs.push_back(name);
+    return *this;
+}
+
+MachOBuilder &
+MachOBuilder::exportSymbol(const std::string &name)
+{
+    image_.exports.push_back(name);
+    return *this;
+}
+
+MachOBuilder &
+MachOBuilder::codegen(hw::Codegen cg)
+{
+    image_.codegen = cg;
+    return *this;
+}
+
+Bytes
+MachOBuilder::build() const
+{
+    return serializeMachO(image_);
+}
+
+Bytes
+serializeMachO(const MachOImage &image)
+{
+    ByteWriter w;
+    w.u32(kMachOMagic);
+    w.u32(static_cast<std::uint32_t>(image.fileType));
+
+    std::uint32_t ncmds = static_cast<std::uint32_t>(
+        image.segments.size() + image.dylibs.size() +
+        image.exports.size() + (image.entrySymbol.empty() ? 0 : 1) + 1);
+    w.u32(ncmds);
+
+    for (const auto &seg : image.segments) {
+        w.u32(static_cast<std::uint32_t>(MachOCmd::Segment));
+        w.str(seg.name);
+        w.u64(seg.pages);
+    }
+    for (const auto &dylib : image.dylibs) {
+        w.u32(static_cast<std::uint32_t>(MachOCmd::LoadDylib));
+        w.str(dylib);
+    }
+    for (const auto &sym : image.exports) {
+        w.u32(static_cast<std::uint32_t>(MachOCmd::ExportTrie));
+        w.str(sym);
+    }
+    if (!image.entrySymbol.empty()) {
+        w.u32(static_cast<std::uint32_t>(MachOCmd::Main));
+        w.str(image.entrySymbol);
+    }
+    w.u32(static_cast<std::uint32_t>(MachOCmd::BuildTool));
+    w.u8(image.codegen == hw::Codegen::XcodeClang ? 1 : 0);
+
+    return w.take();
+}
+
+bool
+isMachO(const Bytes &blob)
+{
+    if (blob.size() < 4)
+        return false;
+    ByteReader r(blob);
+    return r.u32() == kMachOMagic;
+}
+
+std::optional<MachOImage>
+parseMachO(const Bytes &blob)
+{
+    ByteReader r(blob);
+    if (r.u32() != kMachOMagic || !r.ok())
+        return std::nullopt;
+
+    MachOImage image;
+    std::uint32_t filetype = r.u32();
+    if (filetype != static_cast<std::uint32_t>(MachOFileType::Execute) &&
+        filetype != static_cast<std::uint32_t>(MachOFileType::Dylib))
+        return std::nullopt;
+    image.fileType = static_cast<MachOFileType>(filetype);
+
+    std::uint32_t ncmds = r.u32();
+    if (!r.ok())
+        return std::nullopt;
+    for (std::uint32_t i = 0; i < ncmds; ++i) {
+        std::uint32_t cmd = r.u32();
+        if (!r.ok())
+            return std::nullopt;
+        switch (static_cast<MachOCmd>(cmd)) {
+          case MachOCmd::Segment: {
+              MachOSegment seg;
+              seg.name = r.str();
+              seg.pages = r.u64();
+              image.segments.push_back(std::move(seg));
+              break;
+          }
+          case MachOCmd::LoadDylib:
+            image.dylibs.push_back(r.str());
+            break;
+          case MachOCmd::ExportTrie:
+            image.exports.push_back(r.str());
+            break;
+          case MachOCmd::Main:
+            image.entrySymbol = r.str();
+            break;
+          case MachOCmd::BuildTool:
+            image.codegen = r.u8() ? hw::Codegen::XcodeClang
+                                   : hw::Codegen::LinuxGcc;
+            break;
+          default:
+            return std::nullopt; // unknown load command
+        }
+        if (!r.ok())
+            return std::nullopt;
+    }
+    return image;
+}
+
+} // namespace cider::binfmt

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Mach-O object model: builder, byte serialisation, and parser.
+ *
+ * Mirrors the structure of real Mach-O at the granularity Cider's
+ * kernel loader needs: a magic/filetype header followed by load
+ * commands (segments, dylib dependencies, the entry point, and an
+ * export list for dylibs). Images round-trip through genuine byte
+ * blobs, so the kernel loader parses what the builder wrote and
+ * truncation/corruption are real failure modes.
+ */
+
+#ifndef CIDER_BINFMT_MACHO_H
+#define CIDER_BINFMT_MACHO_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+#include "hw/device_profile.h"
+
+namespace cider::binfmt {
+
+/** Mach-O magic (MH_MAGIC_64 of the real format). */
+inline constexpr std::uint32_t kMachOMagic = 0xfeedfacf;
+
+/** Mach-O file types we model. */
+enum class MachOFileType : std::uint32_t
+{
+    Execute = 2, ///< MH_EXECUTE
+    Dylib = 6,   ///< MH_DYLIB
+};
+
+/** Load command tags (matching real LC_* values where they exist). */
+enum class MachOCmd : std::uint32_t
+{
+    Segment = 0x19,   ///< LC_SEGMENT_64
+    LoadDylib = 0xc,  ///< LC_LOAD_DYLIB
+    Main = 0x80000028,///< LC_MAIN
+    ExportTrie = 0x33,///< export list (dyld info stand-in)
+    BuildTool = 0x100 ///< toolchain tag (codegen)
+};
+
+/** One segment load command. */
+struct MachOSegment
+{
+    std::string name;    ///< "__TEXT", "__DATA", ...
+    std::uint64_t pages; ///< mapped size in 4 KB pages
+};
+
+/** Parsed (or to-be-built) Mach-O image. */
+struct MachOImage
+{
+    MachOFileType fileType = MachOFileType::Execute;
+    hw::Codegen codegen = hw::Codegen::XcodeClang;
+    std::string entrySymbol;               ///< LC_MAIN target
+    std::vector<MachOSegment> segments;
+    std::vector<std::string> dylibs;       ///< LC_LOAD_DYLIB names
+    std::vector<std::string> exports;      ///< dylib export names
+
+    std::uint64_t totalPages() const;
+};
+
+/** Fluent builder producing serialised Mach-O blobs. */
+class MachOBuilder
+{
+  public:
+    explicit MachOBuilder(MachOFileType type = MachOFileType::Execute);
+
+    MachOBuilder &entry(const std::string &symbol);
+    MachOBuilder &segment(const std::string &name, std::uint64_t pages);
+    MachOBuilder &dylib(const std::string &name);
+    MachOBuilder &exportSymbol(const std::string &name);
+    MachOBuilder &codegen(hw::Codegen cg);
+
+    /** Serialise to bytes. */
+    Bytes build() const;
+
+    const MachOImage &image() const { return image_; }
+
+  private:
+    MachOImage image_;
+};
+
+/** Serialise an image (used by the builder and by tests). */
+Bytes serializeMachO(const MachOImage &image);
+
+/** True when @p blob starts with the Mach-O magic. */
+bool isMachO(const Bytes &blob);
+
+/** Parse; std::nullopt on malformed or truncated input. */
+std::optional<MachOImage> parseMachO(const Bytes &blob);
+
+} // namespace cider::binfmt
+
+#endif // CIDER_BINFMT_MACHO_H

@@ -1,0 +1,91 @@
+#include "core/app_package.h"
+
+#include "base/cost_clock.h"
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace cider::core {
+
+namespace {
+
+inline constexpr std::uint32_t kIpaMagic = 0x00617069; // "ipa"
+
+/** Keystream XOR standing in for FairPlay. */
+Bytes
+cipher(const Bytes &data, std::uint64_t key)
+{
+    Rng stream(key);
+    Bytes out = data;
+    for (std::size_t i = 0; i < out.size(); i += 8) {
+        std::uint64_t ks = stream.next();
+        for (std::size_t j = 0; j < 8 && i + j < out.size(); ++j)
+            out[i + j] ^= static_cast<std::uint8_t>(ks >> (8 * j));
+    }
+    return out;
+}
+
+} // namespace
+
+Bytes
+buildIpa(const IpaPackage &package, bool encrypt)
+{
+    ByteWriter w;
+    w.u32(kIpaMagic);
+    w.str(package.appName);
+    w.u8(encrypt ? 1 : 0);
+    Bytes binary =
+        encrypt ? cipher(package.binary, kAppleDeviceKey)
+                : package.binary;
+    w.u32(static_cast<std::uint32_t>(binary.size()));
+    w.raw(binary);
+    w.u32(static_cast<std::uint32_t>(package.icon.size()));
+    w.raw(package.icon);
+    w.u32(static_cast<std::uint32_t>(package.infoPlist.size()));
+    for (const auto &[key, value] : package.infoPlist) {
+        w.str(key);
+        w.str(value);
+    }
+    return w.take();
+}
+
+std::optional<IpaPackage>
+parseIpa(const Bytes &blob)
+{
+    ByteReader r(blob);
+    if (r.u32() != kIpaMagic || !r.ok())
+        return std::nullopt;
+    IpaPackage package;
+    package.appName = r.str();
+    package.encrypted = r.u8() != 0;
+    package.binary = r.raw(r.u32());
+    package.icon = r.raw(r.u32());
+    std::uint32_t nplist = r.u32();
+    for (std::uint32_t i = 0; i < nplist && r.ok(); ++i) {
+        std::string key = r.str();
+        package.infoPlist[key] = r.str();
+    }
+    if (!r.ok())
+        return std::nullopt;
+    return package;
+}
+
+Bytes
+decryptIpa(const Bytes &encrypted_ipa, std::uint64_t device_key)
+{
+    std::optional<IpaPackage> package = parseIpa(encrypted_ipa);
+    if (!package) {
+        warn("decryptIpa: not an ipa");
+        return {};
+    }
+    if (!package->encrypted)
+        return encrypted_ipa; // already cleartext
+
+    // The gdb-based dump: launch, let the kernel decrypt the text
+    // pages, write them back out. Charged per byte.
+    charge(package->binary.size() * 2);
+    package->binary = cipher(package->binary, device_key);
+    package->encrypted = false;
+    return buildIpa(*package, false);
+}
+
+} // namespace cider::core

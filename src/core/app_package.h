@@ -1,0 +1,56 @@
+/**
+ * @file
+ * .ipa packages: building, FairPlay-style encryption, decryption,
+ * and installation payload parsing.
+ *
+ * App Store apps "are encrypted and must be decrypted using keys
+ * stored in ... an Apple device"; the paper decrypts them on a
+ * jailbroken iPhone with a gdb-based script before installing on
+ * Cider (section 6.1). The cipher here is a keystream XOR — a
+ * stand-in that preserves the workflow: an encrypted .ipa parses but
+ * cannot be loaded, decryption requires the device key and charges
+ * real work, and the decrypted package round-trips to a runnable
+ * Mach-O binary plus icon and Info.plist metadata.
+ */
+
+#ifndef CIDER_CORE_APP_PACKAGE_H
+#define CIDER_CORE_APP_PACKAGE_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "base/bytes.h"
+
+namespace cider::core {
+
+/** The device key burned into our pretend Apple hardware. */
+inline constexpr std::uint64_t kAppleDeviceKey = 0xa991e5eed;
+
+/** An unpacked iOS App Store package. */
+struct IpaPackage
+{
+    std::string appName;
+    Bytes binary; ///< Mach-O executable blob
+    Bytes icon;
+    std::map<std::string, std::string> infoPlist;
+    bool encrypted = false;
+};
+
+/** Serialise a package, encrypting the binary when asked. */
+Bytes buildIpa(const IpaPackage &package, bool encrypt = false);
+
+/** Parse a package; nullopt on malformed bytes. */
+std::optional<IpaPackage> parseIpa(const Bytes &blob);
+
+/**
+ * The decryption script: rebuilds a cleartext .ipa from an encrypted
+ * one using @p device_key. Wrong keys produce garbage that fails to
+ * load, exactly like a bad FairPlay dump. Charges decryption work on
+ * the active clock.
+ */
+Bytes decryptIpa(const Bytes &encrypted_ipa, std::uint64_t device_key);
+
+} // namespace cider::core
+
+#endif // CIDER_CORE_APP_PACKAGE_H

@@ -1,0 +1,41 @@
+#include "core/system_config.h"
+
+namespace cider::core {
+
+const char *
+systemConfigName(SystemConfig c)
+{
+    switch (c) {
+      case SystemConfig::VanillaAndroid:
+        return "Vanilla Android";
+      case SystemConfig::CiderAndroid:
+        return "Cider (Android)";
+      case SystemConfig::CiderIos:
+        return "Cider (iOS)";
+      case SystemConfig::IPadMini:
+        return "iPad mini";
+    }
+    return "?";
+}
+
+const hw::DeviceProfile &
+profileFor(SystemConfig c)
+{
+    return c == SystemConfig::IPadMini ? hw::DeviceProfile::ipadMini()
+                                       : hw::DeviceProfile::nexus7();
+}
+
+bool
+isCider(SystemConfig c)
+{
+    return c == SystemConfig::CiderAndroid ||
+           c == SystemConfig::CiderIos;
+}
+
+bool
+hostsIos(SystemConfig c)
+{
+    return isCider(c) || c == SystemConfig::IPadMini;
+}
+
+} // namespace cider::core

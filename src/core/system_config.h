@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The four evaluated system configurations.
+ *
+ * The paper's Figures 5 and 6 compare: (1) Linux binaries/Android
+ * apps on vanilla Android, (2) the same on a Cider-enabled kernel,
+ * (3) iOS binaries/apps on Cider, and (4) iOS binaries/apps on a
+ * jailbroken iPad mini. Configurations 2 and 3 are the *same system*
+ * running different binaries; they stay distinct enum values because
+ * the benches report them as separate series.
+ */
+
+#ifndef CIDER_CORE_SYSTEM_CONFIG_H
+#define CIDER_CORE_SYSTEM_CONFIG_H
+
+#include "hw/device_profile.h"
+
+namespace cider::core {
+
+enum class SystemConfig
+{
+    VanillaAndroid, ///< unmodified Android on the Nexus 7
+    CiderAndroid,   ///< Cider kernel on the Nexus 7, Linux binaries
+    CiderIos,       ///< Cider kernel on the Nexus 7, iOS binaries
+    IPadMini,       ///< iOS 6.1.2 on the iPad mini
+};
+
+const char *systemConfigName(SystemConfig c);
+
+/** Device profile a configuration runs on. */
+const hw::DeviceProfile &profileFor(SystemConfig c);
+
+/** True when the configuration boots the Cider kernel extensions. */
+bool isCider(SystemConfig c);
+
+/** True when the configuration hosts an iOS user space. */
+bool hostsIos(SystemConfig c);
+
+} // namespace cider::core
+
+#endif // CIDER_CORE_SYSTEM_CONFIG_H

@@ -1,0 +1,88 @@
+#include "diplomat/generator.h"
+
+#include "base/logging.h"
+#include "binfmt/elf.h"
+
+namespace cider::diplomat {
+
+binfmt::SymbolTable
+DiplomatGenerator::generate(const binfmt::MachOImage &foreign_dylib,
+                            kernel::Vfs &vfs,
+                            const std::string &so_directory,
+                            GeneratorReport *report)
+{
+    // Step 1 of the script: gather the directory of Android ELF
+    // shared objects and parse each one's dynamic symbol table.
+    struct SoInfo
+    {
+        std::string file;
+        std::string imageTag;
+        std::vector<std::string> dynsyms;
+    };
+    std::vector<SoInfo> sos;
+    std::vector<std::string> entries;
+    if (vfs.readdir(so_directory, entries).ok()) {
+        for (const std::string &entry : entries) {
+            std::string path = so_directory + "/" + entry;
+            Bytes blob;
+            if (!vfs.readFile(path, blob).ok())
+                continue;
+            std::optional<binfmt::ElfImage> elf = binfmt::parseElf(blob);
+            if (!elf || elf->type != binfmt::ElfType::Dyn)
+                continue;
+            kernel::Lookup lk = vfs.lookup(path);
+            SoInfo info;
+            info.file = entry;
+            info.imageTag = lk.inode ? lk.inode->imageTag : "";
+            info.dynsyms = elf->dynsyms;
+            sos.push_back(std::move(info));
+            if (report)
+                report->librariesSearched.push_back(entry);
+        }
+    } else {
+        warn("diplomat generator: cannot read ", so_directory);
+    }
+
+    // Step 2: for every exported Mach-O symbol, search the shared
+    // objects for a matching export and emit a diplomat.
+    binfmt::SymbolTable table;
+    for (const std::string &foreign_sym : foreign_dylib.exports) {
+        const SoInfo *match = nullptr;
+        for (const SoInfo &so : sos) {
+            for (const std::string &dynsym : so.dynsyms) {
+                if (dynsym == foreign_sym) {
+                    match = &so;
+                    break;
+                }
+            }
+            if (match)
+                break;
+        }
+        if (!match) {
+            if (report)
+                report->unmatched.push_back(foreign_sym);
+            continue;
+        }
+        if (report)
+            report->matched[foreign_sym] = {match->file, foreign_sym};
+
+        std::string image_tag = match->imageTag;
+        binfmt::LibraryRegistry *registry = &registry_;
+        Diplomat::Resolver resolver =
+            [registry, image_tag,
+             foreign_sym](binfmt::UserEnv &) -> const binfmt::Symbol * {
+            binfmt::LibraryImage *img = registry->find(image_tag);
+            return img ? img->exports.find(foreign_sym) : nullptr;
+        };
+        auto diplomat = std::make_shared<Diplomat>(foreign_sym,
+                                                   std::move(resolver));
+        table.add(foreign_sym,
+                  [diplomat](binfmt::UserEnv &env,
+                             std::vector<binfmt::Value> &args) {
+                      return diplomat->call(env, args);
+                  });
+    }
+    return table;
+}
+
+} // namespace cider::diplomat

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The diplomat generator.
+ *
+ * The paper automated diplomat creation with a script that "analyzed
+ * exported symbols in the iOS OpenGL ES Mach-O library, searched
+ * through a directory of Android ELF shared objects for a matching
+ * export, and automatically generated diplomats for each matching
+ * function" (section 5.3). This class is that script: it parses real
+ * Mach-O/ELF blobs out of the VFS and emits a DiplomaticLibrary-style
+ * export table for the matches, reporting what it could not match.
+ */
+
+#ifndef CIDER_DIPLOMAT_GENERATOR_H
+#define CIDER_DIPLOMAT_GENERATOR_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "binfmt/macho.h"
+#include "binfmt/program.h"
+#include "diplomat/diplomat.h"
+#include "kernel/vfs.h"
+
+namespace cider::diplomat {
+
+/** What the generator found. */
+struct GeneratorReport
+{
+    /** foreign export -> (so file, domestic symbol). */
+    std::map<std::string, std::pair<std::string, std::string>> matched;
+    std::vector<std::string> unmatched;
+    std::vector<std::string> librariesSearched;
+};
+
+class DiplomatGenerator
+{
+  public:
+    /**
+     * @param registry domestic libraries providing the callable
+     *        implementations behind the matched ELF exports. ELF blob
+     *        files in the VFS are linked to registry images by their
+     *        inode imageTag.
+     */
+    explicit DiplomatGenerator(binfmt::LibraryRegistry &registry)
+        : registry_(registry)
+    {}
+
+    /**
+     * Generate diplomats for every export of @p foreign_dylib that
+     * some ELF shared object under @p so_directory also exports.
+     * @return the foreign-facing export table of diplomats.
+     */
+    binfmt::SymbolTable generate(const binfmt::MachOImage &foreign_dylib,
+                                 kernel::Vfs &vfs,
+                                 const std::string &so_directory,
+                                 GeneratorReport *report = nullptr);
+
+  private:
+    binfmt::LibraryRegistry &registry_;
+};
+
+} // namespace cider::diplomat
+
+#endif // CIDER_DIPLOMAT_GENERATOR_H

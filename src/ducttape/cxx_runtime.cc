@@ -1,0 +1,73 @@
+#include "ducttape/cxx_runtime.h"
+
+#include "base/logging.h"
+
+namespace cider::ducttape {
+
+void
+KernelCxxRuntime::noteConstruct(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.objectsConstructed;
+    ++stats_.liveObjects;
+    stats_.liveBytes += bytes;
+}
+
+void
+KernelCxxRuntime::noteDestroy(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.objectsDestroyed;
+    if (stats_.liveObjects == 0 || stats_.liveBytes < bytes)
+        cider_panic("kernel C++ heap underflow");
+    --stats_.liveObjects;
+    stats_.liveBytes -= bytes;
+}
+
+CxxHeapStats
+KernelCxxRuntime::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+KernelCxxRuntime::addStaticConstructor(const std::string &name,
+                                       std::function<void()> ctor)
+{
+    bool run_now = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        names_.push_back(name);
+        if (booted_)
+            run_now = true;
+        else
+            pending_.emplace_back(name, std::move(ctor));
+    }
+    if (run_now)
+        ctor();
+}
+
+void
+KernelCxxRuntime::bootConstructors()
+{
+    std::vector<std::pair<std::string, std::function<void()>>> to_run;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (booted_)
+            return;
+        booted_ = true;
+        to_run.swap(pending_);
+    }
+    for (auto &[name, ctor] : to_run)
+        ctor();
+}
+
+std::vector<std::string>
+KernelCxxRuntime::constructorNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_;
+}
+
+} // namespace cider::ducttape

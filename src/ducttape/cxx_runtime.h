@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The C++ runtime Cider adds to the domestic kernel.
+ *
+ * I/O Kit is written in a restricted C++ subset; to compile it into
+ * the Linux kernel the prototype added "a basic C++ runtime ... based
+ * on Android's Bionic" plus Makefile support so C++ objects are
+ * first-class kernel objects (paper section 5.1). This module is that
+ * runtime's analogue: a kernel heap with allocation accounting that
+ * all I/O Kit objects go through, and a static-constructor list run
+ * at kernel boot (the moment the "obj-y" C++ objects would be
+ * initialised).
+ */
+
+#ifndef CIDER_DUCTTAPE_CXX_RUNTIME_H
+#define CIDER_DUCTTAPE_CXX_RUNTIME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cider::ducttape {
+
+/** Allocation statistics of the in-kernel C++ heap. */
+struct CxxHeapStats
+{
+    std::uint64_t objectsConstructed = 0;
+    std::uint64_t objectsDestroyed = 0;
+    std::uint64_t liveObjects = 0;
+    std::uint64_t liveBytes = 0;
+};
+
+/**
+ * The kernel C++ runtime: heap accounting plus deferred static
+ * constructors. One instance per simulated kernel.
+ */
+class KernelCxxRuntime
+{
+  public:
+    /** Record construction of a kernel C++ object of @p bytes. */
+    void noteConstruct(std::size_t bytes);
+    void noteDestroy(std::size_t bytes);
+
+    CxxHeapStats stats() const;
+
+    /**
+     * Register a "static constructor" (an I/O Kit driver class
+     * registration, typically). Runs at bootConstructors() time; if
+     * the kernel has already booted, runs immediately — matching how
+     * late-loaded kernel modules initialise on insertion.
+     */
+    void addStaticConstructor(const std::string &name,
+                              std::function<void()> ctor);
+
+    /** Run all pending constructors (kernel boot). */
+    void bootConstructors();
+
+    bool booted() const { return booted_; }
+    std::vector<std::string> constructorNames() const;
+
+  private:
+    mutable std::mutex mu_;
+    CxxHeapStats stats_;
+    bool booted_ = false;
+    std::vector<std::pair<std::string, std::function<void()>>> pending_;
+    std::vector<std::string> names_;
+};
+
+} // namespace cider::ducttape
+
+#endif // CIDER_DUCTTAPE_CXX_RUNTIME_H

@@ -1,0 +1,218 @@
+#include "ducttape/xnu_api.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+#include "base/cost_clock.h"
+#include "base/logging.h"
+
+namespace cider::ducttape {
+
+namespace {
+
+// Fixed per-primitive costs in virtual ns, standing in for the
+// domestic primitive each XNU call is translated to. These run only
+// inside the Cider-enabled Nexus 7 kernel, so they are expressed at
+// that device's clock.
+constexpr std::uint64_t kLockNs = 30;
+constexpr std::uint64_t kUnlockNs = 25;
+constexpr std::uint64_t kZallocNs = 70;
+constexpr std::uint64_t kZfreeNs = 55;
+constexpr std::uint64_t kKallocNs = 90;
+constexpr std::uint64_t kWakeupNs = 60;
+constexpr std::uint64_t kBlockNs = 120;
+
+} // namespace
+
+struct LckMtx
+{
+    std::mutex mu;
+};
+
+LckMtx *
+lck_mtx_alloc_init()
+{
+    charge(kKallocNs);
+    return new LckMtx();
+}
+
+void
+lck_mtx_lock(LckMtx *m)
+{
+    charge(kLockNs);
+    m->mu.lock();
+}
+
+void
+lck_mtx_unlock(LckMtx *m)
+{
+    charge(kUnlockNs);
+    m->mu.unlock();
+}
+
+void
+lck_mtx_free(LckMtx *m)
+{
+    delete m;
+}
+
+struct ZoneT
+{
+    std::string name;
+    std::size_t elemSize = 0;
+    std::mutex mu;
+    ZoneStats stats;
+    std::int64_t failAfter = -1;
+};
+
+ZoneT *
+zinit(std::size_t elem_size, const char *zone_name)
+{
+    auto *z = new ZoneT();
+    z->name = zone_name ? zone_name : "?";
+    z->elemSize = elem_size;
+    z->stats.elemSize = elem_size;
+    return z;
+}
+
+void
+zdestroy(ZoneT *z)
+{
+    delete z;
+}
+
+void *
+zalloc(ZoneT *z)
+{
+    charge(kZallocNs);
+    std::lock_guard<std::mutex> lock(z->mu);
+    if (z->failAfter >= 0 &&
+        static_cast<std::int64_t>(z->stats.allocs) >= z->failAfter) {
+        ++z->stats.failed;
+        return nullptr;
+    }
+    ++z->stats.allocs;
+    ++z->stats.live;
+    return std::malloc(z->elemSize);
+}
+
+void
+zfree(ZoneT *z, void *elem)
+{
+    if (!elem)
+        return;
+    charge(kZfreeNs);
+    std::lock_guard<std::mutex> lock(z->mu);
+    ++z->stats.frees;
+    if (z->stats.live == 0)
+        cider_panic("zfree underflow in zone ", z->name);
+    --z->stats.live;
+    std::free(elem);
+}
+
+ZoneStats
+zone_stats(const ZoneT *z)
+{
+    std::lock_guard<std::mutex> lock(const_cast<ZoneT *>(z)->mu);
+    return z->stats;
+}
+
+void
+zone_set_fail_after(ZoneT *z, std::int64_t n)
+{
+    std::lock_guard<std::mutex> lock(z->mu);
+    z->failAfter = n;
+}
+
+void *
+xnu_kalloc(std::size_t size)
+{
+    charge(kKallocNs);
+    return std::malloc(size);
+}
+
+void
+xnu_kfree(void *p, std::size_t)
+{
+    charge(kZfreeNs);
+    std::free(p);
+}
+
+struct WaitQ
+{
+    std::condition_variable_any cv;
+};
+
+WaitQ *
+waitq_alloc()
+{
+    return new WaitQ();
+}
+
+void
+waitq_free(WaitQ *wq)
+{
+    delete wq;
+}
+
+void
+waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred)
+{
+    charge(kBlockNs);
+    wq->cv.wait(held->mu, pred);
+}
+
+void
+waitq_wakeup_all(WaitQ *wq)
+{
+    charge(kWakeupNs);
+    wq->cv.notify_all();
+}
+
+void
+waitq_wakeup_one(WaitQ *wq)
+{
+    charge(kWakeupNs);
+    wq->cv.notify_one();
+}
+
+std::uint64_t
+mach_absolute_time()
+{
+    return virtualNow();
+}
+
+void
+registerDuctTapeSymbols(SymbolRegistry &registry)
+{
+    // Domestic primitives the adaptation layer is built on.
+    for (const char *sym :
+         {"mutex_lock", "mutex_unlock", "kmalloc", "kfree", "wake_up",
+          "schedule", "wait_event", "ktime_get", "printk"})
+        registry.declare(sym, Zone::Domestic);
+
+    // External XNU symbols the foreign code imports, each mapped onto
+    // its domestic implementation through the duct-tape zone.
+    registry.mapExternal("lck_mtx_lock", "mutex_lock");
+    registry.mapExternal("lck_mtx_unlock", "mutex_unlock");
+    registry.mapExternal("lck_mtx_alloc_init", "kmalloc");
+    registry.mapExternal("lck_mtx_free", "kfree");
+    registry.mapExternal("zinit", "kmalloc");
+    registry.mapExternal("zalloc", "kmalloc");
+    registry.mapExternal("zfree", "kfree");
+    registry.mapExternal("kalloc", "kmalloc");
+    registry.mapExternal("thread_block", "wait_event");
+    registry.mapExternal("thread_wakeup", "wake_up");
+    registry.mapExternal("assert_wait", "wait_event");
+    registry.mapExternal("mach_absolute_time", "ktime_get");
+
+    // Names both kernels define: declaring the foreign copy after the
+    // domestic one forces the registry to remap it (step 3).
+    registry.declare("panic", Zone::Domestic);
+    registry.declare("panic", Zone::Foreign);
+    registry.declare("current_thread", Zone::Domestic);
+    registry.declare("current_thread", Zone::Foreign);
+}
+
+} // namespace cider::ducttape

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The duct-tape adaptation layer: XNU kernel APIs implemented on the
+ * domestic kernel's primitives.
+ *
+ * Foreign-zone subsystems (Mach IPC, psynch, I/O Kit — the src/xnu
+ * and src/iokit trees) are written against these XNU interfaces
+ * exactly as the real XNU sources are: lck_mtx_* locking, zalloc
+ * zones, kalloc, wait queues with thread_block/wakeup semantics, and
+ * mach_absolute_time. Each function charges a small fixed cost on the
+ * active virtual clock, standing in for the translated domestic
+ * primitive it rides on.
+ *
+ * The paper notes the adaptation layer built for one subsystem is
+ * reusable for every later subsystem from the same foreign kernel —
+ * which is literally true here: Mach IPC, psynch, and I/O Kit all
+ * compile against this one header.
+ */
+
+#ifndef CIDER_DUCTTAPE_XNU_API_H
+#define CIDER_DUCTTAPE_XNU_API_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ducttape/zones.h"
+
+namespace cider::ducttape {
+
+/// @{ Locking: XNU lck_mtx_* mapped onto domestic mutexes.
+struct LckMtx;
+
+LckMtx *lck_mtx_alloc_init();
+void lck_mtx_lock(LckMtx *m);
+void lck_mtx_unlock(LckMtx *m);
+void lck_mtx_free(LckMtx *m);
+/// @}
+
+/// @{ Allocation: XNU zalloc zones mapped onto the domestic heap.
+struct ZoneT;
+
+/** Create an allocation zone for fixed-size elements. */
+ZoneT *zinit(std::size_t elem_size, const char *zone_name);
+void zdestroy(ZoneT *z);
+
+/** Allocate an element; nullptr once failure injection triggers. */
+void *zalloc(ZoneT *z);
+void zfree(ZoneT *z, void *elem);
+
+/** Accounting snapshot of a zone. */
+struct ZoneStats
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t live = 0;
+    std::uint64_t failed = 0;
+    std::size_t elemSize = 0;
+};
+
+ZoneStats zone_stats(const ZoneT *z);
+
+/** Failure injection: the (n+1)-th allocation onward returns null.
+ *  Pass a negative value to disable. */
+void zone_set_fail_after(ZoneT *z, std::int64_t n);
+
+void *xnu_kalloc(std::size_t size);
+void xnu_kfree(void *p, std::size_t size);
+/// @}
+
+/// @{ Wait queues: assert_wait + thread_block mapped onto condvars.
+struct WaitQ;
+
+WaitQ *waitq_alloc();
+void waitq_free(WaitQ *wq);
+
+/**
+ * Block the calling (host) thread on @p wq while holding @p held,
+ * until @p pred becomes true after a wakeup. The mutex is released
+ * while blocked and re-held on return — XNU's
+ * lck_mtx_sleep/thread_block contract.
+ */
+void waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred);
+
+void waitq_wakeup_all(WaitQ *wq);
+void waitq_wakeup_one(WaitQ *wq);
+/// @}
+
+/** XNU mach_absolute_time mapped onto the virtual clock. */
+std::uint64_t mach_absolute_time();
+
+/**
+ * Declare the adaptation layer in a symbol registry: domestic
+ * primitives in the domestic zone, each imported XNU API as a
+ * duct-tape symbol mapped onto its domestic target, plus the handful
+ * of names both kernels define (which the registry must remap).
+ */
+void registerDuctTapeSymbols(SymbolRegistry &registry);
+
+} // namespace cider::ducttape
+
+#endif // CIDER_DUCTTAPE_XNU_API_H

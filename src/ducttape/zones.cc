@@ -1,0 +1,126 @@
+#include "ducttape/zones.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace cider::ducttape {
+
+const char *
+zoneName(Zone z)
+{
+    switch (z) {
+      case Zone::Domestic:
+        return "domestic";
+      case Zone::Foreign:
+        return "foreign";
+      case Zone::DuctTape:
+        return "ducttape";
+    }
+    return "?";
+}
+
+bool
+SymbolRegistry::zoneCanSee(Zone from, Zone to)
+{
+    if (from == to)
+        return true;
+    if (to == Zone::DuctTape)
+        return true;               // everyone sees the duct-tape zone
+    return from == Zone::DuctTape; // duct tape sees everyone
+}
+
+SymbolInfo *
+SymbolRegistry::findIn(Zone zone, const std::string &name)
+{
+    auto zit = zones_.find(zone);
+    if (zit == zones_.end())
+        return nullptr;
+    auto sit = zit->second.find(name);
+    return sit == zit->second.end() ? nullptr : &sit->second;
+}
+
+const SymbolInfo &
+SymbolRegistry::declare(const std::string &name, Zone zone)
+{
+    if (findIn(zone, name))
+        cider_panic("duplicate symbol '", name, "' in zone ",
+                    zoneName(zone));
+
+    SymbolInfo info;
+    info.name = name;
+    info.zone = zone;
+    info.linkName = name;
+
+    // Steps 2/3: a same-named symbol in any *other* zone is a
+    // conflict; the newcomer gets a unique link name.
+    for (Zone other : {Zone::Domestic, Zone::Foreign, Zone::DuctTape}) {
+        if (other == zone)
+            continue;
+        if (findIn(other, name)) {
+            std::ostringstream os;
+            os << "__" << zoneName(zone) << nextUnique_++ << "_" << name;
+            info.linkName = os.str();
+            info.remapped = true;
+            conflicts_.push_back(name);
+            break;
+        }
+    }
+
+    auto [it, inserted] = zones_[zone].emplace(name, std::move(info));
+    (void)inserted;
+    return it->second;
+}
+
+const SymbolInfo &
+SymbolRegistry::mapExternal(const std::string &name,
+                            const std::string &target)
+{
+    if (SymbolInfo *existing = findIn(Zone::DuctTape, name)) {
+        existing->mappedTo = target;
+        return *existing;
+    }
+    declare(name, Zone::DuctTape);
+    SymbolInfo *created = findIn(Zone::DuctTape, name);
+    created->mappedTo = target;
+    return *created;
+}
+
+Access
+SymbolRegistry::resolve(Zone from, const std::string &name,
+                        const SymbolInfo **out)
+{
+    // Preference order: own zone, duct tape, then the remaining zones.
+    const Zone order[] = {from, Zone::DuctTape, Zone::Domestic,
+                          Zone::Foreign};
+    for (Zone z : order) {
+        SymbolInfo *info = findIn(z, name);
+        if (!info)
+            continue;
+        if (!zoneCanSee(from, z)) {
+            violations_.push_back({from, name, z});
+            return Access::Denied;
+        }
+        if (out)
+            *out = info;
+        return Access::Ok;
+    }
+    return Access::NotFound;
+}
+
+std::vector<std::string>
+SymbolRegistry::conflicts() const
+{
+    return conflicts_;
+}
+
+std::size_t
+SymbolRegistry::symbolCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[zone, table] : zones_)
+        n += table.size();
+    return n;
+}
+
+} // namespace cider::ducttape

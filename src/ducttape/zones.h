@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Duct tape: zones and the cross-kernel symbol registry.
+ *
+ * Duct tape (paper section 4.2) compiles unmodified foreign kernel
+ * source into the domestic kernel in three steps:
+ *
+ *  1. three coding zones — domestic, foreign, duct tape — with a
+ *     visibility matrix: domestic and foreign code cannot see each
+ *     other's symbols; both see the duct-tape zone; duct tape sees
+ *     everything;
+ *  2. automatic identification of external symbols and of conflicts
+ *     between foreign and domestic names;
+ *  3. remapping of conflicts to unique names, and mapping of external
+ *     foreign symbols onto domestic implementations.
+ *
+ * The registry here performs steps 2 and 3 and *enforces* step 1: the
+ * foreign-zone subsystems (Mach IPC, psynch, I/O Kit) resolve every
+ * external reference through it, so a zone violation is a detectable
+ * runtime error rather than a convention.
+ */
+
+#ifndef CIDER_DUCTTAPE_ZONES_H
+#define CIDER_DUCTTAPE_ZONES_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cider::ducttape {
+
+/** The three coding zones of a duct-taped kernel. */
+enum class Zone
+{
+    Domestic,
+    Foreign,
+    DuctTape,
+};
+
+const char *zoneName(Zone z);
+
+/** Result of a symbol access check. */
+enum class Access
+{
+    Ok,
+    Denied,   ///< visible-zone rule violated
+    NotFound,
+};
+
+/** One declared kernel symbol. */
+struct SymbolInfo
+{
+    std::string name;     ///< source-level name
+    Zone zone;
+    std::string linkName; ///< unique link-time name (after remapping)
+    bool remapped = false;
+    std::string mappedTo; ///< duct-tape target for external foreign syms
+};
+
+/** A recorded zone violation (for tests and diagnostics). */
+struct Violation
+{
+    Zone from;
+    std::string symbol;
+    Zone owner;
+};
+
+class SymbolRegistry
+{
+  public:
+    /** The zone visibility matrix of step 1. */
+    static bool zoneCanSee(Zone from, Zone to);
+
+    /**
+     * Declare @p name in @p zone. Conflicts with a same-named symbol
+     * in a *different* zone are automatically remapped to a unique
+     * link name (step 3); re-declaration within a zone is an error.
+     * @return the (possibly remapped) symbol record.
+     */
+    const SymbolInfo &declare(const std::string &name, Zone zone);
+
+    /**
+     * Map an *external* foreign symbol (one the foreign code imports
+     * but does not define) onto a duct-tape implementation. Declares
+     * @p name in the duct-tape zone bound to @p target.
+     */
+    const SymbolInfo &mapExternal(const std::string &name,
+                                  const std::string &target);
+
+    /**
+     * Resolve a reference to @p name made by code in @p from,
+     * applying the visibility matrix. Denied accesses are recorded.
+     * Lookup prefers the referencing zone's own symbol, then the
+     * duct-tape zone, then (if visible) the remaining zone.
+     */
+    Access resolve(Zone from, const std::string &name,
+                   const SymbolInfo **out = nullptr);
+
+    /** Names that needed conflict remapping. */
+    std::vector<std::string> conflicts() const;
+
+    const std::vector<Violation> &violations() const { return violations_; }
+    std::size_t symbolCount() const;
+
+  private:
+    SymbolInfo *findIn(Zone zone, const std::string &name);
+
+    // Per-zone name tables.
+    std::map<Zone, std::map<std::string, SymbolInfo>> zones_;
+    std::vector<std::string> conflicts_;
+    std::vector<Violation> violations_;
+    int nextUnique_ = 0;
+};
+
+} // namespace cider::ducttape
+
+#endif // CIDER_DUCTTAPE_ZONES_H

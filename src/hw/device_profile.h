@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Hardware cost models for the simulated devices.
+ *
+ * The paper evaluates on two physical devices: a Google Nexus 7
+ * (1.3 GHz quad-core Tegra 3, 1 GB RAM, Android 4.2) and an Apple iPad
+ * mini (1 GHz dual-core A5, 512 MB RAM, iOS 6.1.2). Neither is
+ * available here, so each becomes a DeviceProfile: a table of virtual
+ * nanosecond costs for primitive CPU, kernel, storage, and GPU
+ * operations. Code paths in the simulator charge these costs on the
+ * active CostClock as they execute; benchmark shapes then emerge from
+ * which code paths run rather than from precomputed ratios.
+ *
+ * Values are calibrated so the *relative* results of the paper's
+ * Figures 5 and 6 are reproduced (e.g. a null syscall costs ~400 ns on
+ * the Nexus 7; Cider's persona check adds ~8.5%); absolute values are
+ * virtual time, not a claim about the original hardware.
+ */
+
+#ifndef CIDER_HW_DEVICE_PROFILE_H
+#define CIDER_HW_DEVICE_PROFILE_H
+
+#include <cstdint>
+#include <string>
+
+namespace cider::hw {
+
+/** Which toolchain produced a binary's text (affects per-op cost). */
+enum class Codegen
+{
+    LinuxGcc,   ///< GCC 4.4.1 targeting Android/Linux.
+    XcodeClang, ///< Xcode 4.2.1 targeting iOS.
+};
+
+/** Primitive ALU/FPU operations measured by lmbench's basic-op tests. */
+enum class CpuOp
+{
+    IntAdd,
+    IntMul,
+    IntDiv,
+    DoubleAdd,
+    DoubleMul,
+    Bogomflop, ///< lmbench's mixed double add/mul kernel step.
+};
+
+/**
+ * Per-device table of primitive operation costs in virtual ns.
+ * All simulator code charges through one of these.
+ */
+struct DeviceProfile
+{
+    std::string name;
+
+    /// @{ CPU core parameters. Per-op costs are picoseconds so that
+    /// batched charging (chargeCpuOps) keeps sub-nanosecond precision.
+    double cpuClockGhz;
+    int cpuCores;
+    std::uint64_t intAddPs;
+    std::uint64_t intMulPs;
+    std::uint64_t intDivPs;
+    std::uint64_t doubleAddPs;
+    std::uint64_t doubleMulPs;
+    /**
+     * Extra int-divide cost for Xcode-generated code: the paper's
+     * basic-op group shows the Linux compiler emitting a better divide
+     * sequence than the iOS compiler (Figure 5, intdiv bar).
+     * Expressed in percent added on top of intDivNs.
+     */
+    std::uint64_t xcodeIntDivPenaltyPct;
+    /// @}
+
+    /// @{ Kernel trap / signal path.
+    std::uint64_t trapEnterExitNs;   ///< bare hardware trap in+out
+    std::uint64_t nullSyscallWorkNs; ///< dispatch bookkeeping either OS does
+    std::uint64_t signalDeliverNs;   ///< same-process signal delivery
+    /// @}
+
+    /// @{ Memory system.
+    std::uint64_t pageCopyEntryNs;  ///< fork: duplicate one PTE
+    std::uint64_t memWriteBytePs;   ///< streaming write, picoseconds/byte
+    std::uint64_t memReadBytePs;    ///< streaming read, picoseconds/byte
+    std::uint64_t pageFaultNs;
+    /// @}
+
+    /// @{ Storage (flash) costs.
+    std::uint64_t storageOpenNs;     ///< open/close metadata op
+    std::uint64_t storageCreateNs;   ///< create+delete a file (0 KB)
+    std::uint64_t storageWriteBytePs;
+    std::uint64_t storageReadBytePs;
+    /// @}
+
+    /// @{ select()/poll scan.
+    std::uint64_t selectBaseNs;
+    std::uint64_t selectPerFdNs;
+    /**
+     * Largest fd-set size select() survives. The iPad mini's select
+     * failed outright at 250 descriptors in the paper (Figure 5); 0
+     * means unlimited.
+     */
+    int selectMaxFds;
+    /// @}
+
+    /// @{ Local IPC.
+    std::uint64_t pipeTransferNs;    ///< one pipe hand-off
+    std::uint64_t unixSockTransferNs;
+    /// @}
+
+    /// @{ GPU.
+    std::uint64_t gpuPerCommandNs;   ///< command fetch/decode
+    std::uint64_t gpuPerVertexNs;
+    std::uint64_t gpuPerFragmentPs;  ///< picoseconds per shaded fragment
+    std::uint64_t gpuFenceNs;        ///< fence signal/wait round trip
+    /// @}
+
+    /// @{ Software-ecosystem parameters carried with the device.
+    /**
+     * Whether dyld uses a prelinked shared library cache. True on real
+     * iOS devices; the Cider prototype lacks this optimisation, making
+     * fork/exec of iOS binaries slower than on the iPad (Figure 5).
+     */
+    bool dyldSharedCache;
+    std::uint64_t dalvikDispatchNs;  ///< interpreter loop per-bytecode cost
+    /// @}
+
+    /** Cost in ps of one primitive op for a given toolchain's codegen. */
+    std::uint64_t cpuOpPs(CpuOp op, Codegen cg) const;
+
+    /** Convert a CPU cycle count into virtual nanoseconds. */
+    std::uint64_t cyclesToNs(double cycles) const;
+
+    /** Charge @p count primitive ops to the active CostClock. */
+    void chargeCpuOps(CpuOp op, Codegen cg, std::uint64_t count) const;
+
+    /** The Google Nexus 7 profile (domestic device under test). */
+    static const DeviceProfile &nexus7();
+
+    /** The Apple iPad mini profile (foreign comparison device). */
+    static const DeviceProfile &ipadMini();
+};
+
+} // namespace cider::hw
+
+#endif // CIDER_HW_DEVICE_PROFILE_H

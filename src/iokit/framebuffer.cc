@@ -1,0 +1,94 @@
+#include "iokit/framebuffer.h"
+
+#include "base/logging.h"
+#include "gpu/sim_gpu.h"
+#include "kernel/thread.h"
+
+namespace cider::iokit {
+
+AppleM2CLCD::AppleM2CLCD(ducttape::KernelCxxRuntime &rt)
+    : IOMobileFramebuffer(rt, "AppleM2CLCD")
+{}
+
+bool
+AppleM2CLCD::probe(IORegistryEntry &provider)
+{
+    return osValueString(provider.property(kLinuxClassKey)) ==
+           "framebuffer";
+}
+
+bool
+AppleM2CLCD::start(IORegistryEntry &provider)
+{
+    linuxFb_ = linuxDeviceOf(provider);
+    if (!linuxFb_)
+        return false;
+    setProperty("IOClass", std::string("AppleM2CLCD"));
+    setProperty("IOProviderClass", std::string("IOLinuxDeviceNode"));
+    return IOService::start(provider);
+}
+
+xnu::kern_return_t
+AppleM2CLCD::externalMethod(std::uint32_t selector,
+                            const std::vector<std::int64_t> &input,
+                            std::vector<std::int64_t> &output)
+{
+    kernel::Thread *t = kernel::Thread::current();
+    if (!t || !linuxFb_)
+        return xnu::KERN_FAILURE;
+    auto *fb = dynamic_cast<gpu::FramebufferDevice *>(linuxFb_);
+    if (!fb)
+        return xnu::KERN_FAILURE;
+
+    switch (selector) {
+      case fbsel::GetDisplayInfo: {
+          gpu::FbInfo info;
+          kernel::SyscallResult r = fb->ioctl(
+              *t, gpu::FramebufferDevice::kIoctlGetInfo, &info);
+          if (!r.ok())
+              return xnu::KERN_FAILURE;
+          output.push_back(info.width);
+          output.push_back(info.height);
+          return xnu::KERN_SUCCESS;
+      }
+      case fbsel::SwapBegin:
+        return xnu::KERN_SUCCESS;
+      case fbsel::SwapEnd: {
+          if (input.empty())
+              return xnu::KERN_INVALID_ARGUMENT;
+          void *arg = reinterpret_cast<void *>(
+              static_cast<std::uintptr_t>(input[0]));
+          kernel::SyscallResult r = fb->ioctl(
+              *t, gpu::FramebufferDevice::kIoctlPresent, arg);
+          return r.ok() ? xnu::KERN_SUCCESS : xnu::KERN_INVALID_ARGUMENT;
+      }
+      case fbsel::GetSwapCount:
+        output.push_back(
+            static_cast<std::int64_t>(fb->presentCount()));
+        return xnu::KERN_SUCCESS;
+      case fbsel::SetFrameRate:
+        if (input.empty())
+            return xnu::KERN_INVALID_ARGUMENT;
+        frameRate_ = static_cast<std::uint64_t>(input[0]);
+        return xnu::KERN_SUCCESS;
+      default:
+        return xnu::KERN_FAILURE;
+    }
+}
+
+void
+AppleM2CLCD::registerDriver(ducttape::KernelCxxRuntime &rt,
+                            IOCatalogue &catalogue)
+{
+    rt.addStaticConstructor("AppleM2CLCD", [&rt, &catalogue] {
+        OSDictionary match;
+        match[kLinuxClassKey] = std::string("framebuffer");
+        catalogue.addDriver(
+            "AppleM2CLCD", match,
+            [](ducttape::KernelCxxRuntime &runtime) -> IOService * {
+                return new AppleM2CLCD(runtime);
+            });
+    });
+}
+
+} // namespace cider::iokit

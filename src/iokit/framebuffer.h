@@ -1,0 +1,75 @@
+/**
+ * @file
+ * AppleM2CLCD: the IOMobileFramebuffer-compatible driver class.
+ *
+ * iOS apps expect to find a framebuffer class named AppleM2CLCD
+ * deriving from the IOMobileFramebuffer interface. The Cider
+ * prototype "added a single C++ file in the Nexus 7 display driver's
+ * source tree" defining this class as a thin wrapper around the Linux
+ * driver (paper section 5.1); this is that file. The class registers
+ * itself with the catalogue through the kernel C++ runtime's static
+ * constructors and matches the bridged Linux framebuffer node.
+ */
+
+#ifndef CIDER_IOKIT_FRAMEBUFFER_H
+#define CIDER_IOKIT_FRAMEBUFFER_H
+
+#include "iokit/io_service.h"
+#include "iokit/linux_bridge.h"
+
+namespace cider::iokit {
+
+/** IOMobileFramebuffer method selectors. */
+namespace fbsel {
+
+inline constexpr std::uint32_t GetDisplayInfo = 0; ///< out: w, h
+inline constexpr std::uint32_t SwapBegin = 1;
+inline constexpr std::uint32_t SwapEnd = 2;       ///< in: buffer id
+inline constexpr std::uint32_t GetSwapCount = 3;
+inline constexpr std::uint32_t SetFrameRate = 4;  ///< in: fps
+
+} // namespace fbsel
+
+/** Abstract interface class (IOMobileFramebuffer). */
+class IOMobileFramebuffer : public IOService
+{
+  public:
+    using IOService::IOService;
+
+    const char *className() const override
+    {
+        return "IOMobileFramebuffer";
+    }
+};
+
+/** The display driver class iOS apps look up by name. */
+class AppleM2CLCD : public IOMobileFramebuffer
+{
+  public:
+    explicit AppleM2CLCD(ducttape::KernelCxxRuntime &rt);
+
+    const char *className() const override { return "AppleM2CLCD"; }
+
+    bool probe(IORegistryEntry &provider) override;
+    bool start(IORegistryEntry &provider) override;
+
+    xnu::kern_return_t
+    externalMethod(std::uint32_t selector,
+                   const std::vector<std::int64_t> &input,
+                   std::vector<std::int64_t> &output) override;
+
+    /**
+     * Register the driver class with the catalogue — the "small
+     * interface function called on Linux kernel boot".
+     */
+    static void registerDriver(ducttape::KernelCxxRuntime &rt,
+                               IOCatalogue &catalogue);
+
+  private:
+    kernel::Device *linuxFb_ = nullptr;
+    std::uint64_t frameRate_ = 60;
+};
+
+} // namespace cider::iokit
+
+#endif // CIDER_IOKIT_FRAMEBUFFER_H

@@ -1,0 +1,128 @@
+#include "iokit/io_registry.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace cider::iokit {
+
+IORegistryEntry::IORegistryEntry(ducttape::KernelCxxRuntime &rt,
+                                 std::string name)
+    : OSObject(rt, sizeof(IORegistryEntry)), name_(std::move(name))
+{}
+
+void
+IORegistryEntry::setProperty(const std::string &key, OSValue value)
+{
+    props_[key] = std::move(value);
+}
+
+OSValue
+IORegistryEntry::property(const std::string &key) const
+{
+    auto it = props_.find(key);
+    return it == props_.end() ? OSValue{} : it->second;
+}
+
+IORegistry::IORegistry(ducttape::KernelCxxRuntime &rt) : rt_(rt)
+{
+    root_ = new IORegistryEntry(rt_, "Root");
+    root_->entryId_ = nextId_++;
+}
+
+IORegistry::~IORegistry()
+{
+    // Release the whole tree bottom-up.
+    std::vector<IORegistryEntry *> all;
+    collect(root_, all);
+    for (auto it = all.rbegin(); it != all.rend(); ++it)
+        (*it)->release();
+}
+
+void
+IORegistry::collect(IORegistryEntry *entry,
+                    std::vector<IORegistryEntry *> &out) const
+{
+    out.push_back(entry);
+    for (IORegistryEntry *child : entry->children_)
+        collect(child, out);
+}
+
+void
+IORegistry::attach(IORegistryEntry *entry, IORegistryEntry *parent)
+{
+    if (!entry)
+        cider_panic("attach of null registry entry");
+    if (!parent)
+        parent = root_;
+    entry->parent_ = parent;
+    entry->entryId_ = nextId_++;
+    parent->children_.push_back(entry);
+}
+
+void
+IORegistry::detach(IORegistryEntry *entry)
+{
+    if (!entry || entry == root_)
+        return;
+    std::vector<IORegistryEntry *> subtree;
+    collect(entry, subtree);
+    if (entry->parent_) {
+        auto &siblings = entry->parent_->children_;
+        siblings.erase(
+            std::remove(siblings.begin(), siblings.end(), entry),
+            siblings.end());
+    }
+    for (auto it = subtree.rbegin(); it != subtree.rend(); ++it)
+        (*it)->release();
+}
+
+IORegistryEntry *
+IORegistry::findByName(const std::string &name) const
+{
+    std::vector<IORegistryEntry *> all;
+    collect(root_, all);
+    for (IORegistryEntry *entry : all)
+        if (entry->entryName() == name)
+            return entry;
+    return nullptr;
+}
+
+IORegistryEntry *
+IORegistry::findById(std::uint64_t id) const
+{
+    std::vector<IORegistryEntry *> all;
+    collect(root_, all);
+    for (IORegistryEntry *entry : all)
+        if (entry->entryId() == id)
+            return entry;
+    return nullptr;
+}
+
+std::vector<IORegistryEntry *>
+IORegistry::matchAll(const OSDictionary &match) const
+{
+    std::vector<IORegistryEntry *> all, out;
+    collect(root_, all);
+    for (IORegistryEntry *entry : all)
+        if (osDictMatches(entry->properties(), match))
+            out.push_back(entry);
+    return out;
+}
+
+std::size_t
+IORegistry::entryCount() const
+{
+    std::vector<IORegistryEntry *> all;
+    collect(root_, all);
+    return all.size();
+}
+
+void
+IORegistry::publish(IORegistryEntry &entry)
+{
+    if (publishHook_)
+        publishHook_(entry);
+}
+
+} // namespace cider::iokit

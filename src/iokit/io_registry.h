@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The I/O Kit registry: the tree of device and driver instances that
+ * iOS user space queries to locate devices and their properties.
+ */
+
+#ifndef CIDER_IOKIT_IO_REGISTRY_H
+#define CIDER_IOKIT_IO_REGISTRY_H
+
+#include <functional>
+#include <vector>
+
+#include "iokit/os_object.h"
+
+namespace cider::iokit {
+
+class IORegistry;
+
+class IORegistryEntry : public OSObject
+{
+  public:
+    IORegistryEntry(ducttape::KernelCxxRuntime &rt, std::string name);
+
+    const char *className() const override { return "IORegistryEntry"; }
+
+    const std::string &entryName() const { return name_; }
+    std::uint64_t entryId() const { return entryId_; }
+
+    void setProperty(const std::string &key, OSValue value);
+    OSValue property(const std::string &key) const;
+    const OSDictionary &properties() const { return props_; }
+
+    IORegistryEntry *parent() const { return parent_; }
+    const std::vector<IORegistryEntry *> &children() const
+    {
+        return children_;
+    }
+
+  private:
+    friend class IORegistry;
+
+    std::string name_;
+    OSDictionary props_;
+    std::uint64_t entryId_ = 0;
+    IORegistryEntry *parent_ = nullptr;
+    std::vector<IORegistryEntry *> children_;
+};
+
+class IORegistry
+{
+  public:
+    explicit IORegistry(ducttape::KernelCxxRuntime &rt);
+    ~IORegistry();
+
+    IORegistry(const IORegistry &) = delete;
+    IORegistry &operator=(const IORegistry &) = delete;
+
+    IORegistryEntry &root() { return *root_; }
+
+    /**
+     * Attach @p entry (taking ownership of one reference) under
+     * @p parent (the root when null) and assign its entry id.
+     */
+    void attach(IORegistryEntry *entry,
+                IORegistryEntry *parent = nullptr);
+
+    /** Detach and release @p entry and its subtree. */
+    void detach(IORegistryEntry *entry);
+
+    IORegistryEntry *findByName(const std::string &name) const;
+    IORegistryEntry *findById(std::uint64_t id) const;
+    std::vector<IORegistryEntry *>
+    matchAll(const OSDictionary &match) const;
+    std::size_t entryCount() const;
+
+    /**
+     * Publication hook: fired when a freshly attached entry is
+     * published for driver matching (the catalogue subscribes).
+     */
+    using PublishHook = std::function<void(IORegistryEntry &)>;
+    void setPublishHook(PublishHook hook) { publishHook_ = hook; }
+    void publish(IORegistryEntry &entry);
+
+    ducttape::KernelCxxRuntime &runtime() { return rt_; }
+
+  private:
+    void collect(IORegistryEntry *entry,
+                 std::vector<IORegistryEntry *> &out) const;
+
+    ducttape::KernelCxxRuntime &rt_;
+    IORegistryEntry *root_;
+    std::uint64_t nextId_ = 1;
+    PublishHook publishHook_;
+};
+
+} // namespace cider::iokit
+
+#endif // CIDER_IOKIT_IO_REGISTRY_H

@@ -1,0 +1,148 @@
+#include "iokit/io_service.h"
+
+#include "base/logging.h"
+#include "kernel/kernel.h"
+
+namespace cider::iokit {
+
+IOService::IOService(ducttape::KernelCxxRuntime &rt, std::string name)
+    : IORegistryEntry(rt, std::move(name))
+{}
+
+bool
+IOService::probe(IORegistryEntry &)
+{
+    return true;
+}
+
+bool
+IOService::start(IORegistryEntry &provider)
+{
+    provider_ = &provider;
+    started_ = true;
+    return true;
+}
+
+void
+IOService::stop()
+{
+    started_ = false;
+    provider_ = nullptr;
+}
+
+xnu::kern_return_t
+IOService::externalMethod(std::uint32_t, const std::vector<std::int64_t> &,
+                          std::vector<std::int64_t> &)
+{
+    return xnu::KERN_FAILURE;
+}
+
+IOCatalogue::IOCatalogue(IORegistry &registry) : registry_(registry)
+{
+    registry_.setPublishHook(
+        [this](IORegistryEntry &entry) { matchEntry(entry); });
+}
+
+void
+IOCatalogue::addDriver(const std::string &class_name, OSDictionary match,
+                       Factory factory)
+{
+    drivers_.push_back({class_name, std::move(match), std::move(factory)});
+    // Late driver registration re-matches everything already
+    // published (kernel modules can load after boot).
+    for (IORegistryEntry *entry : registry_.matchAll(OSDictionary{}))
+        if (entry != &registry_.root())
+            matchEntry(*entry);
+}
+
+void
+IOCatalogue::matchEntry(IORegistryEntry &entry)
+{
+    for (const DriverInfo &driver : drivers_) {
+        if (!osDictMatches(entry.properties(), driver.match))
+            continue;
+        // Don't double-attach the same driver class to one provider.
+        bool already = false;
+        for (IORegistryEntry *child : entry.children()) {
+            if (child->entryName() == driver.className) {
+                already = true;
+                break;
+            }
+        }
+        if (already)
+            continue;
+
+        IOService *service = driver.factory(registry_.runtime());
+        if (!service)
+            continue;
+        if (!service->probe(entry)) {
+            service->release();
+            continue;
+        }
+        registry_.attach(service, &entry);
+        if (service->start(entry)) {
+            services_.push_back(service);
+        } else {
+            registry_.detach(service);
+        }
+    }
+}
+
+IOService *
+IOCatalogue::findService(const std::string &class_name) const
+{
+    for (IOService *service : services_)
+        if (service->entryName() == class_name && service->started())
+            return service;
+    return nullptr;
+}
+
+void
+registerIoKitTraps(kernel::SyscallTable &mach_table, IORegistry &registry,
+                   IOCatalogue &catalogue)
+{
+    mach_table.set(
+        iokitno::GET_MATCHING_SERVICE, "io_service_get_matching_service",
+        [&catalogue, &registry](kernel::Kernel &, kernel::Thread &,
+                                kernel::SyscallArgs &a) {
+            const std::string &class_name = a.str(0);
+            if (IOService *service = catalogue.findService(class_name))
+                return kernel::SyscallResult::success(
+                    static_cast<std::int64_t>(service->entryId()));
+            if (IORegistryEntry *entry = registry.findByName(class_name))
+                return kernel::SyscallResult::success(
+                    static_cast<std::int64_t>(entry->entryId()));
+            return kernel::SyscallResult::success(0);
+        });
+
+    mach_table.set(
+        iokitno::GET_PROPERTY, "io_registry_entry_get_property",
+        [&registry](kernel::Kernel &, kernel::Thread &,
+                    kernel::SyscallArgs &a) {
+            IORegistryEntry *entry = registry.findById(a.u64(0));
+            auto *out = static_cast<std::string *>(a.ptr(2));
+            if (!entry || !out)
+                return kernel::SyscallResult::success(
+                    xnu::KERN_INVALID_NAME);
+            *out = osValueString(entry->property(a.str(1)));
+            return kernel::SyscallResult::success(xnu::KERN_SUCCESS);
+        });
+
+    mach_table.set(
+        iokitno::CONNECT_CALL_METHOD, "io_connect_call_method",
+        [&registry](kernel::Kernel &, kernel::Thread &,
+                    kernel::SyscallArgs &a) {
+            IORegistryEntry *entry = registry.findById(a.u64(0));
+            auto *io = static_cast<IoConnectArgs *>(a.ptr(2));
+            auto *service = dynamic_cast<IOService *>(entry);
+            if (!service || !io)
+                return kernel::SyscallResult::success(
+                    xnu::KERN_INVALID_NAME);
+            xnu::kern_return_t kr = service->externalMethod(
+                static_cast<std::uint32_t>(a.u64(1)), io->input,
+                io->output);
+            return kernel::SyscallResult::success(kr);
+        });
+}
+
+} // namespace cider::iokit

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * IOService, the driver catalogue, and the Mach traps that expose
+ * I/O Kit to iOS user space.
+ *
+ * The flow mirrors section 5.1 of the paper: Linux devices become
+ * *device class instances* in the registry; driver classes register
+ * with the catalogue; the duct-taped matching code pairs driver and
+ * device, instantiates the driver, and starts it; iOS user space then
+ * locates and drives the service through Mach calls.
+ */
+
+#ifndef CIDER_IOKIT_IO_SERVICE_H
+#define CIDER_IOKIT_IO_SERVICE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "iokit/io_registry.h"
+#include "xnu/kern_return.h"
+
+namespace cider::kernel {
+class SyscallTable;
+} // namespace cider::kernel
+
+namespace cider::iokit {
+
+class IOService : public IORegistryEntry
+{
+  public:
+    IOService(ducttape::KernelCxxRuntime &rt, std::string name);
+
+    const char *className() const override { return "IOService"; }
+
+    /** Probe whether this driver can handle @p provider. */
+    virtual bool probe(IORegistryEntry &provider);
+
+    /** Begin driving @p provider. */
+    virtual bool start(IORegistryEntry &provider);
+    virtual void stop();
+    bool started() const { return started_; }
+    IORegistryEntry *provider() const { return provider_; }
+
+    /**
+     * The user-client entry point: iOS libraries call selectors with
+     * scalar arguments, exactly the shape of IOConnectCallMethod.
+     */
+    virtual xnu::kern_return_t
+    externalMethod(std::uint32_t selector,
+                   const std::vector<std::int64_t> &input,
+                   std::vector<std::int64_t> &output);
+
+  private:
+    bool started_ = false;
+    IORegistryEntry *provider_ = nullptr;
+};
+
+/**
+ * The driver catalogue: registered driver classes plus the matching
+ * logic run at device publication.
+ */
+class IOCatalogue
+{
+  public:
+    using Factory =
+        std::function<IOService *(ducttape::KernelCxxRuntime &)>;
+
+    explicit IOCatalogue(IORegistry &registry);
+
+    /**
+     * Register a driver class: instances are created for every
+     * published registry entry whose properties match @p match.
+     * Already-published entries are re-matched immediately.
+     */
+    void addDriver(const std::string &class_name, OSDictionary match,
+                   Factory factory);
+
+    /** Find a started service by driver class name. */
+    IOService *findService(const std::string &class_name) const;
+
+    const std::vector<IOService *> &services() const
+    {
+        return services_;
+    }
+
+  private:
+    struct DriverInfo
+    {
+        std::string className;
+        OSDictionary match;
+        Factory factory;
+    };
+
+    void matchEntry(IORegistryEntry &entry);
+
+    IORegistry &registry_;
+    std::vector<DriverInfo> drivers_;
+    std::vector<IOService *> services_; ///< borrowed from registry
+};
+
+/** IOKit Mach trap numbers (Cider extension range). */
+namespace iokitno {
+
+inline constexpr int GET_MATCHING_SERVICE = -60;
+inline constexpr int GET_PROPERTY = -61;
+inline constexpr int CONNECT_CALL_METHOD = -62;
+
+} // namespace iokitno
+
+/** Argument block for CONNECT_CALL_METHOD. */
+struct IoConnectArgs
+{
+    std::vector<std::int64_t> input;
+    std::vector<std::int64_t> output;
+};
+
+/** Expose the registry/catalogue through Mach traps. */
+void registerIoKitTraps(kernel::SyscallTable &mach_table,
+                        IORegistry &registry, IOCatalogue &catalogue);
+
+} // namespace cider::iokit
+
+#endif // CIDER_IOKIT_IO_SERVICE_H

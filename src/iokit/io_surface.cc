@@ -1,0 +1,52 @@
+#include "iokit/io_surface.h"
+
+namespace cider::iokit {
+
+IOSurfaceRoot::IOSurfaceRoot(ducttape::KernelCxxRuntime &rt,
+                             gpu::BufferManager &buffers)
+    : IOService(rt, "IOSurfaceRoot"), buffers_(buffers)
+{}
+
+xnu::kern_return_t
+IOSurfaceRoot::externalMethod(std::uint32_t selector,
+                              const std::vector<std::int64_t> &input,
+                              std::vector<std::int64_t> &output)
+{
+    switch (selector) {
+      case surfsel::Create: {
+          if (input.size() < 2)
+              return xnu::KERN_INVALID_ARGUMENT;
+          gpu::BufferPtr buf = buffers_.create(
+              static_cast<std::uint32_t>(input[0]),
+              static_cast<std::uint32_t>(input[1]));
+          output.push_back(buf->id);
+          return xnu::KERN_SUCCESS;
+      }
+      case surfsel::GetInfo: {
+          if (input.empty())
+              return xnu::KERN_INVALID_ARGUMENT;
+          gpu::BufferPtr buf = buffers_.find(
+              static_cast<std::uint32_t>(input[0]));
+          if (!buf)
+              return xnu::KERN_INVALID_NAME;
+          output.push_back(buf->width);
+          output.push_back(buf->height);
+          return xnu::KERN_SUCCESS;
+      }
+      case surfsel::Release: {
+          if (input.empty())
+              return xnu::KERN_INVALID_ARGUMENT;
+          bool ok = buffers_.destroy(
+              static_cast<std::uint32_t>(input[0]));
+          return ok ? xnu::KERN_SUCCESS : xnu::KERN_INVALID_NAME;
+      }
+      case surfsel::Count:
+        output.push_back(
+            static_cast<std::int64_t>(buffers_.liveCount()));
+        return xnu::KERN_SUCCESS;
+      default:
+        return xnu::KERN_FAILURE;
+    }
+}
+
+} // namespace cider::iokit

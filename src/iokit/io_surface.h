@@ -1,0 +1,55 @@
+/**
+ * @file
+ * IOSurfaceRoot: the kernel half of the IOSurface zero-copy graphics
+ * memory abstraction.
+ *
+ * "An IOSurface object can be used to render 2D graphics via
+ * CPU-bound drawing routines, efficiently passed to other processes
+ * or apps via Mach IPC, and even used as the backing memory for
+ * OpenGL ES textures" (paper section 5.3). Surfaces here are
+ * gpu::GraphicsBuffer objects shared with Android's gralloc, so a
+ * diplomat-allocated surface is literally the same memory the
+ * domestic GL stack renders into — the zero-copy property Cider's
+ * graphics path depends on.
+ */
+
+#ifndef CIDER_IOKIT_IO_SURFACE_H
+#define CIDER_IOKIT_IO_SURFACE_H
+
+#include "gpu/sim_gpu.h"
+#include "iokit/io_service.h"
+
+namespace cider::iokit {
+
+/** IOSurfaceRoot method selectors. */
+namespace surfsel {
+
+inline constexpr std::uint32_t Create = 0;  ///< in: w, h; out: id
+inline constexpr std::uint32_t GetInfo = 1; ///< in: id; out: w, h
+inline constexpr std::uint32_t Release = 2; ///< in: id
+inline constexpr std::uint32_t Count = 3;   ///< out: live surfaces
+
+} // namespace surfsel
+
+class IOSurfaceRoot : public IOService
+{
+  public:
+    IOSurfaceRoot(ducttape::KernelCxxRuntime &rt,
+                  gpu::BufferManager &buffers);
+
+    const char *className() const override { return "IOSurfaceRoot"; }
+
+    xnu::kern_return_t
+    externalMethod(std::uint32_t selector,
+                   const std::vector<std::int64_t> &input,
+                   std::vector<std::int64_t> &output) override;
+
+    gpu::BufferManager &buffers() { return buffers_; }
+
+  private:
+    gpu::BufferManager &buffers_;
+};
+
+} // namespace cider::iokit
+
+#endif // CIDER_IOKIT_IO_SURFACE_H

@@ -1,0 +1,36 @@
+#include "iokit/linux_bridge.h"
+
+namespace cider::iokit {
+
+void
+installLinuxBridge(kernel::DeviceRegistry &devices, IORegistry &registry)
+{
+    IORegistry *reg = &registry;
+    devices.setAddHook([reg](kernel::Device &dev) {
+        // One device class instance per Linux device node.
+        auto *entry =
+            new IORegistryEntry(reg->runtime(), dev.name());
+        entry->setProperty(kLinuxClassKey, dev.deviceClass());
+        entry->setProperty(
+            kLinuxDeviceKey,
+            static_cast<std::int64_t>(
+                reinterpret_cast<std::uintptr_t>(&dev)));
+        for (const auto &[key, value] : dev.properties())
+            entry->setProperty(key, value);
+        reg->attach(entry);
+        // Publication triggers catalogue driver matching.
+        reg->publish(*entry);
+    });
+}
+
+kernel::Device *
+linuxDeviceOf(IORegistryEntry &entry)
+{
+    OSValue v = entry.property(kLinuxDeviceKey);
+    if (const auto *p = std::get_if<std::int64_t>(&v))
+        return reinterpret_cast<kernel::Device *>(
+            static_cast<std::uintptr_t>(*p));
+    return nullptr;
+}
+
+} // namespace cider::iokit

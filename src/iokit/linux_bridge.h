@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The Linux-device -> I/O Kit bridge.
+ *
+ * "Using a small hook in the Linux device add function, Cider
+ * creates a Linux device node I/O Kit registry entry (a device class
+ * instance) for every registered Linux device" (paper section 5.1).
+ * This module is that hook: it subscribes to the domestic kernel's
+ * DeviceRegistry and mirrors each device into the I/O Kit registry,
+ * carrying the Linux driver's properties so catalogue matching can
+ * pair an I/O Kit driver class with the node.
+ */
+
+#ifndef CIDER_IOKIT_LINUX_BRIDGE_H
+#define CIDER_IOKIT_LINUX_BRIDGE_H
+
+#include "iokit/io_registry.h"
+#include "kernel/device.h"
+
+namespace cider::iokit {
+
+/** Property key carrying the Linux device pointer across the bridge. */
+inline constexpr const char *kLinuxDeviceKey = "IOLinuxDevice";
+/** Property key naming the Linux device class. */
+inline constexpr const char *kLinuxClassKey = "IOLinuxClass";
+
+/**
+ * Install the device_add hook. Devices registered before the call
+ * are bridged too (DeviceRegistry replays its contents).
+ */
+void installLinuxBridge(kernel::DeviceRegistry &devices,
+                        IORegistry &registry);
+
+/** Resolve the Linux device behind a bridged registry entry. */
+kernel::Device *linuxDeviceOf(IORegistryEntry &entry);
+
+} // namespace cider::iokit
+
+#endif // CIDER_IOKIT_LINUX_BRIDGE_H

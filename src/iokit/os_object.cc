@@ -1,0 +1,57 @@
+#include "iokit/os_object.h"
+
+#include "base/logging.h"
+
+namespace cider::iokit {
+
+bool
+osDictMatches(const OSDictionary &props, const OSDictionary &match)
+{
+    for (const auto &[key, want] : match) {
+        auto it = props.find(key);
+        if (it == props.end() || !(it->second == want))
+            return false;
+    }
+    return true;
+}
+
+std::string
+osValueString(const OSValue &v)
+{
+    if (const auto *s = std::get_if<std::string>(&v))
+        return *s;
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return std::to_string(*i);
+    if (const auto *b = std::get_if<bool>(&v))
+        return *b ? "true" : "false";
+    return {};
+}
+
+OSObject::OSObject(ducttape::KernelCxxRuntime &rt, std::size_t size)
+    : rt_(&rt), size_(size)
+{
+    rt_->noteConstruct(size_);
+}
+
+OSObject::~OSObject()
+{
+    rt_->noteDestroy(size_);
+}
+
+void
+OSObject::retain()
+{
+    refs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+OSObject::release()
+{
+    int prev = refs_.fetch_sub(1, std::memory_order_acq_rel);
+    if (prev <= 0)
+        cider_panic("OSObject over-release of ", className());
+    if (prev == 1)
+        delete this;
+}
+
+} // namespace cider::iokit

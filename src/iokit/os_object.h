@@ -1,0 +1,60 @@
+/**
+ * @file
+ * OSObject: the root of the I/O Kit C++ object model (foreign zone).
+ *
+ * I/O Kit is written in a restricted C++ subset whose objects are
+ * reference counted through retain/release rather than destructors.
+ * Every object accounts its storage in the kernel C++ runtime Cider
+ * added to the domestic kernel (paper section 5.1).
+ */
+
+#ifndef CIDER_IOKIT_OS_OBJECT_H
+#define CIDER_IOKIT_OS_OBJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "ducttape/cxx_runtime.h"
+
+namespace cider::iokit {
+
+/** Property values (OSNumber/OSString/OSBoolean stand-ins). */
+using OSValue =
+    std::variant<std::monostate, std::int64_t, std::string, bool>;
+
+/** OSDictionary stand-in used for properties and matching. */
+using OSDictionary = std::map<std::string, OSValue>;
+
+/** True when every key of @p match equals the value in @p props. */
+bool osDictMatches(const OSDictionary &props, const OSDictionary &match);
+
+std::string osValueString(const OSValue &v);
+
+class OSObject
+{
+  public:
+    OSObject(ducttape::KernelCxxRuntime &rt, std::size_t size);
+    virtual ~OSObject();
+
+    OSObject(const OSObject &) = delete;
+    OSObject &operator=(const OSObject &) = delete;
+
+    void retain();
+    /** Drop a reference; deletes the object at zero. */
+    void release();
+    int refCount() const { return refs_.load(); }
+
+    virtual const char *className() const { return "OSObject"; }
+
+  private:
+    ducttape::KernelCxxRuntime *rt_;
+    std::size_t size_;
+    std::atomic<int> refs_{1};
+};
+
+} // namespace cider::iokit
+
+#endif // CIDER_IOKIT_OS_OBJECT_H

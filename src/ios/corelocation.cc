@@ -1,0 +1,68 @@
+#include "ios/corelocation.h"
+
+#include <memory>
+
+#include "android/location.h"
+#include "diplomat/diplomat.h"
+#include "ios/libsystem.h"
+
+namespace cider::ios {
+
+binfmt::LibraryImage
+makeDiplomaticCoreLocationDylib(binfmt::LibraryRegistry &domestic_libs)
+{
+    binfmt::LibraryImage lib;
+    lib.name = "CoreLocation.dylib";
+    lib.format = kernel::BinaryFormat::MachO;
+    lib.pages = 28;
+
+    binfmt::LibraryRegistry *libs = &domestic_libs;
+    auto d = std::make_shared<diplomat::Diplomat>(
+        kCLGetFix,
+        [libs](binfmt::UserEnv &) -> const binfmt::Symbol * {
+            binfmt::LibraryImage *img = libs->find("liblocation.so");
+            return img ? img->exports.find(android::kLocationGetFix)
+                       : nullptr;
+        });
+    lib.exports.add(kCLGetFix,
+                    [d](binfmt::UserEnv &env,
+                        std::vector<binfmt::Value> &args) {
+                        return d->call(env, args);
+                    });
+    return lib;
+}
+
+binfmt::LibraryImage
+makeAppleCoreLocationDylib()
+{
+    binfmt::LibraryImage lib;
+    lib.name = "CoreLocation.dylib";
+    lib.format = kernel::BinaryFormat::MachO;
+    lib.pages = 28;
+
+    lib.exports.add(
+        kCLGetFix,
+        [](binfmt::UserEnv &env, std::vector<binfmt::Value> &) {
+            // Native path: the GPS hardware's registry entry.
+            LibSystem libc(env);
+            std::uint64_t entry =
+                libc.ioServiceGetMatchingService("gps0");
+            if (entry == 0)
+                return binfmt::Value{std::int64_t{0}};
+            std::string lat =
+                libc.ioRegistryGetProperty(entry, "latE6");
+            std::string lon =
+                libc.ioRegistryGetProperty(entry, "lonE6");
+            if (lat.empty() || lon.empty())
+                return binfmt::Value{std::int64_t{0}};
+            std::int64_t packed =
+                (static_cast<std::int64_t>(std::atol(lat.c_str()))
+                 << 32) |
+                (static_cast<std::uint32_t>(
+                    std::atol(lon.c_str())));
+            return binfmt::Value{packed};
+        });
+    return lib;
+}
+
+} // namespace cider::ios

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CoreLocation-lite: the iOS location framework.
+ *
+ * Implements the paper's section 6.4 recipe for simple devices:
+ * replace the framework's hardware-facing entry points with
+ * diplomatic functions into a domestic library (liblocation.so on
+ * Cider), or talk to the I/O Kit GPS entry natively (Apple build).
+ * Apps that find no fix take the Yelp-style fallback path.
+ */
+
+#ifndef CIDER_IOS_CORELOCATION_H
+#define CIDER_IOS_CORELOCATION_H
+
+#include "binfmt/program.h"
+
+namespace cider::ios {
+
+/** Exported entry point: returns the packed fix, 0 if unavailable. */
+inline constexpr const char *kCLGetFix = "CLLocationManager_getFix";
+
+/** Cider build: a diplomat into liblocation.so. */
+binfmt::LibraryImage
+makeDiplomaticCoreLocationDylib(binfmt::LibraryRegistry &domestic_libs);
+
+/** Apple build: reads the GPS entry from the I/O Kit registry. */
+binfmt::LibraryImage makeAppleCoreLocationDylib();
+
+} // namespace cider::ios
+
+#endif // CIDER_IOS_CORELOCATION_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * EAGL: Apple's replacement for EGL, as iOS apps see it.
+ *
+ * EAGL controls window memory and GL contexts. Cider provides
+ * diplomats for the EAGL entry points that call into the custom
+ * domestic libEGLbridge library, which implements the corresponding
+ * functionality over Android's libEGL and SurfaceFlinger (paper
+ * section 5.3). The Apple-mode build (iPad mini) manages window
+ * memory directly over the simulated Apple GPU instead.
+ */
+
+#ifndef CIDER_IOS_EAGL_H
+#define CIDER_IOS_EAGL_H
+
+#include "binfmt/program.h"
+#include "gpu/sim_gpu.h"
+
+namespace cider::ios {
+
+/** EAGL exported entry points. */
+inline constexpr const char *kEaglCreateContext =
+    "EAGLContext_initWithAPI";
+inline constexpr const char *kEaglSetCurrent =
+    "EAGLContext_setCurrentContext";
+inline constexpr const char *kEaglPresent =
+    "EAGLContext_presentRenderbuffer";
+inline constexpr const char *kEaglSurfaceBuffer = "EAGL_surfaceBuffer";
+
+/**
+ * Cider's diplomatic EAGL dylib: each export is a diplomat into the
+ * corresponding libEGLbridge.so function.
+ */
+binfmt::LibraryImage
+makeDiplomaticEaglDylib(binfmt::LibraryRegistry &domestic_libs);
+
+/**
+ * The native Apple EAGL used by the iPad mini configuration: window
+ * memory comes straight from the device's graphics allocator.
+ */
+binfmt::LibraryImage makeAppleEaglDylib(gpu::SimGpu &gpu);
+
+} // namespace cider::ios
+
+#endif // CIDER_IOS_EAGL_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The foreign OpenGL ES library and its diplomatic replacement.
+ *
+ * On a real Apple device OpenGLES.dylib drives the GPU through
+ * opaque Mach IPC; on Cider the whole library is replaced with
+ * diplomats into Android's libGLESv2 — one diplomat per exported
+ * symbol, generated automatically by matching Mach-O exports against
+ * the ELF shared objects in /system/lib (paper section 5.3).
+ */
+
+#ifndef CIDER_IOS_GLES_DIPLOMATIC_H
+#define CIDER_IOS_GLES_DIPLOMATIC_H
+
+#include "binfmt/macho.h"
+#include "binfmt/program.h"
+#include "diplomat/generator.h"
+#include "kernel/vfs.h"
+
+namespace cider::ios {
+
+/**
+ * The Mach-O image of Apple's OpenGLES.dylib: a dylib exporting the
+ * standard GL ES entry points (input to the diplomat generator).
+ */
+binfmt::MachOImage makeForeignGlesImage();
+
+/**
+ * Cider's replacement OpenGLES.dylib: every export is a diplomat
+ * generated against the ELF shared objects under @p so_dir.
+ */
+binfmt::LibraryImage
+makeDiplomaticGlesDylib(diplomat::DiplomatGenerator &generator,
+                        kernel::Vfs &vfs, const std::string &so_dir,
+                        diplomat::GeneratorReport *report = nullptr,
+                        bool fence_bug = true);
+
+/**
+ * The native Apple OpenGLES.dylib used by the iPad mini
+ * configuration: same app-facing API, no diplomats — its costs come
+ * purely from the device profile.
+ */
+binfmt::LibraryImage makeAppleGlesDylib();
+
+/**
+ * The paper's future-work optimisation, implemented: an OpenGLES
+ * replacement that *aggregates* GL calls on the foreign side and
+ * crosses the persona boundary once per flush instead of once per
+ * call. Void state/draw calls queue; calls that return values (and
+ * glFlush/glFinish) drain the queue through a single set_persona
+ * round trip.
+ */
+binfmt::LibraryImage
+makeAggregatingGlesDylib(binfmt::LibraryRegistry &domestic_libs,
+                         bool fence_bug = true);
+
+} // namespace cider::ios
+
+#endif // CIDER_IOS_GLES_DIPLOMATIC_H

@@ -1,0 +1,96 @@
+#include "ios/iosurface_lib.h"
+
+#include <memory>
+
+#include "android/gralloc.h"
+#include "diplomat/diplomat.h"
+#include "iokit/io_surface.h"
+#include "ios/libsystem.h"
+
+namespace cider::ios {
+
+namespace {
+
+using Args = std::vector<binfmt::Value>;
+
+binfmt::Value
+I(std::int64_t v)
+{
+    return binfmt::Value{v};
+}
+
+/** Add a diplomat-backed export mapping @p name to a gralloc symbol. */
+void
+addDiplomatic(binfmt::LibraryImage &lib,
+              binfmt::LibraryRegistry &registry, const char *name,
+              const char *gralloc_symbol)
+{
+    binfmt::LibraryRegistry *reg = &registry;
+    std::string target = gralloc_symbol;
+    auto diplomat = std::make_shared<diplomat::Diplomat>(
+        name,
+        [reg, target](binfmt::UserEnv &) -> const binfmt::Symbol * {
+            binfmt::LibraryImage *img = reg->find("libgralloc.so");
+            return img ? img->exports.find(target) : nullptr;
+        });
+    lib.exports.add(name, [diplomat](binfmt::UserEnv &env, Args &args) {
+        return diplomat->call(env, args);
+    });
+}
+
+/** Apple-mode export reaching IOSurfaceRoot via IOKit. */
+void
+addApple(binfmt::LibraryImage &lib, const char *name,
+         std::uint32_t selector, std::size_t out_index)
+{
+    lib.exports.add(
+        name, [selector, out_index](binfmt::UserEnv &env, Args &args) {
+            LibSystem libc(env);
+            std::uint64_t service =
+                libc.ioServiceGetMatchingService("IOSurfaceRoot");
+            if (service == 0)
+                return I(0);
+            std::vector<std::int64_t> input;
+            for (const binfmt::Value &v : args)
+                input.push_back(binfmt::valueI64(v));
+            std::vector<std::int64_t> output;
+            xnu::kern_return_t kr = libc.ioConnectCallMethod(
+                service, selector, input, output);
+            if (kr != xnu::KERN_SUCCESS)
+                return I(0);
+            if (out_index < output.size())
+                return I(output[out_index]);
+            return I(0);
+        });
+}
+
+} // namespace
+
+binfmt::LibraryImage
+makeIOSurfaceDylib(SurfaceMode mode,
+                   binfmt::LibraryRegistry &domestic_libs)
+{
+    binfmt::LibraryImage lib;
+    lib.name = "IOSurface.dylib";
+    lib.format = kernel::BinaryFormat::MachO;
+    lib.pages = 40;
+
+    if (mode == SurfaceMode::CiderDiplomatic) {
+        addDiplomatic(lib, domestic_libs, kIOSurfaceCreate,
+                      android::kGrallocAlloc);
+        addDiplomatic(lib, domestic_libs, kIOSurfaceGetWidth,
+                      android::kGrallocWidth);
+        addDiplomatic(lib, domestic_libs, kIOSurfaceGetHeight,
+                      android::kGrallocHeight);
+        addDiplomatic(lib, domestic_libs, kIOSurfaceRelease,
+                      android::kGrallocFree);
+    } else {
+        addApple(lib, kIOSurfaceCreate, iokit::surfsel::Create, 0);
+        addApple(lib, kIOSurfaceGetWidth, iokit::surfsel::GetInfo, 0);
+        addApple(lib, kIOSurfaceGetHeight, iokit::surfsel::GetInfo, 1);
+        addApple(lib, kIOSurfaceRelease, iokit::surfsel::Release, 0);
+    }
+    return lib;
+}
+
+} // namespace cider::ios

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The IOSurface user library (foreign zone).
+ *
+ * Two builds exist, selected by how the device can satisfy the API:
+ *
+ *  - Apple mode (iPad mini): entry points reach the real kernel
+ *    IOSurfaceRoot service through IOKit user-client calls.
+ *  - Cider mode: "Cider interposes diplomatic functions on key
+ *    IOSurface API entry points such as IOSurfaceCreate. These
+ *    diplomats call into Android-specific graphics memory allocation
+ *    libraries such as libgralloc" (paper section 5.3). API
+ *    interposition forces apps to link against these versions.
+ */
+
+#ifndef CIDER_IOS_IOSURFACE_LIB_H
+#define CIDER_IOS_IOSURFACE_LIB_H
+
+#include "binfmt/program.h"
+
+namespace cider::ios {
+
+/** Which implementation backs the IOSurface dylib. */
+enum class SurfaceMode
+{
+    AppleIOKit,
+    CiderDiplomatic,
+};
+
+/** Exported entry points. */
+inline constexpr const char *kIOSurfaceCreate = "IOSurfaceCreate";
+inline constexpr const char *kIOSurfaceGetWidth = "IOSurfaceGetWidth";
+inline constexpr const char *kIOSurfaceGetHeight = "IOSurfaceGetHeight";
+inline constexpr const char *kIOSurfaceRelease = "IOSurfaceRelease";
+
+/**
+ * Build IOSurface.dylib.
+ * @param mode implementation selection.
+ * @param domestic_libs registry holding libgralloc.so (Cider mode).
+ */
+binfmt::LibraryImage
+makeIOSurfaceDylib(SurfaceMode mode,
+                   binfmt::LibraryRegistry &domestic_libs);
+
+} // namespace cider::ios
+
+#endif // CIDER_IOS_IOSURFACE_LIB_H

@@ -1,0 +1,210 @@
+#include "ios/launchd.h"
+
+#include "base/logging.h"
+#include "ios/libsystem.h"
+
+namespace cider::ios {
+
+namespace {
+
+Bytes
+strBytes(const std::string &s)
+{
+    ByteWriter w;
+    w.str(s);
+    return w.take();
+}
+
+std::string
+bytesStr(const Bytes &b)
+{
+    ByteReader r(b);
+    return r.str();
+}
+
+} // namespace
+
+Launchd::Launchd(kernel::Kernel &k, xnu::MachIpc &ipc)
+    : kernel_(k), ipc_(ipc)
+{}
+
+Launchd::~Launchd()
+{
+    if (running_)
+        stop();
+    for (std::thread &t : serviceThreads_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+Launchd::start()
+{
+    if (running_)
+        return;
+    proc_ = &kernel_.createProcess("launchd", kernel::Persona::Ios);
+    kernel::Thread &main = proc_->mainThread();
+    {
+        kernel::ThreadScope scope(main);
+        xnu::MachTaskState &task = xnu::machTask(ipc_, *proc_);
+        ipc_.portAllocate(*task.space, xnu::PortRight::Receive,
+                          &bootstrapName_);
+        ipc_.portLookup(*task.space, bootstrapName_, &bootstrap_);
+        // launchd talks to its own bootstrap port like any client.
+        xnu::setBootstrapPort(ipc_, *proc_, bootstrap_);
+    }
+    running_ = true;
+    server_ = kernel_.startThread(
+        *proc_, kernel::Persona::Ios, [this](kernel::Thread &t) {
+            binfmt::UserEnv env{kernel_, t, {"launchd"}};
+            serverLoop(env);
+        });
+}
+
+void
+Launchd::serverLoop(binfmt::UserEnv &env)
+{
+    LibSystem libc(env);
+    while (true) {
+        xnu::MachMessage msg;
+        xnu::kern_return_t kr =
+            libc.machMsgReceive(bootstrapName_, msg);
+        if (kr != xnu::KERN_SUCCESS)
+            break;
+
+        switch (msg.header.msgId) {
+          case bootstrapmsg::Register: {
+              std::string name = bytesStr(msg.body);
+              if (!msg.ports.empty()) {
+                  std::lock_guard<std::mutex> lock(mu_);
+                  names_[name] = msg.ports[0].name;
+              }
+              break;
+          }
+          case bootstrapmsg::Lookup: {
+              std::string name = bytesStr(msg.body);
+              xnu::mach_port_name_t service = xnu::MACH_PORT_NULL;
+              {
+                  std::lock_guard<std::mutex> lock(mu_);
+                  auto it = names_.find(name);
+                  if (it != names_.end())
+                      service = it->second;
+              }
+              if (msg.header.remotePort == xnu::MACH_PORT_NULL)
+                  break;
+              xnu::MachMessage reply;
+              reply.header.remotePort = msg.header.remotePort;
+              reply.header.remoteDisposition =
+                  xnu::MsgDisposition::MoveSendOnce;
+              reply.header.msgId = bootstrapmsg::LookupReply;
+              if (service != xnu::MACH_PORT_NULL) {
+                  xnu::PortDescriptor desc;
+                  desc.name = service;
+                  desc.disposition = xnu::MsgDisposition::CopySend;
+                  reply.ports.push_back(desc);
+              }
+              if (libc.machMsgSend(reply) != xnu::KERN_SUCCESS)
+                  warn("launchd: lookup reply failed for ", name);
+              break;
+          }
+          case bootstrapmsg::Shutdown:
+            return;
+          default:
+            warn("launchd: unknown bootstrap message ",
+                 msg.header.msgId);
+            break;
+        }
+    }
+}
+
+void
+Launchd::stop()
+{
+    if (!running_)
+        return;
+    {
+        kernel::Thread &main = proc_->mainThread();
+        kernel::ThreadScope scope(main);
+        binfmt::UserEnv env{kernel_, main, {}};
+        LibSystem libc(env);
+        xnu::MachMessage msg;
+        msg.header.remotePort = libc.bootstrapPort();
+        msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+        msg.header.msgId = bootstrapmsg::Shutdown;
+        libc.machMsgSend(msg);
+    }
+    if (server_.joinable())
+        server_.join();
+    running_ = false;
+}
+
+kernel::Process &
+Launchd::spawnService(const std::string &name,
+                      std::function<void(binfmt::UserEnv &)> service_main)
+{
+    kernel::Process &proc =
+        kernel_.createProcess(name, kernel::Persona::Ios, proc_);
+    xnu::setBootstrapPort(ipc_, proc, bootstrap_);
+    serviceThreads_.push_back(kernel_.startThread(
+        proc, kernel::Persona::Ios,
+        [this, service_main, name](kernel::Thread &t) {
+            binfmt::UserEnv env{kernel_, t, {name}};
+            service_main(env);
+        }));
+    return proc;
+}
+
+std::vector<std::string>
+Launchd::registeredNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    for (const auto &[name, port] : names_)
+        out.push_back(name);
+    return out;
+}
+
+bool
+Launchd::registerService(LibSystem &libc, const std::string &name,
+                         xnu::mach_port_name_t service_port)
+{
+    xnu::MachMessage msg;
+    msg.header.remotePort = libc.bootstrapPort();
+    msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+    msg.header.msgId = bootstrapmsg::Register;
+    msg.body = strBytes(name);
+    xnu::PortDescriptor desc;
+    desc.name = service_port;
+    desc.disposition = xnu::MsgDisposition::MakeSend;
+    msg.ports.push_back(desc);
+    return libc.machMsgSend(msg) == xnu::KERN_SUCCESS;
+}
+
+xnu::mach_port_name_t
+Launchd::lookupService(LibSystem &libc, const std::string &name)
+{
+    xnu::mach_port_name_t reply_port = libc.machReplyPort();
+    if (reply_port == xnu::MACH_PORT_NULL)
+        return xnu::MACH_PORT_NULL;
+
+    xnu::MachMessage msg;
+    msg.header.remotePort = libc.bootstrapPort();
+    msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+    msg.header.localPort = reply_port;
+    msg.header.localDisposition = xnu::MsgDisposition::MakeSendOnce;
+    msg.header.msgId = bootstrapmsg::Lookup;
+    msg.body = strBytes(name);
+    if (libc.machMsgSend(msg) != xnu::KERN_SUCCESS) {
+        libc.machPortDestroy(reply_port);
+        return xnu::MACH_PORT_NULL;
+    }
+
+    xnu::MachMessage reply;
+    xnu::kern_return_t kr = libc.machMsgReceive(reply_port, reply);
+    libc.machPortDestroy(reply_port);
+    if (kr != xnu::KERN_SUCCESS || reply.ports.empty())
+        return xnu::MACH_PORT_NULL;
+    return reply.ports[0].name;
+}
+
+} // namespace cider::ios

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * launchd: the iOS init and bootstrap server.
+ *
+ * launchd boots the (simulated) iOS user space: it owns the bootstrap
+ * port every task receives at creation, serves name registration and
+ * lookup over Mach IPC, and starts the background Mach services
+ * (configd, notifyd) the paper copies from a real device (section 3).
+ */
+
+#ifndef CIDER_IOS_LAUNCHD_H
+#define CIDER_IOS_LAUNCHD_H
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "binfmt/program.h"
+#include "kernel/kernel.h"
+#include "xnu/mach_traps.h"
+
+namespace cider::ios {
+
+class LibSystem;
+
+/** Bootstrap protocol message ids. */
+namespace bootstrapmsg {
+
+inline constexpr std::int32_t Register = 400;
+inline constexpr std::int32_t Lookup = 401;
+inline constexpr std::int32_t LookupReply = 402;
+inline constexpr std::int32_t Shutdown = 499;
+
+} // namespace bootstrapmsg
+
+class Launchd
+{
+  public:
+    Launchd(kernel::Kernel &k, xnu::MachIpc &ipc);
+    ~Launchd();
+
+    /** Boot: create the launchd task, bootstrap port, server loop. */
+    void start();
+
+    /** Shut the server down and join its thread. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** The bootstrap port object, grafted into every new task. */
+    xnu::PortPtr bootstrapPortObject() const { return bootstrap_; }
+
+    /**
+     * Start a service process (its own task + host thread). The
+     * service main receives its UserEnv; launchd keeps the thread.
+     */
+    kernel::Process &
+    spawnService(const std::string &name,
+                 std::function<void(binfmt::UserEnv &)> service_main);
+
+    /** Names currently registered with the bootstrap server. */
+    std::vector<std::string> registeredNames() const;
+
+    /// @{ Client-side helpers (run in the caller's task).
+    static bool registerService(LibSystem &libc, const std::string &name,
+                                xnu::mach_port_name_t service_port);
+    static xnu::mach_port_name_t lookupService(LibSystem &libc,
+                                               const std::string &name);
+    /// @}
+
+  private:
+    void serverLoop(binfmt::UserEnv &env);
+
+    kernel::Kernel &kernel_;
+    xnu::MachIpc &ipc_;
+    kernel::Process *proc_ = nullptr;
+    xnu::PortPtr bootstrap_;
+    xnu::mach_port_name_t bootstrapName_ = xnu::MACH_PORT_NULL;
+    std::thread server_;
+    std::vector<std::thread> serviceThreads_;
+    std::atomic<bool> running_{false};
+
+    mutable std::mutex mu_;
+    std::map<std::string, xnu::mach_port_name_t> names_;
+};
+
+} // namespace cider::ios
+
+#endif // CIDER_IOS_LAUNCHD_H

@@ -1,0 +1,232 @@
+#include "ios/services.h"
+
+#include <map>
+
+#include "base/logging.h"
+#include "ios/libsystem.h"
+
+namespace cider::ios {
+
+namespace {
+
+Bytes
+kvBytes(const std::string &k, const std::string &v)
+{
+    ByteWriter w;
+    w.str(k);
+    w.str(v);
+    return w.take();
+}
+
+std::pair<std::string, std::string>
+kvParse(const Bytes &b)
+{
+    ByteReader r(b);
+    std::string k = r.str();
+    std::string v = r.str();
+    return {k, v};
+}
+
+Bytes
+strBytes(const std::string &s)
+{
+    ByteWriter w;
+    w.str(s);
+    return w.take();
+}
+
+std::string
+bytesStr(const Bytes &b)
+{
+    ByteReader r(b);
+    return r.str();
+}
+
+} // namespace
+
+kernel::Process &
+startConfigd(Launchd &launchd)
+{
+    return launchd.spawnService("configd", [](binfmt::UserEnv &env) {
+        LibSystem libc(env);
+        xnu::mach_port_name_t port =
+            libc.machPortAllocate(xnu::PortRight::Receive);
+        Launchd::registerService(libc, configmsg::kServiceName, port);
+
+        std::map<std::string, std::string> store;
+        while (true) {
+            xnu::MachMessage msg;
+            if (libc.machMsgReceive(port, msg) != xnu::KERN_SUCCESS)
+                return;
+            switch (msg.header.msgId) {
+              case configmsg::Set: {
+                  auto [k, v] = kvParse(msg.body);
+                  store[k] = v;
+                  break;
+              }
+              case configmsg::Get: {
+                  auto [k, v] = kvParse(msg.body);
+                  (void)v;
+                  if (msg.header.remotePort == xnu::MACH_PORT_NULL)
+                      break;
+                  xnu::MachMessage reply;
+                  reply.header.remotePort = msg.header.remotePort;
+                  reply.header.remoteDisposition =
+                      xnu::MsgDisposition::MoveSendOnce;
+                  reply.header.msgId = configmsg::GetReply;
+                  auto it = store.find(k);
+                  reply.body = strBytes(
+                      it == store.end() ? std::string() : it->second);
+                  libc.machMsgSend(reply);
+                  break;
+              }
+              case configmsg::Shutdown:
+                return;
+              default:
+                break;
+            }
+        }
+    });
+}
+
+kernel::Process &
+startNotifyd(Launchd &launchd)
+{
+    return launchd.spawnService("notifyd", [](binfmt::UserEnv &env) {
+        LibSystem libc(env);
+        xnu::mach_port_name_t port =
+            libc.machPortAllocate(xnu::PortRight::Receive);
+        Launchd::registerService(libc, notifymsg::kServiceName, port);
+
+        // name -> send-right names (in notifyd's space) to notify.
+        std::map<std::string, std::vector<xnu::mach_port_name_t>> subs;
+        while (true) {
+            xnu::MachMessage msg;
+            if (libc.machMsgReceive(port, msg) != xnu::KERN_SUCCESS)
+                return;
+            switch (msg.header.msgId) {
+              case notifymsg::Register: {
+                  std::string name = bytesStr(msg.body);
+                  if (!msg.ports.empty())
+                      subs[name].push_back(msg.ports[0].name);
+                  break;
+              }
+              case notifymsg::Post: {
+                  std::string name = bytesStr(msg.body);
+                  auto it = subs.find(name);
+                  if (it == subs.end())
+                      break;
+                  for (xnu::mach_port_name_t client : it->second) {
+                      xnu::MachMessage event;
+                      event.header.remotePort = client;
+                      event.header.remoteDisposition =
+                          xnu::MsgDisposition::CopySend;
+                      event.header.msgId = notifymsg::Event;
+                      event.body = strBytes(name);
+                      libc.machMsgSend(event);
+                  }
+                  break;
+              }
+              case notifymsg::Shutdown:
+                return;
+              default:
+                break;
+            }
+        }
+    });
+}
+
+bool
+configSet(LibSystem &libc, const std::string &key,
+          const std::string &value)
+{
+    xnu::mach_port_name_t svc =
+        Launchd::lookupService(libc, configmsg::kServiceName);
+    if (svc == xnu::MACH_PORT_NULL)
+        return false;
+    xnu::MachMessage msg;
+    msg.header.remotePort = svc;
+    msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+    msg.header.msgId = configmsg::Set;
+    msg.body = kvBytes(key, value);
+    return libc.machMsgSend(msg) == xnu::KERN_SUCCESS;
+}
+
+std::string
+configGet(LibSystem &libc, const std::string &key)
+{
+    xnu::mach_port_name_t svc =
+        Launchd::lookupService(libc, configmsg::kServiceName);
+    if (svc == xnu::MACH_PORT_NULL)
+        return {};
+    xnu::mach_port_name_t reply_port = libc.machReplyPort();
+    xnu::MachMessage msg;
+    msg.header.remotePort = svc;
+    msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+    msg.header.localPort = reply_port;
+    msg.header.localDisposition = xnu::MsgDisposition::MakeSendOnce;
+    msg.header.msgId = configmsg::Get;
+    msg.body = kvBytes(key, "");
+    if (libc.machMsgSend(msg) != xnu::KERN_SUCCESS) {
+        libc.machPortDestroy(reply_port);
+        return {};
+    }
+    xnu::MachMessage reply;
+    xnu::kern_return_t kr = libc.machMsgReceive(reply_port, reply);
+    libc.machPortDestroy(reply_port);
+    if (kr != xnu::KERN_SUCCESS)
+        return {};
+    return bytesStr(reply.body);
+}
+
+bool
+notifyRegister(LibSystem &libc, const std::string &name,
+               xnu::mach_port_name_t port)
+{
+    xnu::mach_port_name_t svc =
+        Launchd::lookupService(libc, notifymsg::kServiceName);
+    if (svc == xnu::MACH_PORT_NULL)
+        return false;
+    xnu::MachMessage msg;
+    msg.header.remotePort = svc;
+    msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+    msg.header.msgId = notifymsg::Register;
+    msg.body = strBytes(name);
+    xnu::PortDescriptor desc;
+    desc.name = port;
+    desc.disposition = xnu::MsgDisposition::MakeSend;
+    msg.ports.push_back(desc);
+    return libc.machMsgSend(msg) == xnu::KERN_SUCCESS;
+}
+
+bool
+notifyPost(LibSystem &libc, const std::string &name)
+{
+    xnu::mach_port_name_t svc =
+        Launchd::lookupService(libc, notifymsg::kServiceName);
+    if (svc == xnu::MACH_PORT_NULL)
+        return false;
+    xnu::MachMessage msg;
+    msg.header.remotePort = svc;
+    msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+    msg.header.msgId = notifymsg::Post;
+    msg.body = strBytes(name);
+    return libc.machMsgSend(msg) == xnu::KERN_SUCCESS;
+}
+
+void
+serviceShutdown(LibSystem &libc, const std::string &service_name,
+                std::int32_t shutdown_msg)
+{
+    xnu::mach_port_name_t svc =
+        Launchd::lookupService(libc, service_name);
+    if (svc == xnu::MACH_PORT_NULL)
+        return;
+    xnu::MachMessage msg;
+    msg.header.remotePort = svc;
+    msg.header.remoteDisposition = xnu::MsgDisposition::CopySend;
+    msg.header.msgId = shutdown_msg;
+    libc.machMsgSend(msg);
+}
+
+} // namespace cider::ios

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Background iOS user-level Mach services: configd and notifyd.
+ *
+ * These are the daemons the paper copies from a real iOS device and
+ * runs unmodified on Cider (section 3): configd is the system
+ * configuration (key/value) service and notifyd the asynchronous
+ * notification server. Both serve a small RPC protocol over Mach
+ * ports registered with launchd's bootstrap server.
+ */
+
+#ifndef CIDER_IOS_SERVICES_H
+#define CIDER_IOS_SERVICES_H
+
+#include <string>
+#include <vector>
+
+#include "ios/launchd.h"
+
+namespace cider::ios {
+
+class LibSystem;
+
+/** configd protocol. */
+namespace configmsg {
+
+inline constexpr std::int32_t Set = 510;
+inline constexpr std::int32_t Get = 511;
+inline constexpr std::int32_t GetReply = 512;
+inline constexpr std::int32_t Shutdown = 519;
+inline constexpr const char *kServiceName = "com.apple.configd";
+
+} // namespace configmsg
+
+/** notifyd protocol. */
+namespace notifymsg {
+
+inline constexpr std::int32_t Register = 520;
+inline constexpr std::int32_t Post = 521;
+inline constexpr std::int32_t Event = 522;
+inline constexpr std::int32_t Shutdown = 529;
+inline constexpr const char *kServiceName = "com.apple.notifyd";
+
+} // namespace notifymsg
+
+/** Start configd under @p launchd; returns its process. */
+kernel::Process &startConfigd(Launchd &launchd);
+
+/** Start notifyd under @p launchd. */
+kernel::Process &startNotifyd(Launchd &launchd);
+
+/// @{ Client helpers (run in the caller's task context).
+
+/** configd: set @p key to @p value. */
+bool configSet(LibSystem &libc, const std::string &key,
+               const std::string &value);
+
+/** configd: read @p key ("" when missing). */
+std::string configGet(LibSystem &libc, const std::string &key);
+
+/** notifyd: register @p port for notifications named @p name. */
+bool notifyRegister(LibSystem &libc, const std::string &name,
+                    xnu::mach_port_name_t port);
+
+/** notifyd: post the notification named @p name. */
+bool notifyPost(LibSystem &libc, const std::string &name);
+
+/** Ask a service to shut down (used by system teardown). */
+void serviceShutdown(LibSystem &libc, const std::string &service_name,
+                     std::int32_t shutdown_msg);
+
+/// @}
+
+} // namespace cider::ios
+
+#endif // CIDER_IOS_SERVICES_H

@@ -1,0 +1,115 @@
+#include "kernel/fd_table.h"
+
+namespace cider::kernel {
+
+SyscallResult
+FdTable::install(std::shared_ptr<OpenFile> file)
+{
+    auto desc = std::make_shared<FileDescription>();
+    desc->file = std::move(file);
+    return installDescription(std::move(desc));
+}
+
+SyscallResult
+FdTable::installDescription(std::shared_ptr<FileDescription> d)
+{
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i]) {
+            slots_[i] = std::move(d);
+            return SyscallResult::success(static_cast<std::int64_t>(i));
+        }
+    }
+    if (static_cast<int>(slots_.size()) >= maxFds_)
+        return SyscallResult::failure(lnx::MFILE);
+    slots_.push_back(std::move(d));
+    return SyscallResult::success(static_cast<std::int64_t>(slots_.size()) -
+                                  1);
+}
+
+std::shared_ptr<FileDescription>
+FdTable::get(Fd fd) const
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= slots_.size())
+        return nullptr;
+    return slots_[static_cast<std::size_t>(fd)];
+}
+
+SyscallResult
+FdTable::dup(Fd fd)
+{
+    auto desc = get(fd);
+    if (!desc)
+        return SyscallResult::failure(lnx::BADF);
+    return installDescription(desc);
+}
+
+SyscallResult
+FdTable::dup2(Fd fd, Fd new_fd)
+{
+    auto desc = get(fd);
+    if (!desc || new_fd < 0 || new_fd >= maxFds_)
+        return SyscallResult::failure(lnx::BADF);
+    if (fd == new_fd)
+        return SyscallResult::success(new_fd);
+    if (get(new_fd))
+        close(new_fd);
+    if (static_cast<std::size_t>(new_fd) >= slots_.size())
+        slots_.resize(static_cast<std::size_t>(new_fd) + 1);
+    slots_[static_cast<std::size_t>(new_fd)] = desc;
+    return SyscallResult::success(new_fd);
+}
+
+SyscallResult
+FdTable::close(Fd fd)
+{
+    auto desc = get(fd);
+    if (!desc)
+        return SyscallResult::failure(lnx::BADF);
+    slots_[static_cast<std::size_t>(fd)] = nullptr;
+    // Last reference to the description closes the file object.
+    if (desc.use_count() == 1 && desc->file)
+        desc->file->closed();
+    return SyscallResult::success();
+}
+
+FdTable
+FdTable::cloneForFork() const
+{
+    FdTable copy(maxFds_);
+    copy.slots_ = slots_;
+    return copy;
+}
+
+void
+FdTable::closeAll()
+{
+    for (auto &slot : slots_) {
+        if (slot && slot.use_count() == 1 && slot->file)
+            slot->file->closed();
+        slot = nullptr;
+    }
+}
+
+void
+FdTable::closeCloexec()
+{
+    for (auto &slot : slots_) {
+        if (slot && slot->cloexec) {
+            if (slot.use_count() == 1 && slot->file)
+                slot->file->closed();
+            slot = nullptr;
+        }
+    }
+}
+
+int
+FdTable::openCount() const
+{
+    int n = 0;
+    for (const auto &slot : slots_)
+        if (slot)
+            ++n;
+    return n;
+}
+
+} // namespace cider::kernel

@@ -1,0 +1,35 @@
+#include "kernel/file.h"
+
+namespace cider::kernel {
+
+SyscallResult
+OpenFile::read(Thread &, Bytes &, std::size_t)
+{
+    return SyscallResult::failure(lnx::INVAL);
+}
+
+SyscallResult
+OpenFile::write(Thread &, const Bytes &)
+{
+    return SyscallResult::failure(lnx::INVAL);
+}
+
+SyscallResult
+OpenFile::ioctl(Thread &, std::uint64_t, void *)
+{
+    return SyscallResult::failure(lnx::NOTTY);
+}
+
+SyscallResult
+OpenFile::seek(std::int64_t, int)
+{
+    return SyscallResult::failure(lnx::SPIPE);
+}
+
+PollState
+OpenFile::poll() const
+{
+    return {};
+}
+
+} // namespace cider::kernel

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Open-file abstraction of the simulated domestic kernel.
+ *
+ * Everything reachable through a file descriptor (regular files,
+ * pipe ends, UNIX sockets, device nodes) implements OpenFile. The
+ * FdTable stores shared FileDescription objects so dup()ed
+ * descriptors share offsets, as on Linux.
+ */
+
+#ifndef CIDER_KERNEL_FILE_H
+#define CIDER_KERNEL_FILE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/bytes.h"
+#include "kernel/types.h"
+
+namespace cider::kernel {
+
+class Thread;
+
+/** open(2) flags understood by the simulated kernel. */
+namespace oflag {
+
+inline constexpr int RDONLY = 0x0;
+inline constexpr int WRONLY = 0x1;
+inline constexpr int RDWR = 0x2;
+inline constexpr int CREAT = 0x40;
+inline constexpr int TRUNC = 0x200;
+inline constexpr int NONBLOCK = 0x800;
+inline constexpr int CLOEXEC = 0x80000;
+
+} // namespace oflag
+
+/** lseek whence values. */
+namespace seekw {
+
+inline constexpr int SET = 0;
+inline constexpr int CUR = 1;
+inline constexpr int END = 2;
+
+} // namespace seekw
+
+/** Readiness bits reported through poll()/select(). */
+struct PollState
+{
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+};
+
+/**
+ * One open file object. Methods return SyscallResult so error paths
+ * carry Linux errnos end to end.
+ */
+class OpenFile
+{
+  public:
+    virtual ~OpenFile() = default;
+
+    /** Short type tag for tests and /proc-style listings. */
+    virtual std::string kind() const = 0;
+
+    /** Read up to @p n bytes into @p out; value = bytes read. */
+    virtual SyscallResult read(Thread &t, Bytes &out, std::size_t n);
+
+    /** Write @p data; value = bytes written. */
+    virtual SyscallResult write(Thread &t, const Bytes &data);
+
+    /** Device-specific control; default is ENOTTY like Linux. */
+    virtual SyscallResult ioctl(Thread &t, std::uint64_t req, void *arg);
+
+    /** Reposition the file offset; ESPIPE for unseekable objects. */
+    virtual SyscallResult seek(std::int64_t offset, int whence);
+
+    /** Non-destructive readiness probe used by select()/poll(). */
+    virtual PollState poll() const;
+
+    /** Called once when the last descriptor referencing this closes. */
+    virtual void closed() {}
+};
+
+/** A descriptor-table entry: open file plus shared offset/flags. */
+struct FileDescription
+{
+    std::shared_ptr<OpenFile> file;
+    std::uint64_t offset = 0;
+    bool cloexec = false;
+    bool nonblock = false;
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_FILE_H

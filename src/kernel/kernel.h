@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The simulated domestic (Linux-like) kernel.
+ *
+ * The Kernel owns the process table, VFS, device registry, and the
+ * trap path. Cider's extensions attach through small seams:
+ *
+ *  - TrapDispatcher: the vanilla dispatcher serves only the Linux
+ *    syscall table; the persona layer replaces it with a
+ *    multi-persona dispatcher serving all XNU trap classes too.
+ *  - BinaryLoader: binfmt handlers (ELF, Mach-O) register here; the
+ *    Mach-O loader tags the loading thread with the iOS persona.
+ *  - SignalDeliveryHook: the persona layer translates signal
+ *    numbering/layout for foreign-persona receivers.
+ *  - fork/exec hooks: duct-taped subsystems (Mach IPC) initialise
+ *    per-process state when processes are created or replaced.
+ */
+
+#ifndef CIDER_KERNEL_KERNEL_H
+#define CIDER_KERNEL_KERNEL_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hw/device_profile.h"
+#include "kernel/device.h"
+#include "kernel/process.h"
+#include "kernel/types.h"
+#include "kernel/unix_socket.h"
+#include "kernel/vfs.h"
+
+namespace cider::kernel {
+
+class Kernel;
+
+/** stat(2) result as handed to user space. */
+struct StatBuf
+{
+    std::uint64_t size = 0;
+    InodeType type = InodeType::Regular;
+};
+
+/** A syscall implementation bound into a dispatch table. */
+using SyscallHandler =
+    std::function<SyscallResult(Kernel &, Thread &, SyscallArgs &)>;
+
+/**
+ * One syscall dispatch table. Cider maintains one or more of these
+ * per persona and switches among them by the calling thread's persona
+ * and trap class (paper section 4.1).
+ */
+class SyscallTable
+{
+  public:
+    explicit SyscallTable(std::string name) : name_(std::move(name)) {}
+
+    void set(int nr, const std::string &sys_name, SyscallHandler handler);
+    const SyscallHandler *find(int nr) const;
+    const std::string *sysName(int nr) const;
+    const std::string &name() const { return name_; }
+    std::size_t size() const { return handlers_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        SyscallHandler handler;
+    };
+
+    std::string name_;
+    std::map<int, Entry> handlers_;
+};
+
+/** Pluggable trap dispatcher (vanilla vs. Cider multi-persona). */
+class TrapDispatcher
+{
+  public:
+    virtual ~TrapDispatcher() = default;
+    virtual const char *name() const = 0;
+    virtual SyscallResult dispatch(Kernel &k, Thread &t, TrapClass cls,
+                                   int nr, SyscallArgs &args) = 0;
+};
+
+/** A binfmt handler in the kernel's loader chain. */
+class BinaryLoader
+{
+  public:
+    virtual ~BinaryLoader() = default;
+    virtual const char *name() const = 0;
+
+    /** Quick magic-number check. */
+    virtual bool probe(const Bytes &blob) const = 0;
+
+    /**
+     * Replace @p proc's image with the binary in @p blob and prepare
+     * @p t to run it (set persona, mappings, entry).
+     */
+    virtual SyscallResult load(Kernel &k, Thread &t, const Bytes &blob,
+                               const std::string &path,
+                               const std::vector<std::string> &argv) = 0;
+};
+
+class Kernel
+{
+  public:
+    explicit Kernel(const hw::DeviceProfile &profile);
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    const hw::DeviceProfile &profile() const { return profile_; }
+    Vfs &vfs() { return vfs_; }
+    DeviceRegistry &devices() { return devices_; }
+    UnixSocketRegistry &unixSockets() { return unixRegistry_; }
+
+    /// @{ Process management.
+    Process &createProcess(const std::string &name,
+                           Persona persona = Persona::Android,
+                           Process *parent = nullptr);
+    Process *findProcess(Pid pid) const;
+    std::size_t processCount() const { return processes_.size(); }
+    /// @}
+
+    /// @{ Trap path.
+    /**
+     * Kernel entry from user space. Charges the hardware trap cost
+     * and routes through the installed dispatcher; delivers pending
+     * asynchronous signals on the way out, as a real kernel does.
+     */
+    SyscallResult trap(Thread &t, TrapClass cls, int nr, SyscallArgs args);
+
+    void setDispatcher(std::unique_ptr<TrapDispatcher> d);
+    TrapDispatcher &dispatcher() { return *dispatcher_; }
+    SyscallTable &linuxTable() { return linuxTable_; }
+    /// @}
+
+    /// @{ Extension seams.
+    void registerLoader(std::unique_ptr<BinaryLoader> loader);
+    void setSignalHook(std::unique_ptr<SignalDeliveryHook> hook);
+    SignalDeliveryHook &signalHook() { return *signalHook_; }
+
+    using ProcessHook = std::function<void(Process &parent, Process &child)>;
+    using ExecHook = std::function<void(Process &proc)>;
+    /** Called after fork copies kernel state into the child. */
+    void addForkHook(ProcessHook hook) { forkHooks_.push_back(hook); }
+    /** Called when exec replaces a process image (before load). */
+    void addExecHook(ExecHook hook) { execHooks_.push_back(hook); }
+    /// @}
+
+    /// @{ Typed syscall implementations (the "Linux" bodies).
+    SyscallResult sysOpen(Thread &t, const std::string &path, int flags);
+    SyscallResult sysClose(Thread &t, Fd fd);
+    SyscallResult sysRead(Thread &t, Fd fd, Bytes &out, std::size_t n);
+    SyscallResult sysWrite(Thread &t, Fd fd, const Bytes &data);
+    SyscallResult sysDup(Thread &t, Fd fd);
+    SyscallResult sysPipe(Thread &t, Fd out_fds[2]);
+    SyscallResult sysMkdir(Thread &t, const std::string &path);
+    SyscallResult sysUnlink(Thread &t, const std::string &path);
+    SyscallResult sysRmdir(Thread &t, const std::string &path);
+    SyscallResult sysGetpid(Thread &t);
+    SyscallResult sysGetppid(Thread &t);
+    SyscallResult sysLseek(Thread &t, Fd fd, std::int64_t offset,
+                           int whence);
+    SyscallResult sysStat(Thread &t, const std::string &path,
+                          StatBuf *out);
+    SyscallResult sysRename(Thread &t, const std::string &from,
+                            const std::string &to);
+    SyscallResult sysDup2(Thread &t, Fd fd, Fd new_fd);
+    SyscallResult sysIoctl(Thread &t, Fd fd, std::uint64_t req, void *arg);
+    SyscallResult sysNull(Thread &t);
+
+    SyscallResult sysSelect(Thread &t, const std::vector<Fd> &read_fds,
+                            const std::vector<Fd> &write_fds,
+                            std::vector<Fd> &ready);
+
+    SyscallResult sysSocket(Thread &t);
+    SyscallResult sysSocketpair(Thread &t, Fd out_fds[2]);
+    SyscallResult sysBind(Thread &t, Fd fd, const std::string &path);
+    SyscallResult sysListen(Thread &t, Fd fd, int backlog);
+    SyscallResult sysAccept(Thread &t, Fd fd);
+    SyscallResult sysConnect(Thread &t, Fd fd, const std::string &path);
+
+    SyscallResult sysSigaction(Thread &t, int linux_signo,
+                               const SignalAction &action);
+    SyscallResult sysKill(Thread &t, Pid pid, int linux_signo);
+
+    /**
+     * fork(2). The child's main thread inherits the calling thread's
+     * persona; kernel state (fd table, mappings, dispositions) is
+     * copied with page-table duplication charged to the caller.
+     * @p child_body is the child's continuation; with @p run_now the
+     * child runs to completion on the calling host thread before
+     * fork returns (virtual time still attributes the child's work to
+     * the child's own clock).
+     */
+    SyscallResult sysFork(Thread &t, EntryFn child_body, bool run_now = true);
+
+    /** execve(2): never returns on success (throws ProcessExit). */
+    SyscallResult sysExecve(Thread &t, const std::string &path,
+                            const std::vector<std::string> &argv);
+
+    [[noreturn]] void sysExit(Thread &t, int code);
+
+    SyscallResult sysWaitpid(Thread &t, Pid pid, int *status);
+    /// @}
+
+    /**
+     * Run @p proc's loaded image on the calling host thread and
+     * terminate the process with its result.
+     */
+    int runProcess(Process &proc);
+
+    /**
+     * Start @p fn as a new simulated thread of @p proc on a dedicated
+     * host thread (used by long-running services).
+     */
+    std::thread startThread(Process &proc, Persona persona,
+                            std::function<void(Thread &)> fn);
+
+    /** Deliver (or queue) a signal to a specific thread. */
+    void deliverSignal(Thread &target, SigInfo info);
+
+    /** Run any queued signals for @p t (trap-exit path). */
+    void checkPendingSignals(Thread &t);
+
+  private:
+    const hw::DeviceProfile &profile_;
+    Vfs vfs_;
+    DeviceRegistry devices_;
+    UnixSocketRegistry unixRegistry_;
+    SyscallTable linuxTable_;
+    std::unique_ptr<TrapDispatcher> dispatcher_;
+    std::unique_ptr<SignalDeliveryHook> signalHook_;
+    std::vector<std::unique_ptr<BinaryLoader>> loaders_;
+    std::vector<ProcessHook> forkHooks_;
+    std::vector<ExecHook> execHooks_;
+    std::map<Pid, std::unique_ptr<Process>> processes_;
+    Pid nextPid_ = 1;
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_KERNEL_H

@@ -1,0 +1,121 @@
+#include "kernel/pipe.h"
+
+#include "base/cost_clock.h"
+#include "hw/device_profile.h"
+
+namespace cider::kernel {
+
+SyscallResult
+Pipe::read(Bytes &out, std::size_t n, bool nonblock)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (buf_.empty()) {
+        if (!writeOpen_)
+            return SyscallResult::success(0); // EOF
+        if (nonblock)
+            return SyscallResult::failure(lnx::AGAIN);
+        cv_.wait(lock);
+    }
+    charge(profile_.pipeTransferNs / 2);
+    std::size_t take = std::min(n, buf_.size());
+    out.assign(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(take));
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(take));
+    cv_.notify_all();
+    return SyscallResult::success(static_cast<std::int64_t>(take));
+}
+
+SyscallResult
+Pipe::write(const Bytes &data, bool nonblock)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!readOpen_)
+        return SyscallResult::failure(lnx::PIPE);
+    while (buf_.size() + data.size() > capacity) {
+        if (nonblock)
+            return SyscallResult::failure(lnx::AGAIN);
+        cv_.wait(lock);
+        if (!readOpen_)
+            return SyscallResult::failure(lnx::PIPE);
+    }
+    charge(profile_.pipeTransferNs / 2);
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    cv_.notify_all();
+    return SyscallResult::success(static_cast<std::int64_t>(data.size()));
+}
+
+void
+Pipe::closeReadEnd()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    readOpen_ = false;
+    cv_.notify_all();
+}
+
+void
+Pipe::closeWriteEnd()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    writeOpen_ = false;
+    cv_.notify_all();
+}
+
+bool
+Pipe::readable() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return !buf_.empty() || !writeOpen_;
+}
+
+bool
+Pipe::writable() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return readOpen_ && buf_.size() < capacity;
+}
+
+SyscallResult
+PipeEnd::read(Thread &, Bytes &out, std::size_t n)
+{
+    if (!readEnd_)
+        return SyscallResult::failure(lnx::BADF);
+    return pipe_->read(out, n, false);
+}
+
+SyscallResult
+PipeEnd::write(Thread &, const Bytes &data)
+{
+    if (readEnd_)
+        return SyscallResult::failure(lnx::BADF);
+    return pipe_->write(data, false);
+}
+
+PollState
+PipeEnd::poll() const
+{
+    PollState st;
+    if (readEnd_)
+        st.readable = pipe_->readable();
+    else
+        st.writable = pipe_->writable();
+    return st;
+}
+
+void
+PipeEnd::closed()
+{
+    if (readEnd_)
+        pipe_->closeReadEnd();
+    else
+        pipe_->closeWriteEnd();
+}
+
+std::pair<std::shared_ptr<PipeEnd>, std::shared_ptr<PipeEnd>>
+makePipe(const hw::DeviceProfile &profile)
+{
+    auto pipe = std::make_shared<Pipe>(profile);
+    return {std::make_shared<PipeEnd>(pipe, true),
+            std::make_shared<PipeEnd>(pipe, false)};
+}
+
+} // namespace cider::kernel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Anonymous pipes for the simulated domestic kernel.
+ */
+
+#ifndef CIDER_KERNEL_PIPE_H
+#define CIDER_KERNEL_PIPE_H
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "kernel/file.h"
+
+namespace cider::hw {
+struct DeviceProfile;
+} // namespace cider::hw
+
+namespace cider::kernel {
+
+/**
+ * Shared pipe state: a bounded byte queue plus liveness of each end.
+ * Blocking readers/writers park on host condition variables; their
+ * virtual clocks do not advance while blocked, which matches how
+ * lmbench-style latency is attributed to the running side.
+ */
+class Pipe
+{
+  public:
+    static constexpr std::size_t capacity = 64 * 1024;
+
+    explicit Pipe(const hw::DeviceProfile &profile) : profile_(profile) {}
+
+    SyscallResult read(Bytes &out, std::size_t n, bool nonblock);
+    SyscallResult write(const Bytes &data, bool nonblock);
+
+    void closeReadEnd();
+    void closeWriteEnd();
+
+    bool readable() const;
+    bool writable() const;
+
+  private:
+    const hw::DeviceProfile &profile_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::uint8_t> buf_;
+    bool readOpen_ = true;
+    bool writeOpen_ = true;
+};
+
+/** One end of a pipe, installed in a descriptor table. */
+class PipeEnd : public OpenFile
+{
+  public:
+    PipeEnd(std::shared_ptr<Pipe> pipe, bool is_read_end)
+        : pipe_(std::move(pipe)), readEnd_(is_read_end)
+    {}
+
+    std::string kind() const override
+    {
+        return readEnd_ ? "pipe:r" : "pipe:w";
+    }
+
+    SyscallResult read(Thread &t, Bytes &out, std::size_t n) override;
+    SyscallResult write(Thread &t, const Bytes &data) override;
+    PollState poll() const override;
+    void closed() override;
+
+  private:
+    std::shared_ptr<Pipe> pipe_;
+    bool readEnd_;
+};
+
+/** Create both ends of a fresh pipe. */
+std::pair<std::shared_ptr<PipeEnd>, std::shared_ptr<PipeEnd>>
+makePipe(const hw::DeviceProfile &profile);
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_PIPE_H

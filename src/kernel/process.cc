@@ -1,0 +1,87 @@
+#include "kernel/process.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace cider::kernel {
+
+std::uint64_t
+AddressSpace::pages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : mappings)
+        total += m.pages;
+    return total;
+}
+
+std::uint64_t
+AddressSpace::privatePages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : mappings)
+        if (!m.shared)
+            total += m.pages;
+    return total;
+}
+
+void
+AddressSpace::addMapping(const std::string &name, std::uint64_t pages,
+                         bool shared)
+{
+    mappings.push_back({name, pages, shared});
+}
+
+bool
+AddressSpace::hasMapping(const std::string &name) const
+{
+    return std::any_of(mappings.begin(), mappings.end(),
+                       [&](const Mapping &m) { return m.name == name; });
+}
+
+void
+AddressSpace::reset()
+{
+    mappings.clear();
+}
+
+Process::Process(Pid pid, std::string name, Process *parent)
+    : pid_(pid), name_(std::move(name)), parent_(parent)
+{}
+
+Thread &
+Process::createThread(Persona persona)
+{
+    threads_.push_back(std::make_unique<Thread>(nextTid_++, *this, persona));
+    return *threads_.back();
+}
+
+Thread &
+Process::mainThread()
+{
+    if (threads_.empty())
+        cider_panic("process ", name_, " has no threads");
+    return *threads_.front();
+}
+
+void
+Process::terminate(int code, std::uint64_t vtime)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::Running)
+        return;
+    fds_.closeAll();
+    exitCode_ = code;
+    exitVtime_ = vtime;
+    state_ = State::Zombie;
+    exitCv_.notify_all();
+}
+
+void
+Process::waitUntilZombie()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    exitCv_.wait(lock, [this] { return state_ != State::Running; });
+}
+
+} // namespace cider::kernel

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Process object of the simulated domestic kernel.
+ */
+
+#ifndef CIDER_KERNEL_PROCESS_H
+#define CIDER_KERNEL_PROCESS_H
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hw/device_profile.h"
+#include "kernel/fd_table.h"
+#include "kernel/signals.h"
+#include "kernel/thread.h"
+#include "kernel/types.h"
+
+namespace cider::kernel {
+
+/** Binary container format of a loaded image. */
+enum class BinaryFormat
+{
+    None,
+    Elf,
+    MachO,
+};
+
+/** One mapped region of an address space (a library, heap, stack). */
+struct Mapping
+{
+    std::string name;
+    std::uint64_t pages = 0;
+    /** Shared submaps (XNU's dyld shared-cache region) are not
+     *  duplicated by fork. */
+    bool shared = false;
+};
+
+/**
+ * Simulated address space: a list of mappings whose total page count
+ * is what fork() must duplicate page-table entries for. The 90 MB of
+ * dylib mappings dyld creates is the dominant fork cost for iOS
+ * binaries in the paper's Figure 5.
+ */
+struct AddressSpace
+{
+    std::vector<Mapping> mappings;
+
+    std::uint64_t pages() const;
+    /** Pages fork must copy page-table entries for. */
+    std::uint64_t privatePages() const;
+    void addMapping(const std::string &name, std::uint64_t pages,
+                    bool shared = false);
+    bool hasMapping(const std::string &name) const;
+    void reset();
+};
+
+/** Main-entry callable bound by a binary loader. */
+using EntryFn = std::function<int(Thread &)>;
+
+/** The currently executed binary image of a process. */
+struct ProcessImage
+{
+    std::string path;
+    BinaryFormat format = BinaryFormat::None;
+    std::string entrySymbol;
+    hw::Codegen codegen = hw::Codegen::LinuxGcc;
+    Persona persona = Persona::Android;
+    std::vector<std::string> dylibDeps;
+    std::vector<std::string> argv;
+    EntryFn entry;
+};
+
+class Process
+{
+  public:
+    enum class State
+    {
+        Running,
+        Zombie, ///< exited, not yet reaped by parent
+        Reaped,
+    };
+
+    Process(Pid pid, std::string name, Process *parent);
+
+    Pid pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    Process *parent() const { return parent_; }
+
+    AddressSpace &mem() { return mem_; }
+    FdTable &fds() { return fds_; }
+    SignalState &signals() { return signals_; }
+    ProcessImage &image() { return image_; }
+    ExtMap &ext() { return ext_; }
+
+    /** Create a thread in this process (persona is inherited state). */
+    Thread &createThread(Persona persona);
+    Thread &mainThread();
+    const std::vector<std::unique_ptr<Thread>> &threads() const
+    {
+        return threads_;
+    }
+
+    State state() const { return state_; }
+    int exitCode() const { return exitCode_; }
+    /** Virtual time at which the process exited (for wait). */
+    std::uint64_t exitVirtualTime() const { return exitVtime_; }
+
+    /** Kernel-side exit: close fds, flip to Zombie, wake waiters. */
+    void terminate(int code, std::uint64_t vtime);
+
+    void markReaped() { state_ = State::Reaped; }
+
+    /** Block the calling host thread until this process is a zombie. */
+    void waitUntilZombie();
+
+  private:
+    Pid pid_;
+    std::string name_;
+    Process *parent_;
+    AddressSpace mem_;
+    FdTable fds_;
+    SignalState signals_;
+    ProcessImage image_;
+    ExtMap ext_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    Tid nextTid_ = 1;
+
+    std::mutex mu_;
+    std::condition_variable exitCv_;
+    State state_ = State::Running;
+    int exitCode_ = 0;
+    std::uint64_t exitVtime_ = 0;
+};
+
+/** Thrown by the exit syscall to unwind a simulated program body. */
+struct ProcessExit
+{
+    int code;
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_PROCESS_H

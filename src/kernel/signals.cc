@@ -1,0 +1,51 @@
+#include "kernel/signals.h"
+
+#include "base/logging.h"
+#include "kernel/thread.h"
+
+namespace cider::kernel {
+
+SignalAction &
+SignalState::action(int linux_signo)
+{
+    if (linux_signo <= 0 || linux_signo >= lsig::COUNT)
+        cider_panic("bad signal number ", linux_signo);
+    return actions_[static_cast<std::size_t>(linux_signo)];
+}
+
+const SignalAction &
+SignalState::action(int linux_signo) const
+{
+    return const_cast<SignalState *>(this)->action(linux_signo);
+}
+
+void
+SignalState::reset()
+{
+    for (auto &a : actions_)
+        a = SignalAction{};
+}
+
+bool
+SignalState::defaultTerminates(int linux_signo)
+{
+    switch (linux_signo) {
+      case lsig::CHLD:
+      case lsig::CONT:
+      case lsig::URG:
+      case lsig::WINCH:
+        return false;
+      default:
+        return true;
+    }
+}
+
+int
+SignalDeliveryHook::prepare(Thread &, SigInfo &info)
+{
+    // Default (vanilla) behaviour: Linux numbering, Linux frame.
+    info.frameSize = 128;
+    return info.signo;
+}
+
+} // namespace cider::kernel

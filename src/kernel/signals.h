@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Signal model of the simulated domestic kernel.
+ *
+ * The kernel generates and stores signals in *Linux* numbering; a
+ * SignalDeliveryHook installed by the persona layer translates number,
+ * siginfo layout, and frame size when the receiving thread runs under
+ * a foreign persona (paper section 4.1). Programmatic XNU signals are
+ * translated to Linux numbers before they enter the kernel, so both
+ * directions — Android->iOS and iOS->Android — work.
+ */
+
+#ifndef CIDER_KERNEL_SIGNALS_H
+#define CIDER_KERNEL_SIGNALS_H
+
+#include <array>
+#include <deque>
+#include <functional>
+
+#include "kernel/types.h"
+
+namespace cider::kernel {
+
+class Thread;
+
+/** Siginfo as handed to user handlers (origin-neutral form). */
+struct SigInfo
+{
+    int signo = 0;          ///< numbering of the *receiver's* persona
+    int tableSigno = 0;     ///< Linux number used for table lookups
+    int code = 0;
+    Pid senderPid = 0;
+    std::int64_t value = 0;
+    /**
+     * Bytes of signal-frame state the kernel had to materialise for
+     * this delivery. iOS binaries expect a larger frame than Linux
+     * ones, which is part of the persona delivery overhead.
+     */
+    std::size_t frameSize = 0;
+};
+
+using SignalHandlerFn = std::function<void(int, const SigInfo &)>;
+
+/** Disposition of one signal. */
+struct SignalAction
+{
+    enum class Kind
+    {
+        Default,
+        Ignore,
+        Handler,
+    };
+
+    Kind kind = Kind::Default;
+    SignalHandlerFn fn;
+};
+
+/** Per-process table of dispositions (Linux numbering). */
+class SignalState
+{
+  public:
+    SignalAction &action(int linux_signo);
+    const SignalAction &action(int linux_signo) const;
+
+    /** Reset all handlers to default (exec does this). */
+    void reset();
+
+    /** True when the default action for @p signo terminates. */
+    static bool defaultTerminates(int linux_signo);
+
+  private:
+    std::array<SignalAction, lsig::COUNT> actions_;
+};
+
+/**
+ * Hook the persona layer installs on the kernel to customise delivery
+ * per receiving thread. The default hook delivers Linux numbering
+ * with a Linux-sized frame.
+ */
+class SignalDeliveryHook
+{
+  public:
+    virtual ~SignalDeliveryHook() = default;
+
+    /**
+     * Prepare @p info (numbering, frame size) for delivery to
+     * @p target and charge any translation cost.
+     * @return the signo to look up in the handler table (always the
+     *         Linux number) — handlers are registered under the
+     *         receiver persona's numbering by the libc wrappers, so
+     *         the hook also rewrites info.signo for the handler.
+     */
+    virtual int prepare(Thread &target, SigInfo &info);
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_SIGNALS_H

@@ -1,0 +1,28 @@
+#include "kernel/thread.h"
+
+namespace cider::kernel {
+
+namespace {
+
+thread_local Thread *t_current = nullptr;
+
+} // namespace
+
+Thread *
+Thread::current()
+{
+    return t_current;
+}
+
+ThreadScope::ThreadScope(Thread &thread)
+    : prev_(t_current), cost_(thread.clock())
+{
+    t_current = &thread;
+}
+
+ThreadScope::~ThreadScope()
+{
+    t_current = prev_;
+}
+
+} // namespace cider::kernel

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Kernel thread object with per-thread persona state.
+ *
+ * The persona is tracked *per thread*, inherited on fork/clone, and
+ * switchable at runtime via the set_persona syscall — the central
+ * kernel mechanism of the paper (sections 4.1 and 4.3). The TLS slots
+ * let one thread own distinct thread-local areas for every persona it
+ * executes in; the active slot selects where errno and the thread ID
+ * live.
+ */
+
+#ifndef CIDER_KERNEL_THREAD_H
+#define CIDER_KERNEL_THREAD_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/cost_clock.h"
+#include "kernel/signals.h"
+#include "kernel/types.h"
+
+namespace cider::kernel {
+
+class Process;
+
+/** Extension-state map modules use to hang per-object state. */
+class ExtMap
+{
+  public:
+    /** Fetch (default-constructing on first use) typed state. */
+    template <typename T>
+    T &
+    get(const std::string &key)
+    {
+        auto it = slots_.find(key);
+        if (it == slots_.end())
+            it = slots_.emplace(key, std::make_shared<T>()).first;
+        return *std::static_pointer_cast<T>(it->second);
+    }
+
+    /** Peek without creating. */
+    template <typename T>
+    T *
+    find(const std::string &key) const
+    {
+        auto it = slots_.find(key);
+        if (it == slots_.end())
+            return nullptr;
+        return std::static_pointer_cast<T>(it->second).get();
+    }
+
+    void erase(const std::string &key) { slots_.erase(key); }
+    void clear() { slots_.clear(); }
+
+  private:
+    std::map<std::string, std::shared_ptr<void>> slots_;
+};
+
+class Thread
+{
+  public:
+    Thread(Tid tid, Process &proc, Persona persona)
+        : tid_(tid), proc_(&proc), persona_(persona)
+    {}
+
+    Tid tid() const { return tid_; }
+    Process &process() { return *proc_; }
+    const Process &process() const { return *proc_; }
+
+    Persona persona() const { return persona_; }
+    void setPersona(Persona p) { persona_ = p; }
+
+    CostClock &clock() { return clock_; }
+
+    /** Pending asynchronous signals awaiting the next trap boundary. */
+    std::deque<SigInfo> &pendingSignals() { return pending_; }
+
+    /** Per-thread module extension state (TLS areas, Mach self port). */
+    ExtMap &ext() { return ext_; }
+
+    /** The thread the calling host thread is currently simulating. */
+    static Thread *current();
+
+  private:
+    Tid tid_;
+    Process *proc_;
+    Persona persona_;
+    CostClock clock_;
+    std::deque<SigInfo> pending_;
+    ExtMap ext_;
+
+    friend class ThreadScope;
+};
+
+/**
+ * RAII guard: the calling host thread simulates @p thread until the
+ * scope ends. Installs the thread's CostClock as the active clock.
+ */
+class ThreadScope
+{
+  public:
+    explicit ThreadScope(Thread &thread);
+    ~ThreadScope();
+
+    ThreadScope(const ThreadScope &) = delete;
+    ThreadScope &operator=(const ThreadScope &) = delete;
+
+  private:
+    Thread *prev_;
+    CostScope cost_;
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_THREAD_H

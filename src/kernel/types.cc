@@ -1,0 +1,101 @@
+#include "kernel/types.h"
+
+#include "base/logging.h"
+
+namespace cider::kernel {
+
+const char *
+personaName(Persona p)
+{
+    switch (p) {
+      case Persona::Android:
+        return "android";
+      case Persona::Ios:
+        return "ios";
+    }
+    return "?";
+}
+
+const char *
+trapClassName(TrapClass c)
+{
+    switch (c) {
+      case TrapClass::LinuxSyscall:
+        return "linux";
+      case TrapClass::XnuBsd:
+        return "xnu-bsd";
+      case TrapClass::XnuMach:
+        return "xnu-mach";
+      case TrapClass::XnuMdep:
+        return "xnu-mdep";
+      case TrapClass::XnuDiag:
+        return "xnu-diag";
+    }
+    return "?";
+}
+
+namespace {
+
+template <typename T>
+const T &
+argAs(const std::vector<Arg> &args, std::size_t i)
+{
+    if (i >= args.size())
+        cider_panic("syscall argument ", i, " out of range");
+    const T *v = std::get_if<T>(&args[i]);
+    if (!v)
+        cider_panic("syscall argument ", i, " has wrong type");
+    return *v;
+}
+
+} // namespace
+
+std::uint64_t
+SyscallArgs::u64(std::size_t i) const
+{
+    if (i < args.size()) {
+        if (const auto *v = std::get_if<std::uint64_t>(&args[i]))
+            return *v;
+        if (const auto *v = std::get_if<std::int64_t>(&args[i]))
+            return static_cast<std::uint64_t>(*v);
+    }
+    return argAs<std::uint64_t>(args, i);
+}
+
+std::int64_t
+SyscallArgs::i64(std::size_t i) const
+{
+    if (i < args.size()) {
+        if (const auto *v = std::get_if<std::int64_t>(&args[i]))
+            return *v;
+        if (const auto *v = std::get_if<std::uint64_t>(&args[i]))
+            return static_cast<std::int64_t>(*v);
+    }
+    return argAs<std::int64_t>(args, i);
+}
+
+const std::string &
+SyscallArgs::str(std::size_t i) const
+{
+    return argAs<std::string>(args, i);
+}
+
+Bytes *
+SyscallArgs::bytes(std::size_t i) const
+{
+    return argAs<Bytes *>(args, i);
+}
+
+const Bytes *
+SyscallArgs::cbytes(std::size_t i) const
+{
+    return argAs<const Bytes *>(args, i);
+}
+
+void *
+SyscallArgs::ptr(std::size_t i) const
+{
+    return argAs<void *>(args, i);
+}
+
+} // namespace cider::kernel

@@ -1,0 +1,280 @@
+#include "kernel/vfs.h"
+
+#include <algorithm>
+
+#include "base/cost_clock.h"
+#include "base/logging.h"
+#include "hw/device_profile.h"
+
+namespace cider::kernel {
+
+Vfs::Vfs(const hw::DeviceProfile &profile) : profile_(profile)
+{
+    root_ = std::make_shared<Inode>();
+    root_->type = InodeType::Directory;
+}
+
+void
+Vfs::addOverlay(const std::string &prefix, const std::string &target)
+{
+    overlays_.emplace_back(prefix, target);
+    // Longest prefix first so nested overlays behave like stacked
+    // mounts.
+    std::sort(overlays_.begin(), overlays_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first.size() > b.first.size();
+              });
+}
+
+std::string
+Vfs::rewrite(const std::string &path) const
+{
+    for (const auto &[prefix, target] : overlays_) {
+        if (path.size() >= prefix.size() &&
+            path.compare(0, prefix.size(), prefix) == 0 &&
+            (path.size() == prefix.size() || path[prefix.size()] == '/')) {
+            return target + path.substr(prefix.size());
+        }
+    }
+    return path;
+}
+
+std::vector<std::string>
+Vfs::splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/') {
+            if (!cur.empty() && cur != ".")
+                parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty() && cur != ".")
+        parts.push_back(cur);
+    return parts;
+}
+
+Lookup
+Vfs::lookup(const std::string &path) const
+{
+    Lookup out;
+    std::string effective = rewrite(path);
+    std::vector<std::string> parts = splitPath(effective);
+
+    InodePtr dir = root_;
+    if (parts.empty()) {
+        out.inode = root_;
+        out.parent = root_;
+        return out;
+    }
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+        if (dir->type != InodeType::Directory) {
+            out.err = lnx::NOTDIR;
+            return out;
+        }
+        auto it = dir->children.find(parts[i]);
+        if (it == dir->children.end()) {
+            out.err = lnx::NOENT;
+            return out;
+        }
+        dir = it->second;
+    }
+    if (dir->type != InodeType::Directory) {
+        out.err = lnx::NOTDIR;
+        return out;
+    }
+    out.parent = dir;
+    out.leaf = parts.back();
+    auto it = dir->children.find(out.leaf);
+    if (it != dir->children.end())
+        out.inode = it->second;
+    return out;
+}
+
+SyscallResult
+Vfs::mkdirAll(const std::string &path)
+{
+    std::string effective = rewrite(path);
+    std::vector<std::string> parts = splitPath(effective);
+    InodePtr dir = root_;
+    for (const auto &part : parts) {
+        if (dir->type != InodeType::Directory)
+            return SyscallResult::failure(lnx::NOTDIR);
+        auto it = dir->children.find(part);
+        if (it == dir->children.end()) {
+            auto node = std::make_shared<Inode>();
+            node->type = InodeType::Directory;
+            dir->children[part] = node;
+            dir = node;
+        } else {
+            dir = it->second;
+        }
+    }
+    if (dir->type != InodeType::Directory)
+        return SyscallResult::failure(lnx::NOTDIR);
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::mkdir(const std::string &path)
+{
+    Lookup lk = lookup(path);
+    if (lk.err)
+        return SyscallResult::failure(lk.err);
+    if (lk.inode)
+        return SyscallResult::failure(lnx::EXIST);
+    auto node = std::make_shared<Inode>();
+    node->type = InodeType::Directory;
+    lk.parent->children[lk.leaf] = node;
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::create(const std::string &path, InodePtr *out)
+{
+    charge(profile_.storageCreateNs / 2);
+    Lookup lk = lookup(path);
+    if (lk.err)
+        return SyscallResult::failure(lk.err);
+    if (lk.leaf.empty())
+        return SyscallResult::failure(lnx::ISDIR);
+    if (lk.inode) {
+        if (lk.inode->type == InodeType::Directory)
+            return SyscallResult::failure(lnx::ISDIR);
+        lk.inode->data.clear();
+        if (out)
+            *out = lk.inode;
+        return SyscallResult::success();
+    }
+    auto node = std::make_shared<Inode>();
+    node->type = InodeType::Regular;
+    lk.parent->children[lk.leaf] = node;
+    if (out)
+        *out = node;
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::unlink(const std::string &path)
+{
+    charge(profile_.storageCreateNs / 2);
+    Lookup lk = lookup(path);
+    if (lk.err)
+        return SyscallResult::failure(lk.err);
+    if (!lk.inode)
+        return SyscallResult::failure(lnx::NOENT);
+    if (lk.inode->type == InodeType::Directory)
+        return SyscallResult::failure(lnx::ISDIR);
+    lk.parent->children.erase(lk.leaf);
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::rename(const std::string &from, const std::string &to)
+{
+    charge(profile_.storageCreateNs / 4);
+    Lookup src = lookup(from);
+    if (src.err)
+        return SyscallResult::failure(src.err);
+    if (!src.inode)
+        return SyscallResult::failure(lnx::NOENT);
+    Lookup dst = lookup(to);
+    if (dst.err)
+        return SyscallResult::failure(dst.err);
+    if (dst.leaf.empty())
+        return SyscallResult::failure(lnx::ISDIR);
+    if (dst.inode && dst.inode->type == InodeType::Directory)
+        return SyscallResult::failure(lnx::ISDIR);
+    dst.parent->children[dst.leaf] = src.inode;
+    // Self-rename must not drop the file.
+    if (src.parent != dst.parent || src.leaf != dst.leaf)
+        src.parent->children.erase(src.leaf);
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::rmdir(const std::string &path)
+{
+    Lookup lk = lookup(path);
+    if (lk.err)
+        return SyscallResult::failure(lk.err);
+    if (!lk.inode)
+        return SyscallResult::failure(lnx::NOENT);
+    if (lk.inode->type != InodeType::Directory)
+        return SyscallResult::failure(lnx::NOTDIR);
+    if (!lk.inode->children.empty())
+        return SyscallResult::failure(lnx::NOTEMPTY);
+    lk.parent->children.erase(lk.leaf);
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::readdir(const std::string &path, std::vector<std::string> &out) const
+{
+    Lookup lk = lookup(path);
+    if (lk.err)
+        return SyscallResult::failure(lk.err);
+    if (!lk.inode)
+        return SyscallResult::failure(lnx::NOENT);
+    if (lk.inode->type != InodeType::Directory)
+        return SyscallResult::failure(lnx::NOTDIR);
+    out.clear();
+    for (const auto &[name, node] : lk.inode->children)
+        out.push_back(name);
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::mknod(const std::string &path, Device *dev)
+{
+    Lookup lk = lookup(path);
+    if (lk.err)
+        return SyscallResult::failure(lk.err);
+    if (lk.inode)
+        return SyscallResult::failure(lnx::EXIST);
+    auto node = std::make_shared<Inode>();
+    node->type = InodeType::DeviceNode;
+    node->device = dev;
+    lk.parent->children[lk.leaf] = node;
+    return SyscallResult::success();
+}
+
+SyscallResult
+Vfs::writeFile(const std::string &path, const Bytes &data)
+{
+    InodePtr node;
+    SyscallResult r = create(path, &node);
+    if (!r.ok())
+        return r;
+    charge(data.size() * profile_.storageWriteBytePs / 1000);
+    node->data = data;
+    return SyscallResult::success(static_cast<std::int64_t>(data.size()));
+}
+
+SyscallResult
+Vfs::readFile(const std::string &path, Bytes &out) const
+{
+    Lookup lk = lookup(path);
+    if (lk.err)
+        return SyscallResult::failure(lk.err);
+    if (!lk.inode)
+        return SyscallResult::failure(lnx::NOENT);
+    if (lk.inode->type != InodeType::Regular)
+        return SyscallResult::failure(lnx::ISDIR);
+    charge(lk.inode->data.size() * profile_.storageReadBytePs / 1000);
+    out = lk.inode->data;
+    return SyscallResult::success(static_cast<std::int64_t>(out.size()));
+}
+
+bool
+Vfs::exists(const std::string &path) const
+{
+    Lookup lk = lookup(path);
+    return lk.err == 0 && lk.inode != nullptr;
+}
+
+} // namespace cider::kernel

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * In-memory virtual filesystem of the simulated domestic kernel.
+ *
+ * A plain hierarchical namespace of inodes plus an *overlay table*:
+ * Cider overlays an iOS filesystem hierarchy onto the Android one so
+ * foreign apps see familiar paths such as /Documents (paper section
+ * 3). Overlays are longest-prefix path rewrites applied during
+ * resolution.
+ *
+ * All operations charge storage costs from the kernel's DeviceProfile
+ * so filesystem-heavy benchmarks (file create/delete, storage
+ * read/write) reflect the device being simulated.
+ */
+
+#ifndef CIDER_KERNEL_VFS_H
+#define CIDER_KERNEL_VFS_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+#include "kernel/types.h"
+
+namespace cider::hw {
+struct DeviceProfile;
+} // namespace cider::hw
+
+namespace cider::kernel {
+
+class Device;
+
+/** Inode type tag. */
+enum class InodeType
+{
+    Regular,
+    Directory,
+    DeviceNode,
+};
+
+/** One filesystem object. */
+struct Inode
+{
+    InodeType type = InodeType::Regular;
+    Bytes data;                              ///< regular-file contents
+    std::map<std::string, std::shared_ptr<Inode>> children; ///< dirs
+    Device *device = nullptr;                ///< device nodes
+    /**
+     * Binary-image tag: names a registered LibraryImage or program so
+     * loaders can attach callable text to an on-disk blob.
+     */
+    std::string imageTag;
+};
+
+using InodePtr = std::shared_ptr<Inode>;
+
+/** Result of a path lookup. */
+struct Lookup
+{
+    InodePtr inode;  ///< null when the final component is missing
+    InodePtr parent; ///< directory that holds (or would hold) it
+    std::string leaf;
+    int err = 0;     ///< non-zero when resolution itself failed
+};
+
+/** The mounted namespace. */
+class Vfs
+{
+  public:
+    explicit Vfs(const hw::DeviceProfile &profile);
+
+    /**
+     * Add an overlay: any path beginning with @p prefix is rewritten
+     * to @p target before resolution. Longest prefix wins, matching
+     * the behaviour of stacked mounts.
+     */
+    void addOverlay(const std::string &prefix, const std::string &target);
+
+    /** Apply overlay rewriting only (exposed for tests). */
+    std::string rewrite(const std::string &path) const;
+
+    /** Resolve @p path; never creates anything. */
+    Lookup lookup(const std::string &path) const;
+
+    /** Create all missing directories along @p path. */
+    SyscallResult mkdirAll(const std::string &path);
+
+    SyscallResult mkdir(const std::string &path);
+
+    /** Create (or truncate) a regular file; returns its inode. */
+    SyscallResult create(const std::string &path, InodePtr *out = nullptr);
+
+    SyscallResult unlink(const std::string &path);
+
+    /** Move/rename a file or directory. */
+    SyscallResult rename(const std::string &from, const std::string &to);
+
+    SyscallResult rmdir(const std::string &path);
+
+    /** List names in a directory. */
+    SyscallResult readdir(const std::string &path,
+                          std::vector<std::string> &out) const;
+
+    /** Register a device node at @p path. */
+    SyscallResult mknod(const std::string &path, Device *dev);
+
+    /** Whole-file convenience helpers used by loaders and tools. */
+    SyscallResult writeFile(const std::string &path, const Bytes &data);
+    SyscallResult readFile(const std::string &path, Bytes &out) const;
+
+    /** True when @p path resolves to an existing inode. */
+    bool exists(const std::string &path) const;
+
+    const hw::DeviceProfile &profile() const { return profile_; }
+
+    /** Split an absolute path into components; "." and "" dropped. */
+    static std::vector<std::string> splitPath(const std::string &path);
+
+  private:
+    const hw::DeviceProfile &profile_;
+    InodePtr root_;
+    std::vector<std::pair<std::string, std::string>> overlays_;
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_VFS_H

@@ -1,0 +1,172 @@
+#include "persona/persona.h"
+
+#include "base/cost_clock.h"
+#include "base/logging.h"
+#include "xnu/bsd_syscalls.h"
+#include "xnu/mach_traps.h"
+#include "xnu/xnu_signals.h"
+
+namespace cider::persona {
+
+using kernel::Persona;
+using kernel::SyscallArgs;
+using kernel::SyscallResult;
+using kernel::Thread;
+using kernel::TrapClass;
+
+/**
+ * The Cider trap dispatcher: one or more dispatch tables per persona,
+ * switched by the calling thread's persona and trap class.
+ */
+class MultiPersonaDispatcher : public kernel::TrapDispatcher
+{
+  public:
+    explicit MultiPersonaDispatcher(PersonaManager &mgr) : mgr_(mgr) {}
+
+    const char *name() const override { return "cider-multipersona"; }
+
+    SyscallResult
+    dispatch(kernel::Kernel &k, Thread &t, TrapClass cls, int nr,
+             SyscallArgs &args) override
+    {
+        const PersonaCosts &costs = mgr_.costs();
+        const hw::DeviceProfile &profile = k.profile();
+
+        // Persona check and handling on every syscall entry — the
+        // 8.5% null-syscall cost of running Cider at all (Figure 5).
+        charge(profile.cyclesToNs(costs.personaCheckCycles));
+
+        // set_persona is reachable from all personas and trap classes.
+        if (nr == SET_PERSONA) {
+            auto target = static_cast<Persona>(args.u64(0));
+            mgr_.setPersona(t, target);
+            return SyscallResult::success();
+        }
+
+        const kernel::SyscallTable *table = nullptr;
+        switch (cls) {
+          case TrapClass::LinuxSyscall:
+            // Only threads currently in the domestic persona use the
+            // Linux ABI entry path.
+            if (t.persona() == Persona::Android)
+                table = &k.linuxTable();
+            break;
+          case TrapClass::XnuBsd:
+            if (t.persona() == Persona::Ios) {
+                // Translate parameters and CPU flags into the Linux
+                // calling convention so the wrappers can invoke the
+                // existing Linux implementations.
+                charge(profile.cyclesToNs(costs.xnuConventionCycles));
+                table = &mgr_.xnuBsd_;
+            }
+            break;
+          case TrapClass::XnuMach:
+          case TrapClass::XnuMdep:
+          case TrapClass::XnuDiag:
+            if (t.persona() == Persona::Ios) {
+                charge(profile.cyclesToNs(costs.machTrapCycles));
+                table = &mgr_.mach_;
+            }
+            break;
+        }
+        if (!table) {
+            warn("trap class ", kernel::trapClassName(cls),
+                 " rejected for persona ",
+                 kernel::personaName(t.persona()));
+            return SyscallResult::failure(kernel::lnx::NOSYS);
+        }
+
+        const kernel::SyscallHandler *h = table->find(nr);
+        if (!h) {
+            SyscallResult r = SyscallResult::failure(kernel::lnx::NOSYS);
+            if (cls == TrapClass::XnuBsd)
+                r.err = xnu::linuxErrnoToXnu(r.err);
+            return r;
+        }
+        SyscallResult r = (*h)(k, t, args);
+        // Persona-tagged exit path: XNU BSD syscalls report failure
+        // through a carry flag and a *Darwin* errno value, so the
+        // boundary converts the Linux result before returning to the
+        // foreign user space (a non-zero err models the carry flag).
+        if (cls == TrapClass::XnuBsd && !r.ok())
+            r.err = xnu::linuxErrnoToXnu(r.err);
+        return r;
+    }
+
+  private:
+    PersonaManager &mgr_;
+};
+
+/**
+ * Persona-aware signal delivery: translates numbering and frame
+ * layout when the receiving thread runs the foreign persona.
+ */
+class PersonaSignalHook : public kernel::SignalDeliveryHook
+{
+  public:
+    explicit PersonaSignalHook(PersonaManager &mgr) : mgr_(mgr) {}
+
+    int
+    prepare(Thread &target, kernel::SigInfo &info) override
+    {
+        const PersonaCosts &costs = mgr_.costs();
+        const hw::DeviceProfile &profile = mgr_.kernel_.profile();
+
+        // Determining the persona of the target thread: the ~3%
+        // signal-handler overhead of Figure 5.
+        charge(profile.cyclesToNs(costs.signalLookupCycles));
+
+        int linux_signo = info.signo;
+        if (target.persona() == Persona::Ios) {
+            // Translate the signal information and materialise the
+            // larger delivery structure iOS binaries expect: the
+            // further ~25% overhead of Figure 5.
+            charge(profile.cyclesToNs(costs.iosSignalTranslateCycles));
+            int xnu = xnu::linuxSigToXnu(linux_signo);
+            if (xnu == 0) {
+                warn("signal ", linux_signo,
+                     " has no XNU counterpart; delivering raw");
+                xnu = linux_signo;
+            }
+            info.signo = xnu;
+            info.frameSize = 760; // XNU ucontext+siginfo frame
+        } else {
+            info.frameSize = 128;
+        }
+        return linux_signo;
+    }
+
+  private:
+    PersonaManager &mgr_;
+};
+
+PersonaManager::PersonaManager(kernel::Kernel &k, xnu::MachIpc &ipc,
+                               xnu::PsynchSubsystem &psynch,
+                               const PersonaCosts &costs)
+    : kernel_(k), ipc_(ipc), psynch_(psynch), costs_(costs),
+      xnuBsd_("xnu-bsd"), mach_("xnu-mach")
+{
+    xnu::buildXnuBsdTable(xnuBsd_, psynch_);
+    xnu::buildMachTrapTable(mach_, ipc_, psynch_);
+}
+
+void
+PersonaManager::install()
+{
+    kernel_.setDispatcher(
+        std::make_unique<MultiPersonaDispatcher>(*this));
+    kernel_.setSignalHook(std::make_unique<PersonaSignalHook>(*this));
+}
+
+void
+PersonaManager::setPersona(kernel::Thread &t, kernel::Persona p)
+{
+    // Swap the kernel ABI selection and the TLS area pointer; any
+    // later kernel trap or TLS access uses the new persona's state.
+    charge(kernel_.profile().cyclesToNs(costs_.setPersonaCycles));
+    t.setPersona(p);
+    ThreadTls::of(t).activate(p);
+    ++switches_;
+}
+
+} // namespace cider::persona

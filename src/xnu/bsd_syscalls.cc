@@ -1,0 +1,236 @@
+#include "xnu/bsd_syscalls.h"
+
+#include "kernel/kernel.h"
+#include "xnu/psynch.h"
+#include "xnu/xnu_signals.h"
+
+namespace cider::xnu {
+
+using kernel::Kernel;
+using kernel::SyscallArgs;
+using kernel::SyscallResult;
+using kernel::SyscallTable;
+using kernel::Thread;
+
+void
+buildXnuBsdTable(SyscallTable &tbl, PsynchSubsystem &psynch)
+{
+    tbl.set(xnuno::NULL_SYSCALL, "null",
+            [](Kernel &k, Thread &t, SyscallArgs &) {
+                return k.sysNull(t);
+            });
+
+    tbl.set(xnuno::EXIT, "exit", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        k.sysExit(t, a.i32(0));
+        return SyscallResult::success();
+    });
+
+    tbl.set(xnuno::FORK, "fork", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        auto *body = static_cast<kernel::EntryFn *>(a.ptr(0));
+        return k.sysFork(t, body ? *body : kernel::EntryFn());
+    });
+
+    tbl.set(xnuno::READ, "read", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysRead(t, a.i32(0), *a.bytes(1),
+                         static_cast<std::size_t>(a.u64(2)));
+    });
+
+    tbl.set(xnuno::WRITE, "write", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysWrite(t, a.i32(0), *a.cbytes(1));
+    });
+
+    tbl.set(xnuno::OPEN, "open", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysOpen(t, a.str(0), a.i32(1));
+    });
+
+    tbl.set(xnuno::CLOSE, "close", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysClose(t, a.i32(0));
+    });
+
+    tbl.set(xnuno::WAIT4, "wait4", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysWaitpid(t, a.i32(0), static_cast<int *>(a.ptr(1)));
+    });
+
+    tbl.set(xnuno::UNLINK, "unlink",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                return k.sysUnlink(t, a.str(0));
+            });
+
+    tbl.set(xnuno::GETPID, "getpid",
+            [](Kernel &k, Thread &t, SyscallArgs &) {
+                return k.sysGetpid(t);
+            });
+
+    tbl.set(xnuno::KILL, "kill", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        // Programmatic XNU signal: translate the Darwin number into
+        // the kernel's Linux vocabulary before delivery, so iOS apps
+        // can signal Android apps and vice versa (paper section 4.1).
+        int xnu_signo = a.i32(1);
+        int linux_signo = xnu_signo == 0 ? 0 : xnuSigToLinux(xnu_signo);
+        if (xnu_signo != 0 && linux_signo == 0)
+            return SyscallResult::failure(kernel::lnx::INVAL);
+        return k.sysKill(t, a.i32(0), linux_signo);
+    });
+
+    tbl.set(xnuno::DUP, "dup", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysDup(t, a.i32(0));
+    });
+
+    tbl.set(xnuno::PIPE, "pipe", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysPipe(t, static_cast<kernel::Fd *>(a.ptr(0)));
+    });
+
+    tbl.set(xnuno::SIGACTION, "sigaction",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                int linux_signo = xnuSigToLinux(a.i32(0));
+                if (linux_signo == 0)
+                    return SyscallResult::failure(kernel::lnx::INVAL);
+                auto *act = static_cast<kernel::SignalAction *>(a.ptr(1));
+                return k.sysSigaction(t, linux_signo,
+                                      act ? *act
+                                          : kernel::SignalAction());
+            });
+
+    tbl.set(xnuno::IOCTL, "ioctl", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysIoctl(t, a.i32(0), a.u64(1), a.ptr(2));
+    });
+
+    tbl.set(xnuno::LSEEK, "lseek", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysLseek(t, a.i32(0), a.i64(1), a.i32(2));
+    });
+
+    tbl.set(xnuno::STAT, "stat", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysStat(t, a.str(0),
+                         static_cast<kernel::StatBuf *>(a.ptr(1)));
+    });
+
+    tbl.set(xnuno::RENAME, "rename",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                return k.sysRename(t, a.str(0), a.str(1));
+            });
+
+    tbl.set(xnuno::DUP2, "dup2", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysDup2(t, a.i32(0), a.i32(1));
+    });
+
+    tbl.set(xnuno::GETPPID, "getppid",
+            [](Kernel &k, Thread &t, SyscallArgs &) {
+                return k.sysGetppid(t);
+            });
+
+    tbl.set(xnuno::EXECVE, "execve",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                auto *argv =
+                    static_cast<std::vector<std::string> *>(a.ptr(1));
+                return k.sysExecve(t, a.str(0),
+                                   argv ? *argv
+                                        : std::vector<std::string>());
+            });
+
+    tbl.set(xnuno::SELECT, "select",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                auto *rd = static_cast<std::vector<kernel::Fd> *>(a.ptr(0));
+                auto *wr = static_cast<std::vector<kernel::Fd> *>(a.ptr(1));
+                auto *ready =
+                    static_cast<std::vector<kernel::Fd> *>(a.ptr(2));
+                static const std::vector<kernel::Fd> empty;
+                return k.sysSelect(t, rd ? *rd : empty, wr ? *wr : empty,
+                                   *ready);
+            });
+
+    tbl.set(xnuno::SOCKET, "socket",
+            [](Kernel &k, Thread &t, SyscallArgs &) {
+                return k.sysSocket(t);
+            });
+
+    tbl.set(xnuno::CONNECT, "connect",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                return k.sysConnect(t, a.i32(0), a.str(1));
+            });
+
+    tbl.set(xnuno::ACCEPT, "accept",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                return k.sysAccept(t, a.i32(0));
+            });
+
+    tbl.set(xnuno::BIND, "bind", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysBind(t, a.i32(0), a.str(1));
+    });
+
+    tbl.set(xnuno::LISTEN, "listen",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                return k.sysListen(t, a.i32(0), a.i32(1));
+            });
+
+    tbl.set(xnuno::SOCKETPAIR, "socketpair",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                return k.sysSocketpair(t,
+                                       static_cast<kernel::Fd *>(a.ptr(0)));
+            });
+
+    tbl.set(xnuno::MKDIR, "mkdir", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysMkdir(t, a.str(0));
+    });
+
+    tbl.set(xnuno::RMDIR, "rmdir", [](Kernel &k, Thread &t, SyscallArgs &a) {
+        return k.sysRmdir(t, a.str(0));
+    });
+
+    // posix_spawn has no Linux twin; compose it from the Linux clone
+    // and exec implementations, as the paper does.
+    tbl.set(xnuno::POSIX_SPAWN, "posix_spawn",
+            [](Kernel &k, Thread &t, SyscallArgs &a) {
+                std::string path = a.str(0);
+                auto *argv_in =
+                    static_cast<std::vector<std::string> *>(a.ptr(1));
+                std::vector<std::string> argv =
+                    argv_in ? *argv_in : std::vector<std::string>();
+                kernel::EntryFn child =
+                    [&k, path, argv](kernel::Thread &ct) -> int {
+                    kernel::SyscallResult r = k.sysExecve(ct, path, argv);
+                    return r.ok() ? 0 : 127;
+                };
+                return k.sysFork(t, child);
+            });
+
+    // psynch: the duct-taped XNU pthread kernel support.
+    auto kr_to_sys = [](kern_return_t kr) {
+        if (kr == KERN_SUCCESS)
+            return SyscallResult::success();
+        return SyscallResult::failure(kernel::lnx::INVAL);
+    };
+
+    tbl.set(xnuno::PSYNCH_MUTEXWAIT, "psynch_mutexwait",
+            [&psynch, kr_to_sys](Kernel &, Thread &t, SyscallArgs &a) {
+                kern_return_t kr = psynch.mutexWait(
+                    a.u64(0), static_cast<std::uint64_t>(t.tid()));
+                if (kr == KERN_INVALID_ARGUMENT)
+                    return SyscallResult::failure(kernel::lnx::DEADLK);
+                return kr_to_sys(kr);
+            });
+
+    tbl.set(xnuno::PSYNCH_MUTEXDROP, "psynch_mutexdrop",
+            [&psynch, kr_to_sys](Kernel &, Thread &t, SyscallArgs &a) {
+                return kr_to_sys(psynch.mutexDrop(
+                    a.u64(0), static_cast<std::uint64_t>(t.tid())));
+            });
+
+    tbl.set(xnuno::PSYNCH_CVWAIT, "psynch_cvwait",
+            [&psynch, kr_to_sys](Kernel &, Thread &t, SyscallArgs &a) {
+                return kr_to_sys(psynch.cvWait(
+                    a.u64(0), a.u64(1),
+                    static_cast<std::uint64_t>(t.tid())));
+            });
+
+    tbl.set(xnuno::PSYNCH_CVSIGNAL, "psynch_cvsignal",
+            [&psynch, kr_to_sys](Kernel &, Thread &, SyscallArgs &a) {
+                return kr_to_sys(psynch.cvSignal(a.u64(0)));
+            });
+
+    tbl.set(xnuno::PSYNCH_CVBROAD, "psynch_cvbroad",
+            [&psynch, kr_to_sys](Kernel &, Thread &, SyscallArgs &a) {
+                return kr_to_sys(psynch.cvBroadcast(a.u64(0)));
+            });
+}
+
+} // namespace cider::xnu

@@ -1,0 +1,56 @@
+#include "xnu/kern_return.h"
+
+namespace cider::xnu {
+
+const char *
+kernReturnName(kern_return_t kr)
+{
+    switch (kr) {
+      case KERN_SUCCESS:
+        return "KERN_SUCCESS";
+      case KERN_INVALID_ADDRESS:
+        return "KERN_INVALID_ADDRESS";
+      case KERN_NO_SPACE:
+        return "KERN_NO_SPACE";
+      case KERN_INVALID_ARGUMENT:
+        return "KERN_INVALID_ARGUMENT";
+      case KERN_FAILURE:
+        return "KERN_FAILURE";
+      case KERN_RESOURCE_SHORTAGE:
+        return "KERN_RESOURCE_SHORTAGE";
+      case KERN_NAME_EXISTS:
+        return "KERN_NAME_EXISTS";
+      case KERN_NOT_IN_SET:
+        return "KERN_NOT_IN_SET";
+      case KERN_INVALID_NAME:
+        return "KERN_INVALID_NAME";
+      case KERN_INVALID_TASK:
+        return "KERN_INVALID_TASK";
+      case KERN_INVALID_RIGHT:
+        return "KERN_INVALID_RIGHT";
+      case KERN_INVALID_VALUE:
+        return "KERN_INVALID_VALUE";
+      case KERN_UREFS_OVERFLOW:
+        return "KERN_UREFS_OVERFLOW";
+      case KERN_INVALID_CAPABILITY:
+        return "KERN_INVALID_CAPABILITY";
+      case MACH_SEND_INVALID_DEST:
+        return "MACH_SEND_INVALID_DEST";
+      case MACH_SEND_TIMED_OUT:
+        return "MACH_SEND_TIMED_OUT";
+      case MACH_SEND_INVALID_RIGHT:
+        return "MACH_SEND_INVALID_RIGHT";
+      case MACH_RCV_INVALID_NAME:
+        return "MACH_RCV_INVALID_NAME";
+      case MACH_RCV_TIMED_OUT:
+        return "MACH_RCV_TIMED_OUT";
+      case MACH_RCV_PORT_DIED:
+        return "MACH_RCV_PORT_DIED";
+      case MACH_RCV_PORT_CHANGED:
+        return "MACH_RCV_PORT_CHANGED";
+      default:
+        return "KERN_?";
+    }
+}
+
+} // namespace cider::xnu

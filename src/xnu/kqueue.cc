@@ -1,0 +1,51 @@
+#include "xnu/kqueue.h"
+
+#include "kernel/kernel.h"
+#include "xnu/bsd_syscalls.h"
+#include "xnu/xnu_signals.h"
+
+namespace cider::xnu {
+
+int
+KQueue::kevent(const std::vector<KEvent> &changes, std::vector<KEvent> &out)
+{
+    for (const KEvent &change : changes) {
+        auto key = std::make_pair(change.ident, change.filter);
+        if (change.add)
+            filters_[key] = change;
+        else
+            filters_.erase(key);
+    }
+
+    // Interpose onto select: split registrations into read/write sets
+    // and issue the XNU select syscall.
+    std::vector<kernel::Fd> rd, wr, ready;
+    for (const auto &[key, ev] : filters_) {
+        if (key.second == EVFILT_READ)
+            rd.push_back(key.first);
+        else if (key.second == EVFILT_WRITE)
+            wr.push_back(key.first);
+    }
+    kernel::SyscallArgs args = kernel::makeArgs(
+        static_cast<void *>(&rd), static_cast<void *>(&wr),
+        static_cast<void *>(&ready));
+    kernel::SyscallResult r = kernel_.trap(
+        thread_, kernel::TrapClass::XnuBsd, xnuno::SELECT, args);
+    if (!r.ok())
+        return -linuxErrnoToXnu(r.err);
+
+    int count = 0;
+    for (kernel::Fd fd : ready) {
+        // Report under the filter(s) registered for this fd.
+        for (std::int16_t filter : {EVFILT_READ, EVFILT_WRITE}) {
+            auto it = filters_.find({fd, filter});
+            if (it != filters_.end()) {
+                out.push_back(it->second);
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+} // namespace cider::xnu

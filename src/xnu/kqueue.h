@@ -1,0 +1,65 @@
+/**
+ * @file
+ * User-level kqueue/kevent.
+ *
+ * The paper notes BSD kqueue/kevent did *not* need duct tape: an
+ * open-source user-level implementation (libkqueue) rides on native
+ * primitives via API interposition (section 4.2). Accordingly this
+ * lives in user space: registrations are library state, and polling
+ * is implemented over the select syscall through the normal XNU BSD
+ * trap path.
+ */
+
+#ifndef CIDER_XNU_KQUEUE_H
+#define CIDER_XNU_KQUEUE_H
+
+#include <map>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace cider::kernel {
+class Kernel;
+class Thread;
+} // namespace cider::kernel
+
+namespace cider::xnu {
+
+/** Event filters (real EVFILT_* values). */
+inline constexpr std::int16_t EVFILT_READ = -1;
+inline constexpr std::int16_t EVFILT_WRITE = -2;
+
+/** Registration/report record (struct kevent analogue). */
+struct KEvent
+{
+    kernel::Fd ident = -1;
+    std::int16_t filter = 0;
+    bool add = true; ///< EV_ADD vs EV_DELETE on changelists
+};
+
+/** A user-level kqueue instance. */
+class KQueue
+{
+  public:
+    KQueue(kernel::Kernel &k, kernel::Thread &t) : kernel_(k), thread_(t)
+    {}
+
+    /**
+     * Apply @p changes, then poll registrations and append triggered
+     * events to @p out. Returns the number of events or a negative
+     * Darwin errno.
+     */
+    int kevent(const std::vector<KEvent> &changes,
+               std::vector<KEvent> &out);
+
+    std::size_t registrationCount() const { return filters_.size(); }
+
+  private:
+    kernel::Kernel &kernel_;
+    kernel::Thread &thread_;
+    std::map<std::pair<kernel::Fd, std::int16_t>, KEvent> filters_;
+};
+
+} // namespace cider::xnu
+
+#endif // CIDER_XNU_KQUEUE_H

@@ -1,0 +1,777 @@
+#include "xnu/mach_ipc.h"
+
+#include <algorithm>
+
+#include "base/cost_clock.h"
+#include "base/logging.h"
+
+namespace cider::xnu {
+
+namespace {
+
+// Message-path costs (virtual ns) on top of the duct-taped primitive
+// costs. Inline bodies are copied (per byte); OOL regions are moved
+// zero-copy (per descriptor).
+constexpr std::uint64_t kMsgBaseNs = 350;
+constexpr std::uint64_t kMsgPerRightNs = 120;
+constexpr std::uint64_t kMsgPerOolNs = 180;
+
+std::uint64_t
+bodyCopyNs(std::size_t bytes)
+{
+    return bytes / 4; // ~0.25 ns per byte copied
+}
+
+} // namespace
+
+/**
+ * The in-kernel port object. The message queue is a flat FIFO: the
+ * recursive queuing of the original XNU sources is disallowed in the
+ * domestic kernel, so this part was rewritten (paper section 4.2).
+ */
+class IpcPort
+{
+  public:
+    explicit IpcPort(bool is_set)
+        : lock(ducttape::lck_mtx_alloc_init()),
+          wq(ducttape::waitq_alloc()), isSet(is_set)
+    {}
+
+    ~IpcPort()
+    {
+        ducttape::lck_mtx_free(lock);
+        ducttape::waitq_free(wq);
+    }
+
+    IpcPort(const IpcPort &) = delete;
+    IpcPort &operator=(const IpcPort &) = delete;
+
+    ducttape::LckMtx *lock;
+    ducttape::WaitQ *wq;
+    const bool isSet;
+    bool active = true;
+    std::size_t qlimit = 16;
+    std::deque<MachIpc::KMsg> queue;
+
+    /** Set membership (a port belongs to at most one set). */
+    std::weak_ptr<IpcPort> memberOf;
+    /** Members, when this port is a set. */
+    std::vector<std::weak_ptr<IpcPort>> members;
+
+    /** Pending dead-name notification requests: (notify port, name
+     *  the requester holds). */
+    std::vector<std::pair<PortPtr, mach_port_name_t>> deadNameRequests;
+};
+
+IpcSpace::IpcSpace() : lock_(ducttape::lck_mtx_alloc_init()) {}
+
+IpcSpace::~IpcSpace()
+{
+    ducttape::lck_mtx_free(lock_);
+}
+
+std::size_t
+IpcSpace::entryCount() const
+{
+    ducttape::lck_mtx_lock(lock_);
+    std::size_t n = entries_.size();
+    ducttape::lck_mtx_unlock(lock_);
+    return n;
+}
+
+MachIpc::MachIpc()
+    : portZone_(ducttape::zinit(256, "ipc.ports")),
+      spaceZone_(ducttape::zinit(128, "ipc.spaces")),
+      statsLock_(ducttape::lck_mtx_alloc_init())
+{}
+
+MachIpc::~MachIpc()
+{
+    ducttape::lck_mtx_free(statsLock_);
+    ducttape::zdestroy(portZone_);
+    ducttape::zdestroy(spaceZone_);
+}
+
+SpacePtr
+MachIpc::createSpace()
+{
+    void *acct = ducttape::zalloc(spaceZone_);
+    if (acct)
+        ducttape::zfree(spaceZone_, acct); // accounting touch only
+    return std::make_shared<IpcSpace>();
+}
+
+PortPtr
+MachIpc::makePort(bool is_set)
+{
+    // Ports are accounted in a zalloc zone exactly as XNU does; the
+    // zone can be armed with failure injection in tests.
+    void *mem = ducttape::zalloc(portZone_);
+    if (!mem)
+        return nullptr;
+    auto port = std::shared_ptr<IpcPort>(
+        new IpcPort(is_set), [zone = portZone_, mem](IpcPort *p) {
+            ducttape::zfree(zone, mem);
+            delete p;
+        });
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.portsAllocated;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return port;
+}
+
+kern_return_t
+MachIpc::portAllocate(IpcSpace &space, PortRight right,
+                      mach_port_name_t *out_name)
+{
+    if (right != PortRight::Receive && right != PortRight::PortSet)
+        return KERN_INVALID_VALUE;
+    PortPtr port = makePort(right == PortRight::PortSet);
+    if (!port)
+        return KERN_RESOURCE_SHORTAGE;
+
+    ducttape::lck_mtx_lock(space.lock_);
+    mach_port_name_t name = space.nextName_;
+    space.nextName_ += 4;
+    IpcEntry entry;
+    entry.port = port;
+    entry.hasReceive = (right == PortRight::Receive);
+    entry.isPortSet = (right == PortRight::PortSet);
+    space.entries_[name] = std::move(entry);
+    ducttape::lck_mtx_unlock(space.lock_);
+
+    *out_name = name;
+    return KERN_SUCCESS;
+}
+
+void
+MachIpc::sendDeadNameNotification(const PortPtr &notify_port,
+                                  mach_port_name_t dead_name)
+{
+    KMsg note;
+    note.msgId = MACH_NOTIFY_DEAD_NAME;
+    ByteWriter w;
+    w.u32(dead_name);
+    note.body = w.take();
+    if (enqueue(notify_port, std::move(note)) == KERN_SUCCESS) {
+        ducttape::lck_mtx_lock(statsLock_);
+        ++stats_.notificationsSent;
+        ducttape::lck_mtx_unlock(statsLock_);
+    }
+}
+
+void
+MachIpc::destroyKMsgRights(KMsg &kmsg)
+{
+    kmsg.reply.port.reset();
+    kmsg.ports.clear();
+    kmsg.ool.clear();
+}
+
+void
+MachIpc::markPortDead(const PortPtr &port)
+{
+    std::vector<std::pair<PortPtr, mach_port_name_t>> notify;
+    {
+        ducttape::lck_mtx_lock(port->lock);
+        port->active = false;
+        for (auto &kmsg : port->queue)
+            destroyKMsgRights(kmsg);
+        port->queue.clear();
+        notify.swap(port->deadNameRequests);
+        ducttape::waitq_wakeup_all(port->wq);
+        ducttape::lck_mtx_unlock(port->lock);
+    }
+    if (PortPtr set = port->memberOf.lock()) {
+        ducttape::lck_mtx_lock(set->lock);
+        ducttape::waitq_wakeup_all(set->wq);
+        ducttape::lck_mtx_unlock(set->lock);
+    }
+    for (auto &[notify_port, name] : notify)
+        sendDeadNameNotification(notify_port, name);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.portsDestroyed;
+    ducttape::lck_mtx_unlock(statsLock_);
+}
+
+kern_return_t
+MachIpc::portDestroy(IpcSpace &space, mach_port_name_t name)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    IpcEntry entry = it->second;
+    space.entries_.erase(it);
+    ducttape::lck_mtx_unlock(space.lock_);
+
+    if (entry.port && (entry.hasReceive || entry.isPortSet))
+        markPortDead(entry.port);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::portDeallocate(IpcSpace &space, mach_port_name_t name)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    IpcEntry &entry = it->second;
+    if (entry.sendOnceRefs > 0) {
+        --entry.sendOnceRefs;
+    } else if (entry.sendRefs > 0) {
+        --entry.sendRefs;
+    } else if (entry.deadName) {
+        entry.deadName = false;
+    } else {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_RIGHT;
+    }
+    if (entry.empty())
+        space.entries_.erase(it);
+    ducttape::lck_mtx_unlock(space.lock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::portInsertRight(IpcSpace &space, mach_port_name_t name,
+                         MsgDisposition disposition)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    IpcEntry &entry = it->second;
+    if (!entry.hasReceive) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_RIGHT;
+    }
+    kern_return_t kr = KERN_SUCCESS;
+    switch (disposition) {
+      case MsgDisposition::MakeSend:
+        ++entry.sendRefs;
+        break;
+      case MsgDisposition::MakeSendOnce:
+        ++entry.sendOnceRefs;
+        break;
+      default:
+        kr = KERN_INVALID_VALUE;
+        break;
+    }
+    ducttape::lck_mtx_unlock(space.lock_);
+    return kr;
+}
+
+kern_return_t
+MachIpc::portSetInsert(IpcSpace &space, mach_port_name_t set_name,
+                       mach_port_name_t member_name)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto sit = space.entries_.find(set_name);
+    auto mit = space.entries_.find(member_name);
+    if (sit == space.entries_.end() || mit == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    if (!sit->second.isPortSet || !mit->second.hasReceive) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_RIGHT;
+    }
+    PortPtr set = sit->second.port;
+    PortPtr member = mit->second.port;
+    ducttape::lck_mtx_unlock(space.lock_);
+
+    ducttape::lck_mtx_lock(set->lock);
+    set->members.push_back(member);
+    ducttape::lck_mtx_unlock(set->lock);
+    member->memberOf = set;
+    ducttape::waitq_wakeup_all(set->wq);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::portSetRemove(IpcSpace &space, mach_port_name_t member_name)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto mit = space.entries_.find(member_name);
+    if (mit == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    PortPtr member = mit->second.port;
+    ducttape::lck_mtx_unlock(space.lock_);
+
+    PortPtr set = member->memberOf.lock();
+    if (!set)
+        return KERN_NOT_IN_SET;
+    ducttape::lck_mtx_lock(set->lock);
+    std::erase_if(set->members, [&](const std::weak_ptr<IpcPort> &w) {
+        PortPtr p = w.lock();
+        return !p || p == member;
+    });
+    ducttape::lck_mtx_unlock(set->lock);
+    member->memberOf.reset();
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::requestDeadNameNotification(IpcSpace &space,
+                                     mach_port_name_t name,
+                                     mach_port_name_t notify_name)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    auto nit = space.entries_.find(notify_name);
+    if (it == space.entries_.end() || nit == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    PortPtr port = it->second.port;
+    PortPtr notify = nit->second.port;
+    if (!nit->second.hasReceive) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_CAPABILITY;
+    }
+    ducttape::lck_mtx_unlock(space.lock_);
+
+    ducttape::lck_mtx_lock(port->lock);
+    bool dead = !port->active;
+    if (!dead)
+        port->deadNameRequests.emplace_back(notify, name);
+    ducttape::lck_mtx_unlock(port->lock);
+
+    if (dead)
+        sendDeadNameNotification(notify, name);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::portRights(IpcSpace &space, mach_port_name_t name, IpcEntry *out)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    // Lazily reflect port death as a dead name, as Mach does.
+    if (it->second.port && !it->second.port->active &&
+        !it->second.isPortSet) {
+        it->second.deadName = true;
+        it->second.hasReceive = false;
+        it->second.sendRefs = 0;
+        it->second.sendOnceRefs = 0;
+    }
+    *out = it->second;
+    ducttape::lck_mtx_unlock(space.lock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::copyinRight(IpcSpace &space, mach_port_name_t name,
+                     MsgDisposition disposition, KMsgRight *out)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return MACH_SEND_INVALID_RIGHT;
+    }
+    IpcEntry &entry = it->second;
+    if (!entry.port || !entry.port->active) {
+        entry.deadName = true;
+        ducttape::lck_mtx_unlock(space.lock_);
+        return MACH_SEND_INVALID_DEST;
+    }
+
+    kern_return_t kr = KERN_SUCCESS;
+    out->port = entry.port;
+    switch (disposition) {
+      case MsgDisposition::CopySend:
+        if (entry.sendRefs == 0)
+            kr = MACH_SEND_INVALID_RIGHT;
+        out->disposition = MsgDisposition::MoveSend;
+        break;
+      case MsgDisposition::MoveSend:
+        if (entry.sendRefs == 0)
+            kr = MACH_SEND_INVALID_RIGHT;
+        else
+            --entry.sendRefs;
+        out->disposition = MsgDisposition::MoveSend;
+        break;
+      case MsgDisposition::MakeSend:
+        if (!entry.hasReceive)
+            kr = MACH_SEND_INVALID_RIGHT;
+        out->disposition = MsgDisposition::MoveSend;
+        break;
+      case MsgDisposition::MakeSendOnce:
+        if (!entry.hasReceive)
+            kr = MACH_SEND_INVALID_RIGHT;
+        out->disposition = MsgDisposition::MoveSendOnce;
+        break;
+      case MsgDisposition::MoveSendOnce:
+        if (entry.sendOnceRefs == 0)
+            kr = MACH_SEND_INVALID_RIGHT;
+        else
+            --entry.sendOnceRefs;
+        out->disposition = MsgDisposition::MoveSendOnce;
+        break;
+      case MsgDisposition::MoveReceive:
+        if (!entry.hasReceive)
+            kr = MACH_SEND_INVALID_RIGHT;
+        else
+            entry.hasReceive = false;
+        out->disposition = MsgDisposition::MoveReceive;
+        break;
+      default:
+        kr = KERN_INVALID_VALUE;
+        break;
+    }
+    if (kr == KERN_SUCCESS && entry.empty())
+        space.entries_.erase(it);
+    ducttape::lck_mtx_unlock(space.lock_);
+    if (kr != KERN_SUCCESS)
+        out->port.reset();
+    return kr;
+}
+
+mach_port_name_t
+MachIpc::copyoutRight(IpcSpace &space, const KMsgRight &right)
+{
+    if (!right.port)
+        return MACH_PORT_NULL;
+
+    ducttape::lck_mtx_lock(space.lock_);
+    // Send rights to the same port coalesce under one name, as in
+    // Mach; send-once and receive rights get fresh names.
+    mach_port_name_t name = MACH_PORT_NULL;
+    if (right.disposition == MsgDisposition::MoveSend) {
+        for (auto &[n, e] : space.entries_) {
+            if (e.port == right.port && !e.isPortSet) {
+                name = n;
+                break;
+            }
+        }
+    }
+    if (name == MACH_PORT_NULL) {
+        name = space.nextName_;
+        space.nextName_ += 4;
+        space.entries_[name] = IpcEntry{};
+        space.entries_[name].port = right.port;
+    }
+    IpcEntry &entry = space.entries_[name];
+    bool dead = !right.port->active;
+    if (dead) {
+        entry.deadName = true;
+    } else {
+        switch (right.disposition) {
+          case MsgDisposition::MoveSend:
+            ++entry.sendRefs;
+            break;
+          case MsgDisposition::MoveSendOnce:
+            ++entry.sendOnceRefs;
+            break;
+          case MsgDisposition::MoveReceive:
+            entry.hasReceive = true;
+            break;
+          default:
+            break;
+        }
+    }
+    ducttape::lck_mtx_unlock(space.lock_);
+    return name;
+}
+
+kern_return_t
+MachIpc::enqueue(const PortPtr &port, KMsg &&kmsg)
+{
+    ducttape::lck_mtx_lock(port->lock);
+    while (port->active && port->queue.size() >= port->qlimit) {
+        ducttape::waitq_wait(port->wq, port->lock, [&] {
+            return !port->active || port->queue.size() < port->qlimit;
+        });
+    }
+    if (!port->active) {
+        ducttape::lck_mtx_unlock(port->lock);
+        KMsg dead = std::move(kmsg);
+        destroyKMsgRights(dead);
+        return MACH_SEND_INVALID_DEST;
+    }
+    port->queue.push_back(std::move(kmsg));
+    ducttape::waitq_wakeup_all(port->wq);
+    ducttape::lck_mtx_unlock(port->lock);
+
+    if (PortPtr set = port->memberOf.lock()) {
+        // Hold the set lock across the wakeup so a concurrent set
+        // receive cannot miss the state change between its predicate
+        // check and its park.
+        ducttape::lck_mtx_lock(set->lock);
+        ducttape::waitq_wakeup_all(set->wq);
+        ducttape::lck_mtx_unlock(set->lock);
+    }
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::dequeue(const PortPtr &port, bool nonblocking, KMsg *out)
+{
+    if (!port->isSet) {
+        ducttape::lck_mtx_lock(port->lock);
+        while (port->active && port->queue.empty()) {
+            if (nonblocking) {
+                ducttape::lck_mtx_unlock(port->lock);
+                return MACH_RCV_TIMED_OUT;
+            }
+            ducttape::waitq_wait(port->wq, port->lock, [&] {
+                return !port->active || !port->queue.empty();
+            });
+        }
+        if (port->queue.empty()) {
+            ducttape::lck_mtx_unlock(port->lock);
+            return MACH_RCV_PORT_DIED;
+        }
+        *out = std::move(port->queue.front());
+        port->queue.pop_front();
+        ducttape::waitq_wakeup_all(port->wq); // senders waiting on room
+        ducttape::lck_mtx_unlock(port->lock);
+        return KERN_SUCCESS;
+    }
+
+    // Port-set receive: scan members; park on the set's wait queue
+    // when all are empty.
+    ducttape::lck_mtx_lock(port->lock);
+    for (;;) {
+        if (!port->active) {
+            ducttape::lck_mtx_unlock(port->lock);
+            return MACH_RCV_PORT_DIED;
+        }
+        for (auto &weak : port->members) {
+            PortPtr member = weak.lock();
+            if (!member)
+                continue;
+            ducttape::lck_mtx_lock(member->lock);
+            if (!member->queue.empty()) {
+                *out = std::move(member->queue.front());
+                member->queue.pop_front();
+                ducttape::waitq_wakeup_all(member->wq);
+                ducttape::lck_mtx_unlock(member->lock);
+                ducttape::lck_mtx_unlock(port->lock);
+                return KERN_SUCCESS;
+            }
+            ducttape::lck_mtx_unlock(member->lock);
+        }
+        if (nonblocking) {
+            ducttape::lck_mtx_unlock(port->lock);
+            return MACH_RCV_TIMED_OUT;
+        }
+        // Park until any member (or the set itself) changes state.
+        ducttape::waitq_wait(port->wq, port->lock, [&] {
+            if (!port->active)
+                return true;
+            for (auto &weak : port->members) {
+                PortPtr member = weak.lock();
+                if (!member)
+                    continue;
+                ducttape::lck_mtx_lock(member->lock);
+                bool has_msg = !member->queue.empty();
+                ducttape::lck_mtx_unlock(member->lock);
+                if (has_msg)
+                    return true;
+            }
+            return false;
+        });
+    }
+}
+
+kern_return_t
+MachIpc::msgSend(IpcSpace &space, MachMessage &&msg)
+{
+    charge(kMsgBaseNs + bodyCopyNs(msg.body.size()));
+
+    KMsgRight dest;
+    kern_return_t kr = copyinRight(space, msg.header.remotePort,
+                                   msg.header.remoteDisposition, &dest);
+    if (kr != KERN_SUCCESS)
+        return kr == MACH_SEND_INVALID_RIGHT ? MACH_SEND_INVALID_RIGHT
+                                             : MACH_SEND_INVALID_DEST;
+    if (dest.disposition == MsgDisposition::MoveReceive)
+        return KERN_INVALID_VALUE; // cannot address a dest by receive
+
+    KMsg kmsg;
+    kmsg.msgId = msg.header.msgId;
+    kmsg.body = std::move(msg.body);
+
+    if (msg.header.localPort != MACH_PORT_NULL) {
+        kr = copyinRight(space, msg.header.localPort,
+                         msg.header.localDisposition, &kmsg.reply);
+        if (kr != KERN_SUCCESS)
+            return kr;
+    }
+    for (const PortDescriptor &desc : msg.ports) {
+        charge(kMsgPerRightNs);
+        KMsgRight right;
+        kr = copyinRight(space, desc.name, desc.disposition, &right);
+        if (kr != KERN_SUCCESS) {
+            destroyKMsgRights(kmsg);
+            return kr;
+        }
+        kmsg.ports.push_back(std::move(right));
+    }
+    std::uint64_t ool_bytes = 0;
+    for (OolDescriptor &ool : msg.ool) {
+        charge(kMsgPerOolNs); // zero-copy move: no per-byte cost
+        ool_bytes += ool.data.size();
+        kmsg.ool.push_back(std::move(ool));
+    }
+
+    kr = enqueue(dest.port, std::move(kmsg));
+    if (kr == KERN_SUCCESS) {
+        ducttape::lck_mtx_lock(statsLock_);
+        ++stats_.messagesSent;
+        stats_.oolBytesMoved += ool_bytes;
+        ducttape::lck_mtx_unlock(statsLock_);
+    }
+    return kr;
+}
+
+kern_return_t
+MachIpc::msgReceive(IpcSpace &space, mach_port_name_t name,
+                    MachMessage &out, const RcvOptions &opts)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end() ||
+        (!it->second.hasReceive && !it->second.isPortSet)) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return MACH_RCV_INVALID_NAME;
+    }
+    PortPtr port = it->second.port;
+    ducttape::lck_mtx_unlock(space.lock_);
+
+    KMsg kmsg;
+    kern_return_t kr = dequeue(port, opts.nonblocking, &kmsg);
+    if (kr != KERN_SUCCESS)
+        return kr;
+
+    charge(kMsgBaseNs + bodyCopyNs(kmsg.body.size()));
+
+    out = MachMessage{};
+    out.header.msgId = kmsg.msgId;
+    out.header.localPort = name;
+    if (kmsg.reply.port) {
+        charge(kMsgPerRightNs);
+        out.header.remotePort = copyoutRight(space, kmsg.reply);
+        out.header.remoteDisposition = kmsg.reply.disposition;
+    }
+    out.body = std::move(kmsg.body);
+    for (const KMsgRight &right : kmsg.ports) {
+        charge(kMsgPerRightNs);
+        PortDescriptor desc;
+        desc.name = copyoutRight(space, right);
+        desc.disposition = right.disposition;
+        out.ports.push_back(desc);
+    }
+    for (OolDescriptor &ool : kmsg.ool) {
+        charge(kMsgPerOolNs);
+        out.ool.push_back(std::move(ool));
+    }
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.messagesReceived;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::msgRpc(IpcSpace &space, MachMessage &&request, MachMessage &reply)
+{
+    mach_port_name_t reply_port = MACH_PORT_NULL;
+    kern_return_t kr =
+        portAllocate(space, PortRight::Receive, &reply_port);
+    if (kr != KERN_SUCCESS)
+        return kr;
+
+    request.header.localPort = reply_port;
+    request.header.localDisposition = MsgDisposition::MakeSendOnce;
+    kr = msgSend(space, std::move(request));
+    if (kr != KERN_SUCCESS) {
+        portDestroy(space, reply_port);
+        return kr;
+    }
+    kr = msgReceive(space, reply_port, reply);
+    portDestroy(space, reply_port);
+    return kr;
+}
+
+kern_return_t
+MachIpc::portLookup(IpcSpace &space, mach_port_name_t name, PortPtr *out)
+{
+    ducttape::lck_mtx_lock(space.lock_);
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end() || !it->second.port) {
+        ducttape::lck_mtx_unlock(space.lock_);
+        return KERN_INVALID_NAME;
+    }
+    *out = it->second.port;
+    ducttape::lck_mtx_unlock(space.lock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+MachIpc::insertSendRight(IpcSpace &space, const PortPtr &port,
+                         mach_port_name_t *out_name)
+{
+    if (!port || !port->active)
+        return MACH_SEND_INVALID_DEST;
+    KMsgRight right;
+    right.port = port;
+    right.disposition = MsgDisposition::MoveSend;
+    *out_name = copyoutRight(space, right);
+    return KERN_SUCCESS;
+}
+
+void
+MachIpc::destroySpace(IpcSpace &space)
+{
+    std::vector<PortPtr> to_kill;
+    ducttape::lck_mtx_lock(space.lock_);
+    for (auto &[name, entry] : space.entries_) {
+        if (entry.port && (entry.hasReceive || entry.isPortSet))
+            to_kill.push_back(entry.port);
+    }
+    space.entries_.clear();
+    ducttape::lck_mtx_unlock(space.lock_);
+    for (const PortPtr &port : to_kill)
+        markPortDead(port);
+}
+
+MachIpcStats
+MachIpc::stats() const
+{
+    ducttape::lck_mtx_lock(statsLock_);
+    MachIpcStats s = stats_;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return s;
+}
+
+ducttape::ZoneStats
+MachIpc::portZoneStats() const
+{
+    return ducttape::zone_stats(portZone_);
+}
+
+void
+MachIpc::armPortZoneFailure(std::int64_t n)
+{
+    ducttape::zone_set_fail_after(portZone_, n);
+}
+
+} // namespace cider::xnu

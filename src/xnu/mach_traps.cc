@@ -1,0 +1,178 @@
+#include "xnu/mach_traps.h"
+
+#include "kernel/kernel.h"
+#include "xnu/psynch.h"
+
+namespace cider::xnu {
+
+using kernel::Kernel;
+using kernel::SyscallArgs;
+using kernel::SyscallResult;
+using kernel::SyscallTable;
+using kernel::Thread;
+
+MachTaskState &
+machTask(MachIpc &ipc, kernel::Process &proc)
+{
+    MachTaskState &state = proc.ext().get<MachTaskState>("mach.task");
+    if (!state.space) {
+        state.space = ipc.createSpace();
+        // Every task owns a task-self receive port, as on XNU.
+        ipc.portAllocate(*state.space, PortRight::Receive,
+                         &state.taskSelf);
+    }
+    return state;
+}
+
+void
+setBootstrapPort(MachIpc &ipc, kernel::Process &proc,
+                 const PortPtr &bootstrap)
+{
+    MachTaskState &state = machTask(ipc, proc);
+    mach_port_name_t name = MACH_PORT_NULL;
+    if (ipc.insertSendRight(*state.space, bootstrap, &name) ==
+        KERN_SUCCESS)
+        state.bootstrapPort = name;
+}
+
+namespace {
+
+SyscallResult
+kr(kern_return_t code)
+{
+    // Mach traps hand kern_return_t straight back in the return
+    // register; they do not use the BSD carry-flag convention.
+    return SyscallResult::success(code);
+}
+
+} // namespace
+
+void
+buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
+{
+    tbl.set(machno::PORT_ALLOCATE, "mach_port_allocate",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                auto right = static_cast<PortRight>(a.u64(0));
+                auto *out = static_cast<mach_port_name_t *>(a.ptr(1));
+                return kr(ipc.portAllocate(*task.space, right, out));
+            });
+
+    tbl.set(machno::PORT_DESTROY, "mach_port_destroy",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return kr(ipc.portDestroy(
+                    *task.space,
+                    static_cast<mach_port_name_t>(a.u64(0))));
+            });
+
+    tbl.set(machno::PORT_DEALLOCATE, "mach_port_deallocate",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return kr(ipc.portDeallocate(
+                    *task.space,
+                    static_cast<mach_port_name_t>(a.u64(0))));
+            });
+
+    tbl.set(machno::PORT_INSERT_RIGHT, "mach_port_insert_right",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return kr(ipc.portInsertRight(
+                    *task.space,
+                    static_cast<mach_port_name_t>(a.u64(0)),
+                    static_cast<MsgDisposition>(a.u64(1))));
+            });
+
+    tbl.set(machno::MACH_REPLY_PORT, "mach_reply_port",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &) {
+                MachTaskState &task = machTask(ipc, t.process());
+                mach_port_name_t name = MACH_PORT_NULL;
+                ipc.portAllocate(*task.space, PortRight::Receive, &name);
+                return SyscallResult::success(name);
+            });
+
+    tbl.set(machno::TASK_SELF, "task_self",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return SyscallResult::success(task.taskSelf);
+            });
+
+    tbl.set(machno::THREAD_SELF, "thread_self",
+            [](Kernel &, Thread &t, SyscallArgs &) {
+                return SyscallResult::success(t.tid());
+            });
+
+    tbl.set(machno::HOST_SELF, "host_self",
+            [](Kernel &, Thread &, SyscallArgs &) {
+                return SyscallResult::success(1);
+            });
+
+    tbl.set(machno::GET_BOOTSTRAP_PORT, "task_get_bootstrap_port",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return SyscallResult::success(task.bootstrapPort);
+            });
+
+    tbl.set(machno::MACH_MSG, "mach_msg",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                auto *send_msg = static_cast<MachMessage *>(a.ptr(0));
+                std::uint64_t options = a.u64(1);
+                auto rcv_name =
+                    static_cast<mach_port_name_t>(a.u64(2));
+                auto *rcv_msg = static_cast<MachMessage *>(a.ptr(3));
+
+                if ((options & machmsg::SEND) && send_msg) {
+                    kern_return_t code =
+                        ipc.msgSend(*task.space, std::move(*send_msg));
+                    if (code != KERN_SUCCESS)
+                        return kr(code);
+                }
+                if ((options & machmsg::RCV) && rcv_msg) {
+                    RcvOptions opts;
+                    opts.nonblocking =
+                        (options & machmsg::RCV_TIMEOUT) != 0;
+                    return kr(ipc.msgReceive(*task.space, rcv_name,
+                                             *rcv_msg, opts));
+                }
+                return kr(KERN_SUCCESS);
+            });
+
+    tbl.set(machno::PORT_SET_INSERT, "mach_port_move_member",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return kr(ipc.portSetInsert(
+                    *task.space,
+                    static_cast<mach_port_name_t>(a.u64(0)),
+                    static_cast<mach_port_name_t>(a.u64(1))));
+            });
+
+    tbl.set(machno::PORT_SET_REMOVE, "mach_port_set_remove",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return kr(ipc.portSetRemove(
+                    *task.space,
+                    static_cast<mach_port_name_t>(a.u64(0))));
+            });
+
+    tbl.set(machno::REQUEST_NOTIFY, "mach_port_request_notification",
+            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
+                MachTaskState &task = machTask(ipc, t.process());
+                return kr(ipc.requestDeadNameNotification(
+                    *task.space,
+                    static_cast<mach_port_name_t>(a.u64(0)),
+                    static_cast<mach_port_name_t>(a.u64(1))));
+            });
+
+    tbl.set(machno::SEMAPHORE_WAIT, "semaphore_wait",
+            [&psynch](Kernel &, Thread &, SyscallArgs &a) {
+                return kr(psynch.semWait(a.u64(0)));
+            });
+
+    tbl.set(machno::SEMAPHORE_SIGNAL, "semaphore_signal",
+            [&psynch](Kernel &, Thread &, SyscallArgs &a) {
+                return kr(psynch.semSignal(a.u64(0)));
+            });
+}
+
+} // namespace cider::xnu

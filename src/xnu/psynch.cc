@@ -1,0 +1,211 @@
+#include "xnu/psynch.h"
+
+#include "base/logging.h"
+
+namespace cider::xnu {
+
+/** Kernel wait-queue object backing one user psynch address. */
+struct PsynchSubsystem::KwQueue
+{
+    KwQueue()
+        : lock(ducttape::lck_mtx_alloc_init()),
+          wq(ducttape::waitq_alloc())
+    {}
+
+    ~KwQueue()
+    {
+        ducttape::lck_mtx_free(lock);
+        ducttape::waitq_free(wq);
+    }
+
+    ducttape::LckMtx *lock;
+    ducttape::WaitQ *wq;
+    // Mutex state.
+    std::uint64_t ownerTid = 0;
+    bool locked = false;
+    // Condition-variable state: generation counting avoids lost and
+    // spurious pairings across broadcast.
+    std::uint64_t cvSeq = 0;
+    std::uint64_t cvSignalled = 0;
+    // Semaphore state.
+    std::int32_t semValue = 0;
+};
+
+PsynchSubsystem::PsynchSubsystem()
+    : tableLock_(ducttape::lck_mtx_alloc_init()),
+      statsLock_(ducttape::lck_mtx_alloc_init())
+{}
+
+PsynchSubsystem::~PsynchSubsystem()
+{
+    ducttape::lck_mtx_free(tableLock_);
+    ducttape::lck_mtx_free(statsLock_);
+}
+
+PsynchSubsystem::KwQueue &
+PsynchSubsystem::lookup(std::uint64_t addr)
+{
+    ducttape::lck_mtx_lock(tableLock_);
+    auto it = objects_.find(addr);
+    if (it == objects_.end())
+        it = objects_.emplace(addr, std::make_unique<KwQueue>()).first;
+    KwQueue &kwq = *it->second;
+    ducttape::lck_mtx_unlock(tableLock_);
+    return kwq;
+}
+
+kern_return_t
+PsynchSubsystem::mutexWait(std::uint64_t mutex_addr,
+                           std::uint64_t owner_tid)
+{
+    KwQueue &kwq = lookup(mutex_addr);
+    ducttape::lck_mtx_lock(kwq.lock);
+    if (kwq.locked && kwq.ownerTid == owner_tid) {
+        ducttape::lck_mtx_unlock(kwq.lock);
+        return KERN_INVALID_ARGUMENT; // non-recursive: self-deadlock
+    }
+    while (kwq.locked) {
+        ducttape::waitq_wait(kwq.wq, kwq.lock,
+                             [&] { return !kwq.locked; });
+    }
+    kwq.locked = true;
+    kwq.ownerTid = owner_tid;
+    ducttape::lck_mtx_unlock(kwq.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.mutexWaits;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::mutexDrop(std::uint64_t mutex_addr,
+                           std::uint64_t owner_tid)
+{
+    KwQueue &kwq = lookup(mutex_addr);
+    ducttape::lck_mtx_lock(kwq.lock);
+    if (!kwq.locked || kwq.ownerTid != owner_tid) {
+        ducttape::lck_mtx_unlock(kwq.lock);
+        return KERN_INVALID_ARGUMENT;
+    }
+    kwq.locked = false;
+    kwq.ownerTid = 0;
+    ducttape::waitq_wakeup_one(kwq.wq);
+    ducttape::lck_mtx_unlock(kwq.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.mutexDrops;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
+                        std::uint64_t tid)
+{
+    KwQueue &cv = lookup(cv_addr);
+
+    // Atomically: drop the mutex, then sleep on the cv.
+    kern_return_t kr = mutexDrop(mutex_addr, tid);
+    if (kr != KERN_SUCCESS)
+        return kr;
+
+    ducttape::lck_mtx_lock(cv.lock);
+    std::uint64_t my_seq = ++cv.cvSeq;
+    ducttape::waitq_wait(cv.wq, cv.lock,
+                         [&] { return cv.cvSignalled >= my_seq; });
+    ducttape::lck_mtx_unlock(cv.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.cvWaits;
+    ducttape::lck_mtx_unlock(statsLock_);
+
+    // Reacquire the mutex before returning to user space.
+    return mutexWait(mutex_addr, tid);
+}
+
+kern_return_t
+PsynchSubsystem::cvSignal(std::uint64_t cv_addr)
+{
+    KwQueue &cv = lookup(cv_addr);
+    ducttape::lck_mtx_lock(cv.lock);
+    if (cv.cvSignalled < cv.cvSeq) {
+        ++cv.cvSignalled;
+        ducttape::waitq_wakeup_all(cv.wq);
+    }
+    ducttape::lck_mtx_unlock(cv.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.cvSignals;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::cvBroadcast(std::uint64_t cv_addr)
+{
+    KwQueue &cv = lookup(cv_addr);
+    ducttape::lck_mtx_lock(cv.lock);
+    cv.cvSignalled = cv.cvSeq;
+    ducttape::waitq_wakeup_all(cv.wq);
+    ducttape::lck_mtx_unlock(cv.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.cvSignals;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::semInit(std::uint64_t sem_addr, std::int32_t value)
+{
+    if (value < 0)
+        return KERN_INVALID_ARGUMENT;
+    KwQueue &sem = lookup(sem_addr);
+    ducttape::lck_mtx_lock(sem.lock);
+    sem.semValue = value;
+    ducttape::lck_mtx_unlock(sem.lock);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::semWait(std::uint64_t sem_addr)
+{
+    KwQueue &sem = lookup(sem_addr);
+    ducttape::lck_mtx_lock(sem.lock);
+    ducttape::waitq_wait(sem.wq, sem.lock,
+                         [&] { return sem.semValue > 0; });
+    --sem.semValue;
+    ducttape::lck_mtx_unlock(sem.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.semWaits;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::semSignal(std::uint64_t sem_addr)
+{
+    KwQueue &sem = lookup(sem_addr);
+    ducttape::lck_mtx_lock(sem.lock);
+    ++sem.semValue;
+    ducttape::waitq_wakeup_one(sem.wq);
+    ducttape::lck_mtx_unlock(sem.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.semSignals;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+PsynchStats
+PsynchSubsystem::stats() const
+{
+    ducttape::lck_mtx_lock(statsLock_);
+    PsynchStats s = stats_;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return s;
+}
+
+} // namespace cider::xnu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * XNU kernel-level pthread support (psynch), duct-taped in.
+ *
+ * The iOS pthread library splits work with the kernel very
+ * differently from bionic: mutexes, semaphores, and condition
+ * variables lean on kernel support calls (bsd/kern/pthread_support.c
+ * in the XNU sources) that have no Linux counterpart. The paper
+ * compiles that file unmodified via duct tape; this module is its
+ * analogue, written against the same lck_mtx/waitq adaptation APIs.
+ *
+ * Objects are addressed by user-space addresses (u64 keys), exactly
+ * how the real psynch calls identify the user-side pthread object.
+ */
+
+#ifndef CIDER_XNU_PSYNCH_H
+#define CIDER_XNU_PSYNCH_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "ducttape/xnu_api.h"
+#include "xnu/kern_return.h"
+
+namespace cider::xnu {
+
+/** Statistics for tests. */
+struct PsynchStats
+{
+    std::uint64_t mutexWaits = 0;
+    std::uint64_t mutexDrops = 0;
+    std::uint64_t cvWaits = 0;
+    std::uint64_t cvSignals = 0;
+    std::uint64_t semWaits = 0;
+    std::uint64_t semSignals = 0;
+};
+
+class PsynchSubsystem
+{
+  public:
+    PsynchSubsystem();
+    ~PsynchSubsystem();
+
+    PsynchSubsystem(const PsynchSubsystem &) = delete;
+    PsynchSubsystem &operator=(const PsynchSubsystem &) = delete;
+
+    /// @{ psynch_mutex*: kernel arbitration for contended mutexes.
+    kern_return_t mutexWait(std::uint64_t mutex_addr,
+                            std::uint64_t owner_tid);
+    kern_return_t mutexDrop(std::uint64_t mutex_addr,
+                            std::uint64_t owner_tid);
+    /// @}
+
+    /// @{ psynch_cv*: condition variables.
+    /** Atomically drop the mutex and wait on the cv. */
+    kern_return_t cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
+                         std::uint64_t tid);
+    kern_return_t cvSignal(std::uint64_t cv_addr);
+    kern_return_t cvBroadcast(std::uint64_t cv_addr);
+    /// @}
+
+    /// @{ Mach semaphores.
+    kern_return_t semInit(std::uint64_t sem_addr, std::int32_t value);
+    kern_return_t semWait(std::uint64_t sem_addr);
+    kern_return_t semSignal(std::uint64_t sem_addr);
+    /// @}
+
+    PsynchStats stats() const;
+
+  private:
+    struct KwQueue; // kernel wait queue object ("kwq" in XNU)
+
+    KwQueue &lookup(std::uint64_t addr);
+
+    ducttape::LckMtx *tableLock_;
+    std::map<std::uint64_t, std::unique_ptr<KwQueue>> objects_;
+    mutable ducttape::LckMtx *statsLock_;
+    PsynchStats stats_;
+};
+
+} // namespace cider::xnu
+
+#endif // CIDER_XNU_PSYNCH_H

@@ -1,0 +1,168 @@
+#include "xnu/xnu_signals.h"
+
+#include "kernel/types.h"
+#include "xnu/kern_return.h"
+
+namespace cider::xnu {
+
+namespace ls = cider::kernel::lsig;
+namespace le = cider::kernel::lnx;
+
+int
+linuxSigToXnu(int linux_signo)
+{
+    switch (linux_signo) {
+      // 1-6 are identical on both kernels.
+      case ls::HUP:
+      case ls::INT:
+      case ls::QUIT:
+      case ls::ILL:
+      case ls::TRAP:
+      case ls::ABRT:
+        return linux_signo;
+      case ls::BUS:
+        return dsig::BUS;
+      case ls::FPE:
+        return dsig::FPE;
+      case ls::KILL:
+        return dsig::KILL;
+      case ls::USR1:
+        return dsig::USR1;
+      case ls::SEGV:
+        return dsig::SEGV;
+      case ls::USR2:
+        return dsig::USR2;
+      case ls::PIPE:
+        return dsig::PIPE;
+      case ls::ALRM:
+        return dsig::ALRM;
+      case ls::TERM:
+        return dsig::TERM;
+      case ls::CHLD:
+        return dsig::CHLD;
+      case ls::CONT:
+        return dsig::CONT;
+      case ls::STOP:
+        return dsig::STOP;
+      case ls::TSTP:
+        return dsig::TSTP;
+      case ls::TTIN:
+        return dsig::TTIN;
+      case ls::TTOU:
+        return dsig::TTOU;
+      case ls::URG:
+        return dsig::URG;
+      case ls::XCPU:
+        return dsig::XCPU;
+      case ls::XFSZ:
+        return dsig::XFSZ;
+      case ls::VTALRM:
+        return dsig::VTALRM;
+      case ls::PROF:
+        return dsig::PROF;
+      case ls::WINCH:
+        return dsig::WINCH;
+      case ls::IO:
+        return dsig::IO;
+      case ls::SYS:
+        return dsig::SYS;
+      // SIGSTKFLT and SIGPWR have no Darwin counterpart.
+      default:
+        return 0;
+    }
+}
+
+int
+xnuSigToLinux(int xnu_signo)
+{
+    switch (xnu_signo) {
+      case dsig::HUP:
+      case dsig::INT:
+      case dsig::QUIT:
+      case dsig::ILL:
+      case dsig::TRAP:
+      case dsig::ABRT:
+        return xnu_signo;
+      case dsig::BUS:
+        return ls::BUS;
+      case dsig::FPE:
+        return ls::FPE;
+      case dsig::KILL:
+        return ls::KILL;
+      case dsig::USR1:
+        return ls::USR1;
+      case dsig::SEGV:
+        return ls::SEGV;
+      case dsig::USR2:
+        return ls::USR2;
+      case dsig::PIPE:
+        return ls::PIPE;
+      case dsig::ALRM:
+        return ls::ALRM;
+      case dsig::TERM:
+        return ls::TERM;
+      case dsig::CHLD:
+        return ls::CHLD;
+      case dsig::CONT:
+        return ls::CONT;
+      case dsig::STOP:
+        return ls::STOP;
+      case dsig::TSTP:
+        return ls::TSTP;
+      case dsig::TTIN:
+        return ls::TTIN;
+      case dsig::TTOU:
+        return ls::TTOU;
+      case dsig::URG:
+        return ls::URG;
+      case dsig::XCPU:
+        return ls::XCPU;
+      case dsig::XFSZ:
+        return ls::XFSZ;
+      case dsig::VTALRM:
+        return ls::VTALRM;
+      case dsig::PROF:
+        return ls::PROF;
+      case dsig::WINCH:
+        return ls::WINCH;
+      case dsig::IO:
+        return ls::IO;
+      case dsig::SYS:
+        return ls::SYS;
+      // SIGEMT and SIGINFO have no Linux counterpart.
+      default:
+        return 0;
+    }
+}
+
+int
+linuxErrnoToXnu(int linux_errno)
+{
+    switch (linux_errno) {
+      case le::AGAIN:
+        return derr::AGAIN;
+      case le::INPROGRESS:
+        return derr::INPROGRESS;
+      case le::ALREADY:
+        return derr::ALREADY;
+      case le::NOTSOCK:
+        return derr::NOTSOCK;
+      case le::ADDRINUSE:
+        return derr::ADDRINUSE;
+      case le::CONNREFUSED:
+        return derr::CONNREFUSED;
+      case le::NAMETOOLONG:
+        return derr::NAMETOOLONG;
+      case le::NOSYS:
+        return derr::NOSYS;
+      case le::NOTEMPTY:
+        return derr::NOTEMPTY;
+      case le::DEADLK:
+        return derr::DEADLK;
+      default:
+        // The historic V7 range (1-34) is shared.
+        return linux_errno;
+    }
+}
+
+} // namespace cider::xnu

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * XNU (BSD) signal numbering and the Linux<->XNU translation tables.
+ *
+ * Darwin and Linux agree on the historic V7 signals 1-15 and then
+ * diverge completely: SIGUSR1 is 10 on Linux and 30 on Darwin;
+ * SIGBUS is 7 vs 10; SIGCHLD is 17 vs 20. Cider's signal layer
+ * (paper section 4.1) translates asynchronous kernel signals to the
+ * receiver persona's numbering and programmatic XNU signals back to
+ * Linux numbering before they enter the kernel.
+ */
+
+#ifndef CIDER_XNU_XNU_SIGNALS_H
+#define CIDER_XNU_XNU_SIGNALS_H
+
+namespace cider::xnu {
+
+/** Darwin/BSD signal numbers. */
+namespace dsig {
+
+inline constexpr int HUP = 1;
+inline constexpr int INT = 2;
+inline constexpr int QUIT = 3;
+inline constexpr int ILL = 4;
+inline constexpr int TRAP = 5;
+inline constexpr int ABRT = 6;
+inline constexpr int EMT = 7;   ///< no Linux counterpart
+inline constexpr int FPE = 8;
+inline constexpr int KILL = 9;
+inline constexpr int BUS = 10;  ///< Linux: 7
+inline constexpr int SEGV = 11;
+inline constexpr int SYS = 12;  ///< Linux: 31
+inline constexpr int PIPE = 13;
+inline constexpr int ALRM = 14;
+inline constexpr int TERM = 15;
+inline constexpr int URG = 16;  ///< Linux: 23
+inline constexpr int STOP = 17; ///< Linux: 19
+inline constexpr int TSTP = 18; ///< Linux: 20
+inline constexpr int CONT = 19; ///< Linux: 18
+inline constexpr int CHLD = 20; ///< Linux: 17
+inline constexpr int TTIN = 21;
+inline constexpr int TTOU = 22;
+inline constexpr int IO = 23;   ///< Linux: 29
+inline constexpr int XCPU = 24;
+inline constexpr int XFSZ = 25;
+inline constexpr int VTALRM = 26;
+inline constexpr int PROF = 27;
+inline constexpr int WINCH = 28;
+inline constexpr int INFO = 29; ///< no Linux counterpart
+inline constexpr int USR1 = 30; ///< Linux: 10
+inline constexpr int USR2 = 31; ///< Linux: 12
+inline constexpr int COUNT = 32;
+
+} // namespace dsig
+
+/**
+ * Map a Linux signal number to the XNU number iOS binaries expect;
+ * returns 0 for signals with no XNU counterpart (e.g. SIGSTKFLT).
+ */
+int linuxSigToXnu(int linux_signo);
+
+/** Map an XNU signal number to Linux; 0 when untranslatable. */
+int xnuSigToLinux(int xnu_signo);
+
+/** Darwin errno for a Linux errno (used at the iOS trap boundary). */
+int linuxErrnoToXnu(int linux_errno);
+
+} // namespace cider::xnu
+
+#endif // CIDER_XNU_XNU_SIGNALS_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * .ipa package tests: round trips, FairPlay-style encryption and
+ * decryption, wrong-key behaviour, and malformed packages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "binfmt/macho.h"
+#include "base/logging.h"
+#include "core/app_package.h"
+
+namespace cider::core {
+namespace {
+
+IpaPackage
+samplePackage()
+{
+    IpaPackage p;
+    p.appName = "Yelp";
+    binfmt::MachOBuilder builder(binfmt::MachOFileType::Execute);
+    builder.entry("yelp.main").segment("__TEXT", 40);
+    p.binary = builder.build();
+    p.icon = Bytes{0xca, 0xfe};
+    p.infoPlist["CFBundleIdentifier"] = "com.yelp.app";
+    p.infoPlist["UIRequiresLocation"] = "optional";
+    return p;
+}
+
+TEST(AppPackage, CleartextRoundTrip)
+{
+    IpaPackage p = samplePackage();
+    Bytes blob = buildIpa(p);
+    std::optional<IpaPackage> out = parseIpa(blob);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->appName, "Yelp");
+    EXPECT_FALSE(out->encrypted);
+    EXPECT_EQ(out->binary, p.binary);
+    EXPECT_EQ(out->icon, p.icon);
+    EXPECT_EQ(out->infoPlist.at("CFBundleIdentifier"), "com.yelp.app");
+    EXPECT_TRUE(binfmt::isMachO(out->binary));
+}
+
+TEST(AppPackage, EncryptionScramblesOnlyTheBinary)
+{
+    IpaPackage p = samplePackage();
+    Bytes blob = buildIpa(p, /*encrypt=*/true);
+    std::optional<IpaPackage> out = parseIpa(blob);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->encrypted);
+    EXPECT_NE(out->binary, p.binary);
+    EXPECT_FALSE(binfmt::isMachO(out->binary)); // text pages garbled
+    EXPECT_EQ(out->icon, p.icon);               // resources readable
+    EXPECT_EQ(out->infoPlist.at("CFBundleIdentifier"),
+              "com.yelp.app");
+}
+
+TEST(AppPackage, DecryptWithDeviceKeyRestoresBinary)
+{
+    IpaPackage p = samplePackage();
+    Bytes encrypted = buildIpa(p, true);
+    Bytes decrypted = decryptIpa(encrypted, kAppleDeviceKey);
+    std::optional<IpaPackage> out = parseIpa(decrypted);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_FALSE(out->encrypted);
+    EXPECT_EQ(out->binary, p.binary);
+}
+
+TEST(AppPackage, WrongKeyProducesGarbage)
+{
+    Bytes encrypted = buildIpa(samplePackage(), true);
+    Bytes bad = decryptIpa(encrypted, 0x1111);
+    std::optional<IpaPackage> out = parseIpa(bad);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_FALSE(binfmt::isMachO(out->binary));
+}
+
+TEST(AppPackage, DecryptOfCleartextIsIdentity)
+{
+    Bytes clear = buildIpa(samplePackage(), false);
+    EXPECT_EQ(decryptIpa(clear, kAppleDeviceKey), clear);
+}
+
+TEST(AppPackage, MalformedRejected)
+{
+    setLogQuiet(true);
+    EXPECT_FALSE(parseIpa({1, 2, 3}).has_value());
+    Bytes blob = buildIpa(samplePackage());
+    blob.resize(blob.size() / 2);
+    EXPECT_FALSE(parseIpa(blob).has_value());
+    EXPECT_TRUE(decryptIpa({9, 9}, kAppleDeviceKey).empty());
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace cider::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the base utilities: byte streams, virtual clock,
+ * and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bytes.h"
+#include "base/cost_clock.h"
+#include "base/rng.h"
+
+namespace cider {
+namespace {
+
+TEST(Bytes, RoundTripScalars)
+{
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.str("cider");
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.str(), "cider");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, TruncatedReadsMarkReaderBad)
+{
+    ByteWriter w;
+    w.u32(7);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u64(), 0u); // needs 8 bytes, only 4 present
+    EXPECT_FALSE(r.ok());
+    // Subsequent reads stay dead rather than faulting.
+    EXPECT_EQ(r.u8(), 0);
+    EXPECT_EQ(r.str(), "");
+}
+
+TEST(Bytes, TruncatedStringPayload)
+{
+    ByteWriter w;
+    w.u32(100); // claims 100 bytes, provides none
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, PatchU32)
+{
+    ByteWriter w;
+    w.u32(0);
+    w.u8(9);
+    w.patchU32(0, 0x1234);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u32(), 0x1234u);
+    EXPECT_EQ(r.u8(), 9);
+}
+
+TEST(Bytes, SeekAndRaw)
+{
+    ByteWriter w;
+    w.raw({1, 2, 3, 4, 5});
+    ByteReader r(w.bytes());
+    r.seek(2);
+    Bytes tail = r.raw(3);
+    EXPECT_EQ(tail, (Bytes{3, 4, 5}));
+    r.seek(99);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(CostClock, ChargesGoToInnermostScope)
+{
+    CostClock outer, inner;
+    EXPECT_EQ(CostClock::current(), nullptr);
+    charge(100); // no active clock: dropped
+    {
+        CostScope a(outer);
+        charge(10);
+        {
+            CostScope b(inner);
+            charge(5);
+        }
+        charge(1);
+    }
+    EXPECT_EQ(outer.now(), 11u);
+    EXPECT_EQ(inner.now(), 5u);
+    EXPECT_EQ(CostClock::current(), nullptr);
+}
+
+TEST(CostClock, MeasureVirtual)
+{
+    CostClock clock;
+    CostScope scope(clock);
+    std::uint64_t elapsed = measureVirtual([] { charge(123); });
+    EXPECT_EQ(elapsed, 123u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        std::uint64_t v = rng.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+} // namespace
+} // namespace cider

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Binary format tests: Mach-O/ELF builder->bytes->parser round trips
+ * and malformed-image rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "binfmt/elf.h"
+#include "binfmt/macho.h"
+#include "binfmt/program.h"
+
+namespace cider::binfmt {
+namespace {
+
+TEST(MachO, RoundTrip)
+{
+    MachOBuilder builder(MachOFileType::Execute);
+    builder.entry("app.main")
+        .codegen(hw::Codegen::XcodeClang)
+        .segment("__TEXT", 24)
+        .segment("__DATA", 4)
+        .dylib("libSystem.dylib")
+        .dylib("UIKit.dylib");
+    Bytes blob = builder.build();
+
+    ASSERT_TRUE(isMachO(blob));
+    EXPECT_FALSE(isElf(blob));
+    std::optional<MachOImage> image = parseMachO(blob);
+    ASSERT_TRUE(image.has_value());
+    EXPECT_EQ(image->fileType, MachOFileType::Execute);
+    EXPECT_EQ(image->entrySymbol, "app.main");
+    EXPECT_EQ(image->codegen, hw::Codegen::XcodeClang);
+    ASSERT_EQ(image->segments.size(), 2u);
+    EXPECT_EQ(image->segments[0].name, "__TEXT");
+    EXPECT_EQ(image->segments[0].pages, 24u);
+    EXPECT_EQ(image->dylibs,
+              (std::vector<std::string>{"libSystem.dylib",
+                                        "UIKit.dylib"}));
+    EXPECT_EQ(image->totalPages(), 28u);
+}
+
+TEST(MachO, DylibWithExports)
+{
+    MachOBuilder builder(MachOFileType::Dylib);
+    builder.exportSymbol("glClear").exportSymbol("glDrawArrays");
+    std::optional<MachOImage> image = parseMachO(builder.build());
+    ASSERT_TRUE(image.has_value());
+    EXPECT_EQ(image->fileType, MachOFileType::Dylib);
+    EXPECT_EQ(image->exports,
+              (std::vector<std::string>{"glClear", "glDrawArrays"}));
+}
+
+TEST(MachO, RejectsBadMagicAndTruncation)
+{
+    EXPECT_FALSE(parseMachO({1, 2, 3, 4}).has_value());
+    EXPECT_FALSE(isMachO({0xfe}));
+
+    MachOBuilder builder(MachOFileType::Execute);
+    builder.entry("x").segment("__TEXT", 1);
+    Bytes blob = builder.build();
+    // Chop the tail: every truncation point must be rejected, not
+    // crash.
+    for (std::size_t cut = 4; cut < blob.size(); cut += 3) {
+        Bytes truncated(blob.begin(),
+                        blob.begin() + static_cast<std::ptrdiff_t>(cut));
+        EXPECT_FALSE(parseMachO(truncated).has_value())
+            << "cut at " << cut;
+    }
+}
+
+TEST(MachO, RejectsUnknownLoadCommand)
+{
+    ByteWriter w;
+    w.u32(kMachOMagic);
+    w.u32(static_cast<std::uint32_t>(MachOFileType::Execute));
+    w.u32(1);
+    w.u32(0x7777); // bogus command
+    EXPECT_FALSE(parseMachO(w.bytes()).has_value());
+}
+
+TEST(Elf, RoundTrip)
+{
+    ElfBuilder builder(ElfType::Dyn);
+    builder.entry("so.init")
+        .codegen(hw::Codegen::LinuxGcc)
+        .segment(".text", 96)
+        .needed("libc.so")
+        .exportSymbol("glClear")
+        .exportSymbol("eglInitialize");
+    Bytes blob = builder.build();
+
+    ASSERT_TRUE(isElf(blob));
+    EXPECT_FALSE(isMachO(blob));
+    std::optional<ElfImage> image = parseElf(blob);
+    ASSERT_TRUE(image.has_value());
+    EXPECT_EQ(image->type, ElfType::Dyn);
+    EXPECT_EQ(image->entrySymbol, "so.init");
+    EXPECT_EQ(image->needed, std::vector<std::string>{"libc.so"});
+    EXPECT_EQ(image->dynsyms,
+              (std::vector<std::string>{"glClear", "eglInitialize"}));
+}
+
+TEST(Elf, RejectsTruncation)
+{
+    ElfBuilder builder(ElfType::Exec);
+    builder.entry("m").segment(".text", 2);
+    Bytes blob = builder.build();
+    for (std::size_t cut = 4; cut < blob.size(); cut += 3) {
+        Bytes truncated(blob.begin(),
+                        blob.begin() + static_cast<std::ptrdiff_t>(cut));
+        EXPECT_FALSE(parseElf(truncated).has_value());
+    }
+}
+
+TEST(Elf, RejectsBadType)
+{
+    ByteWriter w;
+    w.u32(kElfMagic);
+    w.u16(7); // not ET_EXEC / ET_DYN
+    w.u32(0);
+    EXPECT_FALSE(parseElf(w.bytes()).has_value());
+}
+
+TEST(Symbols, TableAddFindNames)
+{
+    SymbolTable table;
+    table.add("f", [](UserEnv &, std::vector<Value> &) {
+        return Value{std::int64_t{1}};
+    });
+    table.add("g", [](UserEnv &, std::vector<Value> &) {
+        return Value{std::int64_t{2}};
+    });
+    EXPECT_NE(table.find("f"), nullptr);
+    EXPECT_EQ(table.find("h"), nullptr);
+    EXPECT_EQ(table.names(), (std::vector<std::string>{"f", "g"}));
+}
+
+TEST(Values, Coercions)
+{
+    EXPECT_EQ(valueI64(Value{std::int64_t{5}}), 5);
+    EXPECT_EQ(valueI64(Value{2.9}), 2);
+    EXPECT_EQ(valueI64(Value{}), 0);
+    EXPECT_DOUBLE_EQ(valueF64(Value{std::int64_t{3}}), 3.0);
+    EXPECT_EQ(valueStr(Value{std::string("s")}), "s");
+    EXPECT_EQ(valuePtr(Value{std::string("s")}), nullptr);
+}
+
+TEST(Registries, LibraryAndProgramLookup)
+{
+    LibraryRegistry libs;
+    LibraryImage img;
+    img.name = "UIKit.dylib";
+    img.pages = 10;
+    libs.add(std::move(img));
+    ASSERT_NE(libs.find("UIKit.dylib"), nullptr);
+    EXPECT_EQ(libs.find("nope"), nullptr);
+
+    ProgramRegistry programs;
+    programs.add("main", [](UserEnv &) { return 0; });
+    EXPECT_NE(programs.find("main"), nullptr);
+    EXPECT_EQ(programs.find("other"), nullptr);
+}
+
+} // namespace
+} // namespace cider::binfmt

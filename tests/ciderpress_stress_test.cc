@@ -1,0 +1,167 @@
+/**
+ * @file
+ * CiderPress/eventpump robustness tests: event bursts through the
+ * bridge socket, multiple concurrent sessions, pause state during a
+ * stream, and app-side crash handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "base/logging.h"
+#include "core/cider_system.h"
+#include "ios/uikit.h"
+
+namespace cider {
+namespace {
+
+using core::CiderSystem;
+using core::SystemConfig;
+using core::SystemOptions;
+
+std::atomic<int> g_touches{0};
+std::atomic<int> g_paused_touches{0};
+
+int
+counterApp(binfmt::UserEnv &env)
+{
+    ios::UIApplication app(env);
+    app.onTouch = [](ios::UIApplication &a, const ios::Touch &) {
+        ++g_touches;
+        if (a.paused())
+            ++g_paused_touches;
+    };
+    return app.run(env.argv.size() > 1 ? env.argv[1] : "");
+}
+
+int
+crashingApp(binfmt::UserEnv &env)
+{
+    ios::UIApplication app(env);
+    app.onTouch = [](ios::UIApplication &, const ios::Touch &) {
+        throw kernel::ProcessExit{66}; // abort-style death mid-event
+    };
+    return app.run(env.argv.size() > 1 ? env.argv[1] : "");
+}
+
+class CiderPressStress : public ::testing::Test
+{
+  protected:
+    CiderPressStress()
+    {
+        g_touches = 0;
+        g_paused_touches = 0;
+        SystemOptions opts;
+        opts.config = SystemConfig::CiderIos;
+        sys_ = std::make_unique<CiderSystem>(opts);
+    }
+
+    std::string
+    install(const char *name, binfmt::ProgramFn fn)
+    {
+        std::string entry = std::string(name) + ".main";
+        sys_->programs().add(entry, std::move(fn));
+        core::IpaPackage package;
+        package.appName = name;
+        binfmt::MachOBuilder macho(binfmt::MachOFileType::Execute);
+        macho.entry(entry)
+            .segment("__TEXT", 8)
+            .dylib("libSystem.dylib")
+            .dylib("UIKit.dylib");
+        package.binary = macho.build();
+        return sys_->installIpa(core::buildIpa(package));
+    }
+
+    std::unique_ptr<CiderSystem> sys_;
+};
+
+TEST_F(CiderPressStress, EventBurstAllDelivered)
+{
+    install("burst", counterApp);
+    int session = sys_->launcher().launch("burst");
+    ASSERT_GE(session, 0);
+
+    constexpr int kEvents = 500;
+    for (int i = 0; i < kEvents; ++i) {
+        android::MotionEvent ev;
+        ev.action = i % 2 ? android::MotionAction::Move
+                          : android::MotionAction::Down;
+        ev.x = static_cast<float>(i);
+        sys_->input().inject(ev);
+    }
+    sys_->ciderPress().stop(session);
+    EXPECT_EQ(sys_->ciderPress().join(session), 0);
+    // TCP-like stream + framing: nothing lost, nothing duplicated.
+    EXPECT_EQ(g_touches.load(), kEvents);
+}
+
+TEST_F(CiderPressStress, PausedAppStillReceivesQueuedStream)
+{
+    install("pausey", counterApp);
+    int session = sys_->launcher().launch("pausey");
+    ASSERT_GE(session, 0);
+
+    sys_->ciderPress().pause(session);
+    android::MotionEvent ev;
+    sys_->input().inject(ev);
+    sys_->ciderPress().resume(session);
+    sys_->input().inject(ev);
+    sys_->ciderPress().stop(session);
+    EXPECT_EQ(sys_->ciderPress().join(session), 0);
+    EXPECT_EQ(g_touches.load(), 2);
+    EXPECT_EQ(g_paused_touches.load(), 1); // one arrived while paused
+}
+
+TEST_F(CiderPressStress, TwoSessionsSideBySide)
+{
+    install("left", counterApp);
+    install("right", counterApp);
+    int a = sys_->launcher().launch("left");
+    int b = sys_->launcher().launch("right");
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    ASSERT_NE(a, b);
+
+    // Input fan-out reaches both foreground proxies.
+    android::MotionEvent ev;
+    sys_->input().inject(ev);
+    sys_->ciderPress().stop(a);
+    sys_->ciderPress().stop(b);
+    EXPECT_EQ(sys_->ciderPress().join(a), 0);
+    EXPECT_EQ(sys_->ciderPress().join(b), 0);
+    EXPECT_EQ(g_touches.load(), 2);
+}
+
+TEST_F(CiderPressStress, AppCrashIsReapedWithItsExitCode)
+{
+    install("crashy", crashingApp);
+    int session = sys_->launcher().launch("crashy");
+    ASSERT_GE(session, 0);
+
+    android::MotionEvent ev;
+    sys_->input().inject(ev); // triggers the crash
+    EXPECT_EQ(sys_->ciderPress().join(session), 66);
+    // The proxy session survives for post-mortem queries.
+    EXPECT_NE(sys_->ciderPress().session(session), nullptr);
+}
+
+TEST_F(CiderPressStress, LaunchFailsCleanlyForBadBinary)
+{
+    setLogQuiet(true);
+    // An installed app whose binary bytes are garbage.
+    core::IpaPackage package;
+    package.appName = "garbage";
+    package.binary = {0xde, 0xad, 0xbe, 0xef};
+    sys_->installIpa(core::buildIpa(package));
+    int session = sys_->launcher().launch("garbage");
+    // CiderPress starts the session; the exec fails and join reports
+    // the 127 exec-failure status.
+    ASSERT_GE(session, 0);
+    sys_->ciderPress().stop(session);
+    EXPECT_EQ(sys_->ciderPress().join(session), 127);
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace cider

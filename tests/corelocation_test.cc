@@ -1,0 +1,132 @@
+/**
+ * @file
+ * CoreLocation-lite tests: the paper's section 6.4 GPS extension —
+ * I/O Kit-bridged driver + diplomatic framework entry points on
+ * Cider, native registry reads on the iPad, and the no-hardware
+ * fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "android/location.h"
+#include "base/logging.h"
+#include "core/cider_system.h"
+#include "ios/corelocation.h"
+#include "ios/dyld.h"
+
+namespace cider {
+namespace {
+
+using core::CiderSystem;
+using core::SystemConfig;
+using core::SystemOptions;
+
+/** Run an app that links CoreLocation and asks for a fix. */
+std::int64_t
+getFixFromApp(CiderSystem &sys)
+{
+    std::int64_t packed = -1;
+    sys.programs().add("loc.main", [&packed](binfmt::UserEnv &env) {
+        const binfmt::Symbol *get_fix =
+            ios::Dyld::resolve(env, ios::kCLGetFix);
+        if (!get_fix)
+            return 1;
+        std::vector<binfmt::Value> args;
+        packed = binfmt::valueI64(get_fix->fn(env, args));
+        return 0;
+    });
+    binfmt::MachOBuilder macho(binfmt::MachOFileType::Execute);
+    macho.entry("loc.main")
+        .segment("__TEXT", 8)
+        .dylib("libSystem.dylib")
+        .dylib("CoreLocation.dylib");
+    sys.kernel().vfs().writeFile("/data/locapp", macho.build());
+    EXPECT_EQ(sys.runProgram("/data/locapp"), 0);
+    return packed;
+}
+
+TEST(CoreLocation, DiplomaticFixOnCider)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::CiderIos;
+    opts.hasGps = true;
+    opts.gpsLatitude = 40.7608;
+    opts.gpsLongitude = -111.8910;
+    CiderSystem sys(opts);
+
+    std::int64_t packed = getFixFromApp(sys);
+    android::GpsFix fix = android::unpackFix(packed);
+    ASSERT_TRUE(fix.valid);
+    EXPECT_EQ(fix.latE6, 40760800);
+    EXPECT_EQ(fix.lonE6, -111891000);
+    // The fix travelled through a diplomatic function into the
+    // domestic location library and the Linux driver.
+    EXPECT_GT(sys.personaManager()->personaSwitches(), 0u);
+    auto *gps = dynamic_cast<android::GpsDevice *>(
+        sys.kernel().devices().find("gps0"));
+    ASSERT_NE(gps, nullptr);
+    EXPECT_EQ(gps->fixCount(), 1u);
+}
+
+TEST(CoreLocation, NativeFixOnIpad)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::IPadMini;
+    opts.hasGps = true;
+    opts.gpsLatitude = 37.3318;
+    opts.gpsLongitude = -122.0312;
+    CiderSystem sys(opts);
+
+    std::int64_t packed = getFixFromApp(sys);
+    android::GpsFix fix = android::unpackFix(packed);
+    ASSERT_TRUE(fix.valid);
+    EXPECT_EQ(fix.latE6, 37331800);
+    // Native path: no diplomats on an Apple device.
+    EXPECT_EQ(sys.personaManager()->personaSwitches(), 0u);
+}
+
+TEST(CoreLocation, NoHardwareMeansNoFix)
+{
+    // A Cider build with GPS libraries present but the device absent:
+    // the Yelp fallback condition.
+    SystemOptions opts;
+    opts.config = SystemConfig::CiderIos;
+    opts.hasGps = true;
+    CiderSystem sys(opts);
+    // Rip the device node out from under the stack.
+    sys.kernel().vfs().unlink("/dev/gps0");
+
+    std::int64_t packed = getFixFromApp(sys);
+    EXPECT_EQ(packed, 0);
+    EXPECT_FALSE(android::unpackFix(packed).valid);
+}
+
+TEST(CoreLocation, GpsDeviceBridgedIntoIoKit)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::CiderIos;
+    opts.hasGps = true;
+    CiderSystem sys(opts);
+    // The device_add hook mirrored the driver into the registry with
+    // its properties.
+    iokit::IORegistryEntry *entry = sys.ioRegistry().findByName("gps0");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(iokit::osValueString(entry->property("vendor")),
+              "ublox-m8");
+}
+
+TEST(CoreLocation, FixPackingRoundTrip)
+{
+    android::GpsDevice dev(-33.8688, 151.2093); // southern hemisphere
+    std::int64_t packed =
+        (static_cast<std::int64_t>(-33868800) << 32) |
+        (static_cast<std::uint32_t>(151209300));
+    android::GpsFix fix = android::unpackFix(packed);
+    EXPECT_EQ(fix.latE6, -33868800);
+    EXPECT_EQ(fix.lonE6, 151209300);
+    EXPECT_TRUE(fix.valid);
+    EXPECT_FALSE(android::unpackFix(0).valid);
+}
+
+} // namespace
+} // namespace cider

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DexLite container tests: assembler, serialisation round trip, and
+ * string interning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "binfmt/dex.h"
+
+namespace cider::binfmt {
+namespace {
+
+TEST(Dex, InternDeduplicates)
+{
+    DexFile file;
+    EXPECT_EQ(file.intern("a"), 0u);
+    EXPECT_EQ(file.intern("b"), 1u);
+    EXPECT_EQ(file.intern("a"), 0u);
+    EXPECT_EQ(file.string(1), "b");
+}
+
+TEST(Dex, AssemblerBuildsMethod)
+{
+    DexFile file;
+    DexAssembler as(file, "add2", 1);
+    as.load(0).constI(2).op(DexOp::Add).ret();
+    as.finish();
+
+    const DexMethod *m = file.method("add2");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->nlocals, 1u);
+    ASSERT_EQ(m->code.size(), 4u);
+    EXPECT_EQ(m->code[0].op, DexOp::Load);
+    EXPECT_EQ(m->code[1].a, 2);
+    EXPECT_EQ(file.method("missing"), nullptr);
+}
+
+TEST(Dex, JumpPatching)
+{
+    DexFile file;
+    DexAssembler as(file, "loop", 1);
+    std::int64_t top = as.here();
+    as.load(0);
+    std::size_t exit_jz = as.jz();
+    as.load(0).constI(1).op(DexOp::Sub).store(0);
+    as.op(DexOp::Jmp, top);
+    as.patch(exit_jz, as.here());
+    as.constI(99).ret();
+    as.finish();
+
+    const DexMethod *m = file.method("loop");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->code[1].a, 7); // patched to the constI index
+}
+
+TEST(Dex, SerializeParseRoundTrip)
+{
+    DexFile file;
+    file.name = "bench.dex";
+    DexAssembler as(file, "main", 2);
+    as.constF(3.25).store(1).load(1).callNative("print").ret();
+    as.finish();
+
+    Bytes blob = serializeDex(file);
+    std::optional<DexFile> parsed = parseDex(blob);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->name, "bench.dex");
+    const DexMethod *m = parsed->method("main");
+    ASSERT_NE(m, nullptr);
+    ASSERT_EQ(m->code.size(), 5u);
+    EXPECT_DOUBLE_EQ(m->code[0].f, 3.25);
+    EXPECT_EQ(parsed->string(m->code[3].sidx), "print");
+}
+
+TEST(Dex, ParseRejectsGarbage)
+{
+    EXPECT_FALSE(parseDex({1, 2, 3}).has_value());
+    DexFile file;
+    file.name = "x";
+    Bytes blob = serializeDex(file);
+    blob.resize(blob.size() - 1);
+    EXPECT_FALSE(parseDex(blob).has_value());
+}
+
+} // namespace
+} // namespace cider::binfmt

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Graphics stack tests across both ecosystems on a booted system:
+ * domestic GL/EGL over SurfaceFlinger, the diplomatic foreign path
+ * (EAGL -> libEGLbridge, IOSurfaceCreate -> gralloc), the generated
+ * GL diplomats, and zero-copy buffer sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "android/egl.h"
+#include "android/gles.h"
+#include "android/gralloc.h"
+#include "core/cider_system.h"
+#include "ios/dyld.h"
+#include "ios/eagl.h"
+#include "ios/iosurface_lib.h"
+
+namespace cider {
+namespace {
+
+using core::CiderSystem;
+using core::SystemConfig;
+using core::SystemOptions;
+
+binfmt::Value
+callSym(const binfmt::LibraryImage *lib, const char *name,
+        binfmt::UserEnv &env, std::vector<binfmt::Value> args)
+{
+    const binfmt::Symbol *sym = lib->exports.find(name);
+    EXPECT_NE(sym, nullptr) << name;
+    return sym->fn(env, args);
+}
+
+TEST(GraphicsStack, DomesticEglGlesRenderAndCompose)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::CiderAndroid;
+    CiderSystem sys(opts);
+
+    int rc = sys.runInProcess(
+        "droidgame", kernel::Persona::Android,
+        [&](binfmt::UserEnv &env) {
+            const binfmt::LibraryImage *egl =
+                sys.androidLibraries().find("libEGL.so");
+            const binfmt::LibraryImage *gl =
+                sys.androidLibraries().find("libGLESv2.so");
+
+            callSym(egl, "eglInitialize", env, {});
+            std::int64_t surface = binfmt::valueI64(callSym(
+                egl, "eglCreateWindowSurface", env,
+                {std::int64_t{640}, std::int64_t{480}}));
+            if (surface <= 0)
+                return 1;
+            callSym(egl, "eglMakeCurrent", env, {surface});
+            callSym(gl, "glClearColor", env, {0.5, 0.5, 0.5, 1.0});
+            callSym(gl, "glClear", env, {});
+            callSym(gl, "glDrawArrays", env,
+                    {std::int64_t{0}, std::int64_t{0},
+                     std::int64_t{90}});
+            callSym(egl, "eglSwapBuffers", env, {surface});
+            return 0;
+        });
+    ASSERT_EQ(rc, 0);
+
+    EXPECT_EQ(sys.surfaceFlinger().framesComposed(), 1u);
+    EXPECT_GT(sys.framebuffer().presentCount(), 0u);
+    EXPECT_EQ(sys.gpu().stats().vertices, 90u + 6u); // app + compositor
+}
+
+TEST(GraphicsStack, DiplomaticIosSurfaceUsesGralloc)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::CiderIos;
+    CiderSystem sys(opts);
+
+    std::size_t buffers_before = sys.gpu().buffers().liveCount();
+    int rc = sys.runInProcess(
+        "iosdraw", kernel::Persona::Ios, [&](binfmt::UserEnv &env) {
+            const binfmt::LibraryImage *iosurface =
+                sys.iosLibraries().find("IOSurface.dylib");
+            std::int64_t id = binfmt::valueI64(
+                callSym(iosurface, ios::kIOSurfaceCreate, env,
+                        {std::int64_t{128}, std::int64_t{64}}));
+            if (id <= 0)
+                return 1;
+            std::int64_t w = binfmt::valueI64(callSym(
+                iosurface, ios::kIOSurfaceGetWidth, env, {id}));
+            std::int64_t h = binfmt::valueI64(callSym(
+                iosurface, ios::kIOSurfaceGetHeight, env, {id}));
+            if (w != 128 || h != 64)
+                return 2;
+            // The surface is real gralloc memory: visible on the
+            // shared BufferManager.
+            if (!sys.gpu().buffers().find(
+                    static_cast<std::uint32_t>(id)))
+                return 3;
+            callSym(iosurface, ios::kIOSurfaceRelease, env, {id});
+            return 0;
+        });
+    EXPECT_EQ(rc, 0);
+    EXPECT_EQ(sys.gpu().buffers().liveCount(), buffers_before);
+    // Each IOSurface call was a diplomat: persona switches happened.
+    EXPECT_GT(sys.personaManager()->personaSwitches(), 0u);
+}
+
+TEST(GraphicsStack, GeneratedGlDiplomatsCoverStandardApi)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::CiderIos;
+    CiderSystem sys(opts);
+
+    const diplomat::GeneratorReport &report = sys.glesReport();
+    // Every standard GL ES symbol matched a domestic export; nothing
+    // was left unmatched (the EAGL extensions are not in this list).
+    EXPECT_EQ(report.unmatched.size(), 0u);
+    EXPECT_EQ(report.matched.size(),
+              android::glesExportNames().size());
+    const binfmt::LibraryImage *gles =
+        sys.iosLibraries().find("OpenGLES.dylib");
+    ASSERT_NE(gles, nullptr);
+    EXPECT_EQ(gles->exports.size(),
+              android::glesExportNames().size());
+}
+
+TEST(GraphicsStack, EaglPresentsThroughBridgeAndFlinger)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::CiderIos;
+    CiderSystem sys(opts);
+
+    int rc = sys.runInProcess(
+        "eaglapp", kernel::Persona::Ios, [&](binfmt::UserEnv &env) {
+            const binfmt::LibraryImage *eagl =
+                sys.iosLibraries().find("EAGL.dylib");
+            const binfmt::LibraryImage *gles =
+                sys.iosLibraries().find("OpenGLES.dylib");
+            std::int64_t ctx = binfmt::valueI64(
+                callSym(eagl, ios::kEaglCreateContext, env,
+                        {std::int64_t{320}, std::int64_t{480}}));
+            if (ctx <= 0)
+                return 1;
+            callSym(eagl, ios::kEaglSetCurrent, env, {ctx});
+            callSym(gles, "glClear", env, {});
+            callSym(gles, "glDrawArrays", env,
+                    {std::int64_t{0}, std::int64_t{0},
+                     std::int64_t{333}});
+            callSym(eagl, ios::kEaglPresent, env, {ctx});
+            return 0;
+        });
+    ASSERT_EQ(rc, 0);
+    // The iOS app's window memory is a SurfaceFlinger layer like any
+    // Android window, composed to the Linux framebuffer.
+    EXPECT_EQ(sys.surfaceFlinger().framesComposed(), 1u);
+    EXPECT_GE(sys.gpu().stats().vertices, 333u);
+    EXPECT_GT(sys.framebuffer().presentCount(), 0u);
+}
+
+TEST(GraphicsStack, FenceBugOnlyOnCider)
+{
+    SystemOptions cider_opts;
+    cider_opts.config = SystemConfig::CiderIos;
+    CiderSystem cider(cider_opts);
+    EXPECT_TRUE(cider.fenceBugEnabled());
+
+    cider_opts.fenceBug = false;
+    CiderSystem fixed(cider_opts);
+    EXPECT_FALSE(fixed.fenceBugEnabled());
+
+    SystemOptions ipad_opts;
+    ipad_opts.config = SystemConfig::IPadMini;
+    CiderSystem ipad(ipad_opts);
+    EXPECT_FALSE(ipad.fenceBugEnabled());
+
+    // The buggy library's glFinish stalls several extra fence
+    // periods compared to the fixed build.
+    auto finish_cost = [](CiderSystem &sys) {
+        std::uint64_t ns = 0;
+        sys.runInProcess(
+            "fence", kernel::Persona::Ios,
+            [&](binfmt::UserEnv &env) {
+                const binfmt::Symbol *fin =
+                    sys.iosLibraries()
+                        .find("OpenGLES.dylib")
+                        ->exports.find("glFinish");
+                std::vector<binfmt::Value> args;
+                fin->fn(env, args); // warm diplomat cache
+                ns = measureVirtual([&] { fin->fn(env, args); });
+                return 0;
+            });
+        return ns;
+    };
+    EXPECT_GT(finish_cost(cider),
+              finish_cost(fixed) + 4 * cider.profile().gpuFenceNs);
+}
+
+TEST(GraphicsStack, IpadUsesNativeAppleLibraries)
+{
+    SystemOptions opts;
+    opts.config = SystemConfig::IPadMini;
+    CiderSystem sys(opts);
+
+    int rc = sys.runInProcess(
+        "ipadapp", kernel::Persona::Ios, [&](binfmt::UserEnv &env) {
+            const binfmt::LibraryImage *eagl =
+                sys.iosLibraries().find("EAGL.dylib");
+            const binfmt::LibraryImage *gles =
+                sys.iosLibraries().find("OpenGLES.dylib");
+            std::int64_t ctx = binfmt::valueI64(
+                callSym(eagl, ios::kEaglCreateContext, env,
+                        {std::int64_t{1024}, std::int64_t{768}}));
+            if (ctx <= 0)
+                return 1;
+            callSym(eagl, ios::kEaglSetCurrent, env, {ctx});
+            callSym(gles, "glDrawArrays", env,
+                    {std::int64_t{0}, std::int64_t{0},
+                     std::int64_t{50}});
+            callSym(eagl, ios::kEaglPresent, env, {ctx});
+            return 0;
+        });
+    ASSERT_EQ(rc, 0);
+    EXPECT_GE(sys.gpu().stats().vertices, 50u);
+    // Native path: no persona switching on an Apple device.
+    EXPECT_EQ(sys.personaManager()->personaSwitches(), 0u);
+}
+
+} // namespace
+} // namespace cider

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Device-profile tests: cost-model sanity and the relationships the
+ * paper's figures depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/cost_clock.h"
+#include "hw/device_profile.h"
+
+namespace cider::hw {
+namespace {
+
+TEST(DeviceProfile, XcodeIntDivPenaltyOnlyAffectsDivide)
+{
+    const DeviceProfile &n7 = DeviceProfile::nexus7();
+    EXPECT_GT(n7.cpuOpPs(CpuOp::IntDiv, Codegen::XcodeClang),
+              n7.cpuOpPs(CpuOp::IntDiv, Codegen::LinuxGcc));
+    for (CpuOp op : {CpuOp::IntAdd, CpuOp::IntMul, CpuOp::DoubleAdd,
+                     CpuOp::DoubleMul, CpuOp::Bogomflop}) {
+        EXPECT_EQ(n7.cpuOpPs(op, Codegen::XcodeClang),
+                  n7.cpuOpPs(op, Codegen::LinuxGcc));
+    }
+}
+
+TEST(DeviceProfile, IpadCpuSlowerThanNexusForEveryBasicOp)
+{
+    const DeviceProfile &n7 = DeviceProfile::nexus7();
+    const DeviceProfile &ipad = DeviceProfile::ipadMini();
+    for (CpuOp op : {CpuOp::IntAdd, CpuOp::IntMul, CpuOp::IntDiv,
+                     CpuOp::DoubleAdd, CpuOp::DoubleMul,
+                     CpuOp::Bogomflop}) {
+        EXPECT_GT(ipad.cpuOpPs(op, Codegen::XcodeClang),
+                  n7.cpuOpPs(op, Codegen::XcodeClang));
+    }
+}
+
+TEST(DeviceProfile, IpadGpuFasterStorageWriteFaster)
+{
+    const DeviceProfile &n7 = DeviceProfile::nexus7();
+    const DeviceProfile &ipad = DeviceProfile::ipadMini();
+    // Figure 6: the iPad mini wins 3D (faster GPU) and storage write.
+    EXPECT_LT(ipad.gpuPerVertexNs, n7.gpuPerVertexNs);
+    EXPECT_LT(ipad.gpuPerFragmentPs, n7.gpuPerFragmentPs);
+    EXPECT_LT(ipad.storageWriteBytePs, n7.storageWriteBytePs);
+    // Figure 5: the iPad's select() degrades and caps out.
+    EXPECT_GT(ipad.selectPerFdNs, n7.selectPerFdNs);
+    EXPECT_GT(ipad.selectMaxFds, 0);
+    EXPECT_EQ(n7.selectMaxFds, 0);
+    // Only the real Apple device has the dyld shared cache.
+    EXPECT_TRUE(ipad.dyldSharedCache);
+    EXPECT_FALSE(n7.dyldSharedCache);
+}
+
+TEST(DeviceProfile, ChargeCpuOpsBatchesPrecisely)
+{
+    const DeviceProfile &n7 = DeviceProfile::nexus7();
+    CostClock clock;
+    {
+        CostScope scope(clock);
+        n7.chargeCpuOps(CpuOp::IntAdd, Codegen::LinuxGcc, 1000);
+    }
+    // 1000 adds at 769 ps = 769 ns, not 0 (sub-ns ops must not
+    // truncate away).
+    EXPECT_EQ(clock.now(), 769u);
+}
+
+TEST(DeviceProfile, CyclesToNsUsesClock)
+{
+    const DeviceProfile &n7 = DeviceProfile::nexus7();
+    EXPECT_EQ(n7.cyclesToNs(1300), 1000u); // 1300 cycles at 1.3 GHz
+    const DeviceProfile &ipad = DeviceProfile::ipadMini();
+    EXPECT_EQ(ipad.cyclesToNs(1300), 1300u); // 1.0 GHz
+}
+
+} // namespace
+} // namespace cider::hw

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Input subsystem tests: MotionEvent serialisation and listener
+ * routing, plus the CiderPress framing helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "android/ciderpress.h"
+#include "android/input.h"
+
+namespace cider::android {
+namespace {
+
+TEST(MotionEvent, SerialiseParseRoundTrip)
+{
+    MotionEvent ev;
+    ev.action = MotionAction::PointerDown;
+    ev.pointerId = 3;
+    ev.x = 123.5f;
+    ev.y = -2.25f;
+    ev.timeNs = 0x123456789abcull;
+    ev.pointerCount = 2;
+
+    Bytes wire = serializeMotionEvent(ev);
+    EXPECT_EQ(wire.size(), motionEventWireSize());
+    MotionEvent out;
+    ASSERT_TRUE(parseMotionEvent(wire, &out));
+    EXPECT_EQ(out, ev);
+}
+
+TEST(MotionEvent, ParseRejectsShortBuffers)
+{
+    MotionEvent out;
+    EXPECT_FALSE(parseMotionEvent({1, 2, 3}, &out));
+    EXPECT_FALSE(parseMotionEvent({}, &out));
+    Bytes wire = serializeMotionEvent(MotionEvent{});
+    wire.pop_back();
+    EXPECT_FALSE(parseMotionEvent(wire, &out));
+    EXPECT_FALSE(
+        parseMotionEvent(serializeMotionEvent(MotionEvent{}), nullptr));
+}
+
+TEST(InputSubsystem, RoutesToAllSubscribers)
+{
+    InputSubsystem input;
+    int a = 0, b = 0;
+    int id_a = input.subscribe([&](const MotionEvent &) { ++a; });
+    input.subscribe([&](const MotionEvent &) { ++b; });
+
+    input.inject(MotionEvent{});
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 1);
+
+    input.unsubscribe(id_a);
+    input.inject(MotionEvent{});
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+    EXPECT_EQ(input.eventsDelivered(), 3u);
+}
+
+TEST(CiderPressFraming, FrameLayout)
+{
+    Bytes payload{9, 8, 7};
+    Bytes framed = cpmsg::frame(cpmsg::Motion, payload);
+    ASSERT_EQ(framed.size(), 1u + 4u + 3u);
+    EXPECT_EQ(framed[0], cpmsg::Motion);
+    ByteReader r(framed);
+    r.u8();
+    EXPECT_EQ(r.u32(), 3u);
+    EXPECT_EQ(r.raw(3), payload);
+}
+
+} // namespace
+} // namespace cider::android

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * I/O Kit tests: OSObject refcounting, registry attach/detach and
+ * matching, Linux-device bridging, driver-class matching
+ * (AppleM2CLCD against the bridged framebuffer node), and
+ * external-method user clients.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ducttape/cxx_runtime.h"
+#include "gpu/sim_gpu.h"
+#include "hw/device_profile.h"
+#include "iokit/framebuffer.h"
+#include "iokit/io_registry.h"
+#include "iokit/io_service.h"
+#include "iokit/io_surface.h"
+#include "iokit/linux_bridge.h"
+#include "kernel/kernel.h"
+
+namespace cider::iokit {
+namespace {
+
+TEST(OSObject, RetainReleaseTracksHeap)
+{
+    ducttape::KernelCxxRuntime rt;
+    auto *entry = new IORegistryEntry(rt, "obj");
+    EXPECT_EQ(rt.stats().liveObjects, 1u);
+    entry->retain();
+    EXPECT_EQ(entry->refCount(), 2);
+    entry->release();
+    EXPECT_EQ(rt.stats().liveObjects, 1u);
+    entry->release();
+    EXPECT_EQ(rt.stats().liveObjects, 0u);
+    EXPECT_EQ(rt.stats().objectsDestroyed, 1u);
+}
+
+TEST(IORegistry, AttachFindDetach)
+{
+    ducttape::KernelCxxRuntime rt;
+    IORegistry registry(rt);
+    auto *parent = new IORegistryEntry(rt, "bus");
+    registry.attach(parent);
+    auto *child = new IORegistryEntry(rt, "disk");
+    child->setProperty("size", std::int64_t{16});
+    registry.attach(child, parent);
+
+    EXPECT_EQ(registry.findByName("disk"), child);
+    EXPECT_EQ(registry.findById(child->entryId()), child);
+    EXPECT_EQ(child->parent(), parent);
+    EXPECT_EQ(registry.entryCount(), 3u); // root + 2
+
+    OSDictionary match;
+    match["size"] = std::int64_t{16};
+    EXPECT_EQ(registry.matchAll(match).size(), 1u);
+
+    registry.detach(parent); // takes the subtree with it
+    EXPECT_EQ(registry.findByName("disk"), nullptr);
+    EXPECT_EQ(registry.entryCount(), 1u);
+}
+
+TEST(IORegistry, DictMatching)
+{
+    OSDictionary props;
+    props["class"] = std::string("framebuffer");
+    props["width"] = std::int64_t{1280};
+    OSDictionary match;
+    EXPECT_TRUE(osDictMatches(props, match)); // empty matches all
+    match["class"] = std::string("framebuffer");
+    EXPECT_TRUE(osDictMatches(props, match));
+    match["width"] = std::int64_t{1024};
+    EXPECT_FALSE(osDictMatches(props, match));
+}
+
+class IoKitFixture : public ::testing::Test
+{
+  protected:
+    IoKitFixture()
+        : kernel_(hw::DeviceProfile::nexus7()), gpu_(kernel_.profile()),
+          registry_(rt_), catalogue_(registry_)
+    {
+        installLinuxBridge(kernel_.devices(), registry_);
+    }
+
+    kernel::Kernel kernel_;
+    gpu::SimGpu gpu_;
+    ducttape::KernelCxxRuntime rt_;
+    IORegistry registry_;
+    IOCatalogue catalogue_;
+};
+
+TEST_F(IoKitFixture, LinuxDevicesBridgedIntoRegistry)
+{
+    auto dev = std::make_unique<kernel::Device>("gps0", "gps");
+    dev->setProperty("vendor", "ublox");
+    kernel_.devices().add(std::move(dev));
+
+    IORegistryEntry *entry = registry_.findByName("gps0");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(osValueString(entry->property(kLinuxClassKey)), "gps");
+    EXPECT_EQ(osValueString(entry->property("vendor")), "ublox");
+    EXPECT_NE(linuxDeviceOf(*entry), nullptr);
+}
+
+TEST_F(IoKitFixture, BridgeReplaysPreexistingDevices)
+{
+    kernel::Kernel other(hw::DeviceProfile::nexus7());
+    other.devices().add(
+        std::make_unique<kernel::Device>("early", "sensor"));
+    IORegistry late(rt_);
+    installLinuxBridge(other.devices(), late);
+    EXPECT_NE(late.findByName("early"), nullptr);
+}
+
+TEST_F(IoKitFixture, AppleM2CLCDMatchesFramebufferNode)
+{
+    AppleM2CLCD::registerDriver(rt_, catalogue_);
+    rt_.bootConstructors();
+
+    // No framebuffer yet: no service.
+    EXPECT_EQ(catalogue_.findService("AppleM2CLCD"), nullptr);
+
+    kernel_.devices().add(
+        std::make_unique<gpu::FramebufferDevice>(gpu_, 1280, 800));
+
+    IOService *service = catalogue_.findService("AppleM2CLCD");
+    ASSERT_NE(service, nullptr);
+    EXPECT_TRUE(service->started());
+    ASSERT_NE(service->provider(), nullptr);
+    EXPECT_EQ(service->provider()->entryName(), "fb0");
+
+    // Drive it through the user-client interface.
+    kernel::Process &proc = kernel_.createProcess("caller");
+    kernel::ThreadScope scope(proc.mainThread());
+    std::vector<std::int64_t> output;
+    ASSERT_EQ(service->externalMethod(fbsel::GetDisplayInfo, {},
+                                      output),
+              xnu::KERN_SUCCESS);
+    ASSERT_EQ(output.size(), 2u);
+    EXPECT_EQ(output[0], 1280);
+    EXPECT_EQ(output[1], 800);
+}
+
+TEST_F(IoKitFixture, AppleM2CLCDPresentsThroughLinuxDriver)
+{
+    AppleM2CLCD::registerDriver(rt_, catalogue_);
+    rt_.bootConstructors();
+    auto fb = std::make_unique<gpu::FramebufferDevice>(gpu_, 64, 64);
+    gpu::FramebufferDevice *fb_raw = fb.get();
+    kernel_.devices().add(std::move(fb));
+    IOService *service = catalogue_.findService("AppleM2CLCD");
+    ASSERT_NE(service, nullptr);
+
+    gpu::BufferPtr buf = gpu_.buffers().create(64, 64);
+    std::fill(buf->pixels.begin(), buf->pixels.end(), 0xff00ff00u);
+
+    kernel::Process &proc = kernel_.createProcess("caller");
+    kernel::ThreadScope scope(proc.mainThread());
+    std::vector<std::int64_t> output;
+    ASSERT_EQ(service->externalMethod(
+                  fbsel::SwapEnd,
+                  {static_cast<std::int64_t>(buf->id)}, output),
+              xnu::KERN_SUCCESS);
+    EXPECT_EQ(fb_raw->presentCount(), 1u);
+    EXPECT_EQ(fb_raw->frontBuffer().pixels[0], 0xff00ff00u);
+
+    output.clear();
+    service->externalMethod(fbsel::GetSwapCount, {}, output);
+    ASSERT_EQ(output.size(), 1u);
+    EXPECT_EQ(output[0], 1);
+}
+
+TEST_F(IoKitFixture, IOSurfaceRootUserClient)
+{
+    ducttape::KernelCxxRuntime rt;
+    IOSurfaceRoot surface_root(rt, gpu_.buffers());
+
+    std::vector<std::int64_t> output;
+    ASSERT_EQ(surface_root.externalMethod(surfsel::Create, {320, 480},
+                                          output),
+              xnu::KERN_SUCCESS);
+    ASSERT_EQ(output.size(), 1u);
+    std::int64_t id = output[0];
+    EXPECT_GT(id, 0);
+
+    output.clear();
+    ASSERT_EQ(surface_root.externalMethod(surfsel::GetInfo, {id},
+                                          output),
+              xnu::KERN_SUCCESS);
+    EXPECT_EQ(output[0], 320);
+    EXPECT_EQ(output[1], 480);
+
+    output.clear();
+    EXPECT_EQ(surface_root.externalMethod(surfsel::Release, {id},
+                                          output),
+              xnu::KERN_SUCCESS);
+    EXPECT_EQ(surface_root.externalMethod(surfsel::Release, {id},
+                                          output),
+              xnu::KERN_INVALID_NAME);
+    EXPECT_EQ(surface_root.externalMethod(surfsel::Create, {},
+                                          output),
+              xnu::KERN_INVALID_ARGUMENT);
+}
+
+TEST_F(IoKitFixture, UnknownSelectorFails)
+{
+    ducttape::KernelCxxRuntime rt;
+    IOSurfaceRoot surface_root(rt, gpu_.buffers());
+    std::vector<std::int64_t> output;
+    EXPECT_EQ(surface_root.externalMethod(999, {}, output),
+              xnu::KERN_FAILURE);
+}
+
+} // namespace
+} // namespace cider::iokit

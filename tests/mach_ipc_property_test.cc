@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Property-style Mach IPC tests: random operation scripts across
+ * many seeds must preserve the right-accounting invariants — no
+ * message loss or duplication on live ports, monotone send/receive
+ * counters, zone alloc/free balance, and FIFO per port.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "xnu/mach_ipc.h"
+
+namespace cider::xnu {
+namespace {
+
+class MachIpcProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MachIpcProperty, RandomScriptPreservesInvariants)
+{
+    Rng rng(GetParam());
+    MachIpc ipc;
+    SpacePtr space = ipc.createSpace();
+
+    std::vector<mach_port_name_t> live_ports;
+    // Per-port FIFO model: the ids we expect to drain, in order.
+    std::map<mach_port_name_t, std::deque<std::int32_t>> model;
+    std::int32_t next_id = 1;
+    std::uint64_t sent = 0, received = 0;
+
+    for (int step = 0; step < 400; ++step) {
+        std::uint64_t dice = rng.below(100);
+        if (dice < 20 || live_ports.empty()) {
+            mach_port_name_t name;
+            ASSERT_EQ(ipc.portAllocate(*space, PortRight::Receive,
+                                       &name),
+                      KERN_SUCCESS);
+            live_ports.push_back(name);
+        } else if (dice < 60) {
+            // Send to a random live port (respecting qlimit).
+            mach_port_name_t port =
+                live_ports[rng.below(live_ports.size())];
+            if (model[port].size() >= 16)
+                continue; // avoid blocking on the full queue
+            MachMessage msg;
+            msg.header.remotePort = port;
+            msg.header.remoteDisposition = MsgDisposition::MakeSend;
+            msg.header.msgId = next_id;
+            ASSERT_EQ(ipc.msgSend(*space, std::move(msg)),
+                      KERN_SUCCESS);
+            model[port].push_back(next_id);
+            ++next_id;
+            ++sent;
+        } else if (dice < 90) {
+            // Drain one message from a random port that has any.
+            mach_port_name_t port =
+                live_ports[rng.below(live_ports.size())];
+            MachMessage out;
+            RcvOptions opts;
+            opts.nonblocking = true;
+            kern_return_t kr = ipc.msgReceive(*space, port, out, opts);
+            if (model[port].empty()) {
+                EXPECT_EQ(kr, MACH_RCV_TIMED_OUT);
+            } else {
+                ASSERT_EQ(kr, KERN_SUCCESS);
+                EXPECT_EQ(out.header.msgId, model[port].front())
+                    << "FIFO violated on port " << port;
+                model[port].pop_front();
+                ++received;
+            }
+        } else {
+            // Destroy a random port; queued messages die with it.
+            std::size_t idx = rng.below(live_ports.size());
+            mach_port_name_t port = live_ports[idx];
+            ASSERT_EQ(ipc.portDestroy(*space, port), KERN_SUCCESS);
+            model.erase(port);
+            live_ports.erase(live_ports.begin() +
+                             static_cast<std::ptrdiff_t>(idx));
+        }
+    }
+
+    // Counters match the model exactly.
+    MachIpcStats st = ipc.stats();
+    EXPECT_EQ(st.messagesSent, sent);
+    EXPECT_EQ(st.messagesReceived, received);
+
+    // Everything still queued is receivable, in order, with nothing
+    // extra behind it.
+    for (auto &[port, expected] : model) {
+        while (!expected.empty()) {
+            MachMessage out;
+            RcvOptions opts;
+            opts.nonblocking = true;
+            ASSERT_EQ(ipc.msgReceive(*space, port, out, opts),
+                      KERN_SUCCESS);
+            EXPECT_EQ(out.header.msgId, expected.front());
+            expected.pop_front();
+        }
+        MachMessage extra;
+        RcvOptions opts;
+        opts.nonblocking = true;
+        EXPECT_EQ(ipc.msgReceive(*space, port, extra, opts),
+                  MACH_RCV_TIMED_OUT);
+    }
+
+    // Tear-down balances the port zone.
+    ipc.destroySpace(*space);
+    ducttape::ZoneStats zs = ipc.portZoneStats();
+    EXPECT_EQ(zs.live, 0u) << "leaked ports in the zalloc zone";
+    EXPECT_EQ(zs.allocs, zs.frees);
+}
+
+TEST_P(MachIpcProperty, RightTransferConservesSendRefs)
+{
+    Rng rng(GetParam() ^ 0xabcdef);
+    MachIpc ipc;
+    SpacePtr a = ipc.createSpace();
+    SpacePtr b = ipc.createSpace();
+
+    mach_port_name_t target;
+    ASSERT_EQ(ipc.portAllocate(*a, PortRight::Receive, &target),
+              KERN_SUCCESS);
+    mach_port_name_t mailbox;
+    ASSERT_EQ(ipc.portAllocate(*b, PortRight::Receive, &mailbox),
+              KERN_SUCCESS);
+    PortPtr mailbox_port;
+    ipc.portLookup(*b, mailbox, &mailbox_port);
+    mach_port_name_t mailbox_in_a;
+    ipc.insertSendRight(*a, mailbox_port, &mailbox_in_a);
+
+    // Ship N send rights for `target` from A to B; B must coalesce
+    // them under one name with N refs.
+    const int n = 1 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < n; ++i) {
+        MachMessage msg;
+        msg.header.remotePort = mailbox_in_a;
+        msg.header.remoteDisposition = MsgDisposition::CopySend;
+        PortDescriptor desc;
+        desc.name = target;
+        desc.disposition = MsgDisposition::MakeSend;
+        msg.ports.push_back(desc);
+        ASSERT_EQ(ipc.msgSend(*a, std::move(msg)), KERN_SUCCESS);
+    }
+
+    mach_port_name_t target_in_b = MACH_PORT_NULL;
+    for (int i = 0; i < n; ++i) {
+        MachMessage out;
+        ASSERT_EQ(ipc.msgReceive(*b, mailbox, out), KERN_SUCCESS);
+        ASSERT_EQ(out.ports.size(), 1u);
+        if (target_in_b == MACH_PORT_NULL)
+            target_in_b = out.ports[0].name;
+        else
+            EXPECT_EQ(out.ports[0].name, target_in_b);
+    }
+    IpcEntry entry;
+    ASSERT_EQ(ipc.portRights(*b, target_in_b, &entry), KERN_SUCCESS);
+    EXPECT_EQ(entry.sendRefs, static_cast<std::uint32_t>(n));
+
+    // Dropping them one by one empties the entry.
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(ipc.portDeallocate(*b, target_in_b), KERN_SUCCESS);
+    EXPECT_EQ(ipc.portRights(*b, target_in_b, &entry),
+              KERN_INVALID_NAME);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachIpcProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+} // namespace
+} // namespace cider::xnu

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Mach IPC unit tests: rights lifecycle, message transfer with port
+ * and OOL descriptors, port sets, dead names, and back-pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "xnu/mach_ipc.h"
+
+namespace cider::xnu {
+namespace {
+
+class MachIpcTest : public ::testing::Test
+{
+  protected:
+    MachIpcTest()
+    {
+        spaceA_ = ipc_.createSpace();
+        spaceB_ = ipc_.createSpace();
+    }
+
+    MachMessage
+    simpleMsg(mach_port_name_t dest, std::int32_t id,
+              MsgDisposition disp = MsgDisposition::MakeSend)
+    {
+        MachMessage msg;
+        msg.header.remotePort = dest;
+        msg.header.remoteDisposition = disp;
+        msg.header.msgId = id;
+        return msg;
+    }
+
+    MachIpc ipc_;
+    SpacePtr spaceA_, spaceB_;
+};
+
+TEST_F(MachIpcTest, AllocateGivesReceiveRight)
+{
+    mach_port_name_t name = MACH_PORT_NULL;
+    ASSERT_EQ(ipc_.portAllocate(*spaceA_, PortRight::Receive, &name),
+              KERN_SUCCESS);
+    EXPECT_NE(name, MACH_PORT_NULL);
+    IpcEntry entry;
+    ASSERT_EQ(ipc_.portRights(*spaceA_, name, &entry), KERN_SUCCESS);
+    EXPECT_TRUE(entry.hasReceive);
+    EXPECT_EQ(entry.sendRefs, 0u);
+}
+
+TEST_F(MachIpcTest, InsertRightAddsCountedSendRights)
+{
+    mach_port_name_t name;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &name);
+    EXPECT_EQ(ipc_.portInsertRight(*spaceA_, name,
+                                   MsgDisposition::MakeSend),
+              KERN_SUCCESS);
+    EXPECT_EQ(ipc_.portInsertRight(*spaceA_, name,
+                                   MsgDisposition::MakeSend),
+              KERN_SUCCESS);
+    IpcEntry entry;
+    ipc_.portRights(*spaceA_, name, &entry);
+    EXPECT_EQ(entry.sendRefs, 2u);
+
+    // Deallocate drops one ref at a time.
+    EXPECT_EQ(ipc_.portDeallocate(*spaceA_, name), KERN_SUCCESS);
+    ipc_.portRights(*spaceA_, name, &entry);
+    EXPECT_EQ(entry.sendRefs, 1u);
+}
+
+TEST_F(MachIpcTest, SendReceiveSameSpace)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+    MachMessage msg = simpleMsg(port, 77);
+    msg.body = {1, 2, 3};
+    ASSERT_EQ(ipc_.msgSend(*spaceA_, std::move(msg)), KERN_SUCCESS);
+
+    MachMessage out;
+    ASSERT_EQ(ipc_.msgReceive(*spaceA_, port, out), KERN_SUCCESS);
+    EXPECT_EQ(out.header.msgId, 77);
+    EXPECT_EQ(out.body, (Bytes{1, 2, 3}));
+    EXPECT_EQ(out.header.localPort, port);
+}
+
+TEST_F(MachIpcTest, PortRightTransferAcrossSpaces)
+{
+    // A creates a port and sends B a send right to it (via a port B
+    // can already receive on).
+    mach_port_name_t b_rcv;
+    ipc_.portAllocate(*spaceB_, PortRight::Receive, &b_rcv);
+    mach_port_name_t b_send_in_a = MACH_PORT_NULL;
+    PortPtr b_port;
+    ASSERT_EQ(ipc_.portLookup(*spaceB_, b_rcv, &b_port), KERN_SUCCESS);
+    ASSERT_EQ(ipc_.insertSendRight(*spaceA_, b_port, &b_send_in_a),
+              KERN_SUCCESS);
+
+    mach_port_name_t a_service;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &a_service);
+
+    MachMessage msg = simpleMsg(b_send_in_a, 5, MsgDisposition::CopySend);
+    PortDescriptor desc;
+    desc.name = a_service;
+    desc.disposition = MsgDisposition::MakeSend;
+    msg.ports.push_back(desc);
+    ASSERT_EQ(ipc_.msgSend(*spaceA_, std::move(msg)), KERN_SUCCESS);
+
+    MachMessage out;
+    ASSERT_EQ(ipc_.msgReceive(*spaceB_, b_rcv, out), KERN_SUCCESS);
+    ASSERT_EQ(out.ports.size(), 1u);
+    mach_port_name_t a_service_in_b = out.ports[0].name;
+    EXPECT_NE(a_service_in_b, MACH_PORT_NULL);
+
+    // B can now message A's service port directly.
+    ASSERT_EQ(ipc_.msgSend(*spaceB_,
+                           simpleMsg(a_service_in_b, 9,
+                                     MsgDisposition::MoveSend)),
+              KERN_SUCCESS);
+    MachMessage at_a;
+    ASSERT_EQ(ipc_.msgReceive(*spaceA_, a_service, at_a), KERN_SUCCESS);
+    EXPECT_EQ(at_a.header.msgId, 9);
+}
+
+TEST_F(MachIpcTest, MoveSendConsumesSendersRight)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+    ipc_.portInsertRight(*spaceA_, port, MsgDisposition::MakeSend);
+
+    ASSERT_EQ(ipc_.msgSend(*spaceA_, simpleMsg(port, 1,
+                                               MsgDisposition::MoveSend)),
+              KERN_SUCCESS);
+    IpcEntry entry;
+    ipc_.portRights(*spaceA_, port, &entry);
+    EXPECT_EQ(entry.sendRefs, 0u);
+    // A second MoveSend without a right fails.
+    EXPECT_EQ(ipc_.msgSend(*spaceA_, simpleMsg(port, 2,
+                                               MsgDisposition::MoveSend)),
+              MACH_SEND_INVALID_RIGHT);
+}
+
+TEST_F(MachIpcTest, SendOnceRightFiresExactlyOnce)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+
+    MachMessage first = simpleMsg(port, 1, MsgDisposition::MakeSendOnce);
+    ASSERT_EQ(ipc_.msgSend(*spaceA_, std::move(first)), KERN_SUCCESS);
+    MachMessage out;
+    ipc_.msgReceive(*spaceA_, port, out);
+}
+
+TEST_F(MachIpcTest, ReplyPortCarriedAndUsable)
+{
+    mach_port_name_t service;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &service);
+    PortPtr service_port;
+    ipc_.portLookup(*spaceA_, service, &service_port);
+    mach_port_name_t service_in_b;
+    ipc_.insertSendRight(*spaceB_, service_port, &service_in_b);
+
+    // Server thread: receive a request, reply to its reply port.
+    std::thread server([&] {
+        MachMessage request;
+        ASSERT_EQ(ipc_.msgReceive(*spaceA_, service, request),
+                  KERN_SUCCESS);
+        ASSERT_NE(request.header.remotePort, MACH_PORT_NULL);
+        MachMessage reply;
+        reply.header.remotePort = request.header.remotePort;
+        reply.header.remoteDisposition = MsgDisposition::MoveSendOnce;
+        reply.header.msgId = request.header.msgId + 1;
+        EXPECT_EQ(ipc_.msgSend(*spaceA_, std::move(reply)),
+                  KERN_SUCCESS);
+    });
+
+    MachMessage request = simpleMsg(service_in_b, 100,
+                                    MsgDisposition::CopySend);
+    MachMessage reply;
+    ASSERT_EQ(ipc_.msgRpc(*spaceB_, std::move(request), reply),
+              KERN_SUCCESS);
+    EXPECT_EQ(reply.header.msgId, 101);
+    server.join();
+}
+
+TEST_F(MachIpcTest, OolDescriptorsMoveZeroCopy)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+
+    MachMessage msg = simpleMsg(port, 3);
+    OolDescriptor ool;
+    ool.data.assign(1 << 20, 0xab); // 1 MB payload
+    msg.ool.push_back(std::move(ool));
+    ASSERT_EQ(ipc_.msgSend(*spaceA_, std::move(msg)), KERN_SUCCESS);
+
+    MachMessage out;
+    ASSERT_EQ(ipc_.msgReceive(*spaceA_, port, out), KERN_SUCCESS);
+    ASSERT_EQ(out.ool.size(), 1u);
+    EXPECT_EQ(out.ool[0].data.size(), 1u << 20);
+    EXPECT_EQ(ipc_.stats().oolBytesMoved, 1u << 20);
+}
+
+TEST_F(MachIpcTest, NonblockingReceiveTimesOut)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+    MachMessage out;
+    RcvOptions opts;
+    opts.nonblocking = true;
+    EXPECT_EQ(ipc_.msgReceive(*spaceA_, port, out, opts),
+              MACH_RCV_TIMED_OUT);
+}
+
+TEST_F(MachIpcTest, ReceiveOnBogusNameFails)
+{
+    MachMessage out;
+    EXPECT_EQ(ipc_.msgReceive(*spaceA_, 0x9999, out),
+              MACH_RCV_INVALID_NAME);
+}
+
+TEST_F(MachIpcTest, SendToDestroyedPortFails)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+    PortPtr obj;
+    ipc_.portLookup(*spaceA_, port, &obj);
+    mach_port_name_t in_b;
+    ipc_.insertSendRight(*spaceB_, obj, &in_b);
+
+    ASSERT_EQ(ipc_.portDestroy(*spaceA_, port), KERN_SUCCESS);
+    EXPECT_EQ(ipc_.msgSend(*spaceB_, simpleMsg(in_b, 1,
+                                               MsgDisposition::CopySend)),
+              MACH_SEND_INVALID_DEST);
+    // B's entry reads back as a dead name.
+    IpcEntry entry;
+    ipc_.portRights(*spaceB_, in_b, &entry);
+    EXPECT_TRUE(entry.deadName);
+}
+
+TEST_F(MachIpcTest, DeadNameNotificationDelivered)
+{
+    mach_port_name_t watched;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &watched);
+    PortPtr obj;
+    ipc_.portLookup(*spaceA_, watched, &obj);
+    mach_port_name_t watched_in_b;
+    ipc_.insertSendRight(*spaceB_, obj, &watched_in_b);
+
+    mach_port_name_t notify;
+    ipc_.portAllocate(*spaceB_, PortRight::Receive, &notify);
+    ASSERT_EQ(ipc_.requestDeadNameNotification(*spaceB_, watched_in_b,
+                                               notify),
+              KERN_SUCCESS);
+
+    ipc_.portDestroy(*spaceA_, watched);
+
+    MachMessage note;
+    ASSERT_EQ(ipc_.msgReceive(*spaceB_, notify, note), KERN_SUCCESS);
+    EXPECT_EQ(note.header.msgId, MACH_NOTIFY_DEAD_NAME);
+    ByteReader r(note.body);
+    EXPECT_EQ(r.u32(), watched_in_b);
+}
+
+TEST_F(MachIpcTest, PortSetReceivesFromAnyMember)
+{
+    mach_port_name_t set;
+    ipc_.portAllocate(*spaceA_, PortRight::PortSet, &set);
+    mach_port_name_t p1, p2;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &p1);
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &p2);
+    ASSERT_EQ(ipc_.portSetInsert(*spaceA_, set, p1), KERN_SUCCESS);
+    ASSERT_EQ(ipc_.portSetInsert(*spaceA_, set, p2), KERN_SUCCESS);
+
+    ipc_.msgSend(*spaceA_, simpleMsg(p2, 22));
+    MachMessage out;
+    ASSERT_EQ(ipc_.msgReceive(*spaceA_, set, out), KERN_SUCCESS);
+    EXPECT_EQ(out.header.msgId, 22);
+
+    ipc_.msgSend(*spaceA_, simpleMsg(p1, 11));
+    ASSERT_EQ(ipc_.msgReceive(*spaceA_, set, out), KERN_SUCCESS);
+    EXPECT_EQ(out.header.msgId, 11);
+
+    // Blocking receive on the set wakes when a member gets a message.
+    std::thread sender([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ipc_.msgSend(*spaceA_, simpleMsg(p1, 33));
+    });
+    ASSERT_EQ(ipc_.msgReceive(*spaceA_, set, out), KERN_SUCCESS);
+    EXPECT_EQ(out.header.msgId, 33);
+    sender.join();
+}
+
+TEST_F(MachIpcTest, QueueLimitBlocksSenderUntilDrain)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+
+    // Fill to qlimit with nonblocking-ish sequential sends.
+    for (int i = 0; i < 16; ++i)
+        ASSERT_EQ(ipc_.msgSend(*spaceA_, simpleMsg(port, i)),
+                  KERN_SUCCESS);
+
+    std::atomic<bool> sent{false};
+    std::thread sender([&] {
+        ipc_.msgSend(*spaceA_, simpleMsg(port, 99)); // blocks: full
+        sent = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(sent.load());
+
+    MachMessage out;
+    ipc_.msgReceive(*spaceA_, port, out); // drain one slot
+    sender.join();
+    EXPECT_TRUE(sent.load());
+}
+
+TEST_F(MachIpcTest, DestroySpaceKillsItsPorts)
+{
+    mach_port_name_t port;
+    ipc_.portAllocate(*spaceA_, PortRight::Receive, &port);
+    PortPtr obj;
+    ipc_.portLookup(*spaceA_, port, &obj);
+    mach_port_name_t in_b;
+    ipc_.insertSendRight(*spaceB_, obj, &in_b);
+
+    ipc_.destroySpace(*spaceA_);
+    EXPECT_EQ(spaceA_->entryCount(), 0u);
+    EXPECT_EQ(ipc_.msgSend(*spaceB_, simpleMsg(in_b, 1,
+                                               MsgDisposition::CopySend)),
+              MACH_SEND_INVALID_DEST);
+}
+
+TEST_F(MachIpcTest, PortZoneFailureInjectionSurfacesAsShortage)
+{
+    EXPECT_GE(ipc_.portZoneStats().allocs, 0u);
+    // Arm the zone: the very next port allocation fails like an
+    // exhausted zalloc zone in XNU.
+    ipc_.armPortZoneFailure(
+        static_cast<std::int64_t>(ipc_.portZoneStats().allocs));
+    mach_port_name_t name = MACH_PORT_NULL;
+    EXPECT_EQ(ipc_.portAllocate(*spaceA_, PortRight::Receive, &name),
+              KERN_RESOURCE_SHORTAGE);
+    ipc_.armPortZoneFailure(-1);
+    EXPECT_EQ(ipc_.portAllocate(*spaceA_, PortRight::Receive, &name),
+              KERN_SUCCESS);
+}
+
+} // namespace
+} // namespace cider::xnu

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * UIKit-lite unit tests: touch conversion and the gesture
+ * recognisers (tap, pan, pinch) in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ios/uikit.h"
+
+namespace cider::ios {
+namespace {
+
+Touch
+touch(Touch::Phase phase, float x, float y, int pid = 0)
+{
+    Touch t;
+    t.phase = phase;
+    t.x = x;
+    t.y = y;
+    t.pointerId = pid;
+    return t;
+}
+
+TEST(TouchConversion, PhaseMapping)
+{
+    android::MotionEvent ev;
+    ev.action = android::MotionAction::Down;
+    EXPECT_EQ(touchFromMotionEvent(ev).phase, Touch::Phase::Began);
+    ev.action = android::MotionAction::PointerDown;
+    EXPECT_EQ(touchFromMotionEvent(ev).phase, Touch::Phase::Began);
+    ev.action = android::MotionAction::Move;
+    EXPECT_EQ(touchFromMotionEvent(ev).phase, Touch::Phase::Moved);
+    ev.action = android::MotionAction::Up;
+    EXPECT_EQ(touchFromMotionEvent(ev).phase, Touch::Phase::Ended);
+    ev.x = 4.5f;
+    ev.pointerCount = 3;
+    Touch t = touchFromMotionEvent(ev);
+    EXPECT_FLOAT_EQ(t.x, 4.5f);
+    EXPECT_EQ(t.pointerCount, 3);
+}
+
+TEST(TapRecognizer, FiresOnCleanTap)
+{
+    int taps = 0;
+    TapGestureRecognizer tap_rec([&](float, float) { ++taps; });
+    tap_rec.handleTouch(touch(Touch::Phase::Began, 10, 10));
+    tap_rec.handleTouch(touch(Touch::Phase::Ended, 12, 11));
+    EXPECT_EQ(taps, 1);
+}
+
+TEST(TapRecognizer, RejectsDrag)
+{
+    int taps = 0;
+    TapGestureRecognizer tap_rec([&](float, float) { ++taps; });
+    tap_rec.handleTouch(touch(Touch::Phase::Began, 10, 10));
+    tap_rec.handleTouch(touch(Touch::Phase::Moved, 80, 10));
+    tap_rec.handleTouch(touch(Touch::Phase::Ended, 80, 10));
+    EXPECT_EQ(taps, 0);
+}
+
+TEST(PanRecognizer, ReportsTranslationAfterSlop)
+{
+    float last_dx = 0, last_dy = 0;
+    int reports = 0;
+    PanGestureRecognizer pan([&](float dx, float dy) {
+        last_dx = dx;
+        last_dy = dy;
+        ++reports;
+    });
+    pan.handleTouch(touch(Touch::Phase::Began, 100, 100));
+    pan.handleTouch(touch(Touch::Phase::Moved, 103, 100)); // in slop
+    EXPECT_EQ(reports, 0);
+    pan.handleTouch(touch(Touch::Phase::Moved, 150, 120));
+    EXPECT_EQ(reports, 1);
+    EXPECT_FLOAT_EQ(last_dx, 50.0f);
+    EXPECT_FLOAT_EQ(last_dy, 20.0f);
+    pan.handleTouch(touch(Touch::Phase::Ended, 150, 120));
+    pan.handleTouch(touch(Touch::Phase::Moved, 300, 300));
+    EXPECT_EQ(reports, 1); // not tracking anymore
+}
+
+TEST(PinchRecognizer, ScaleTracksFingerDistance)
+{
+    float scale = 0;
+    PinchGestureRecognizer pinch([&](float s) { scale = s; });
+    pinch.handleTouch(touch(Touch::Phase::Began, 100, 100, 0));
+    pinch.handleTouch(touch(Touch::Phase::Began, 200, 100, 1));
+    // Move finger 1 outward: distance 100 -> 300.
+    pinch.handleTouch(touch(Touch::Phase::Moved, 400, 100, 1));
+    EXPECT_FLOAT_EQ(scale, 3.0f);
+    // Pinch in: 300 -> 50.
+    pinch.handleTouch(touch(Touch::Phase::Moved, 150, 100, 1));
+    EXPECT_FLOAT_EQ(scale, 0.5f);
+    pinch.handleTouch(touch(Touch::Phase::Ended, 150, 100, 1));
+    pinch.handleTouch(touch(Touch::Phase::Moved, 500, 100, 0));
+    EXPECT_FLOAT_EQ(scale, 0.5f); // one finger left: no reports
+}
+
+TEST(PinchRecognizer, SingleFingerNeverFires)
+{
+    int fires = 0;
+    PinchGestureRecognizer pinch([&](float) { ++fires; });
+    pinch.handleTouch(touch(Touch::Phase::Began, 0, 0, 0));
+    pinch.handleTouch(touch(Touch::Phase::Moved, 50, 50, 0));
+    pinch.handleTouch(touch(Touch::Phase::Ended, 50, 50, 0));
+    EXPECT_EQ(fires, 0);
+}
+
+} // namespace
+} // namespace cider::ios

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Property-based VFS tests: random operation scripts against a
+ * simple map-based model must stay equivalent across many seeds,
+ * with and without an overlay in the path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/rng.h"
+#include "hw/device_profile.h"
+#include "kernel/vfs.h"
+
+namespace cider::kernel {
+namespace {
+
+class VfsProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(VfsProperty, RandomScriptMatchesModel)
+{
+    Rng rng(GetParam());
+    Vfs vfs(hw::DeviceProfile::nexus7());
+    vfs.mkdirAll("/data/d0");
+    vfs.mkdirAll("/data/d1");
+    vfs.mkdirAll("/data/d2");
+
+    // Model: path -> contents.
+    std::map<std::string, Bytes> model;
+    auto random_path = [&] {
+        return "/data/d" + std::to_string(rng.below(3)) + "/f" +
+               std::to_string(rng.below(6));
+    };
+
+    for (int step = 0; step < 500; ++step) {
+        std::string path = random_path();
+        switch (rng.below(4)) {
+          case 0: { // write
+              Bytes data(rng.below(64), static_cast<std::uint8_t>(
+                                            rng.below(256)));
+              ASSERT_TRUE(vfs.writeFile(path, data).ok()) << path;
+              model[path] = data;
+              break;
+          }
+          case 1: { // read
+              Bytes out;
+              SyscallResult r = vfs.readFile(path, out);
+              auto it = model.find(path);
+              if (it == model.end()) {
+                  EXPECT_FALSE(r.ok()) << path;
+              } else {
+                  ASSERT_TRUE(r.ok()) << path;
+                  EXPECT_EQ(out, it->second) << path;
+              }
+              break;
+          }
+          case 2: { // unlink
+              SyscallResult r = vfs.unlink(path);
+              EXPECT_EQ(r.ok(), model.erase(path) > 0) << path;
+              break;
+          }
+          default: { // existence probe
+              EXPECT_EQ(vfs.exists(path), model.count(path) > 0)
+                  << path;
+              break;
+          }
+        }
+    }
+
+    // Directory listings agree with the model at the end.
+    for (int d = 0; d < 3; ++d) {
+        std::string dir = "/data/d" + std::to_string(d);
+        std::vector<std::string> names;
+        ASSERT_TRUE(vfs.readdir(dir, names).ok());
+        std::size_t expected = 0;
+        for (const auto &[path, data] : model)
+            if (path.rfind(dir + "/", 0) == 0)
+                ++expected;
+        EXPECT_EQ(names.size(), expected) << dir;
+    }
+}
+
+TEST_P(VfsProperty, OverlayIsTransparentToTheModel)
+{
+    Rng rng(GetParam() ^ 0x0f0f0f);
+    Vfs vfs(hw::DeviceProfile::nexus7());
+    vfs.mkdirAll("/backing/docs");
+    vfs.addOverlay("/Documents", "/backing/docs");
+
+    std::map<std::string, Bytes> model;
+    for (int step = 0; step < 200; ++step) {
+        std::string leaf = "f" + std::to_string(rng.below(5));
+        // Randomly use the overlay alias or the backing path — the
+        // same file either way.
+        std::string via = rng.chance(0.5)
+                              ? "/Documents/" + leaf
+                              : "/backing/docs/" + leaf;
+        if (rng.chance(0.6)) {
+            Bytes data{static_cast<std::uint8_t>(rng.below(256))};
+            ASSERT_TRUE(vfs.writeFile(via, data).ok());
+            model[leaf] = data;
+        } else {
+            Bytes out;
+            SyscallResult r = vfs.readFile(via, out);
+            auto it = model.find(leaf);
+            if (it == model.end())
+                EXPECT_FALSE(r.ok());
+            else
+                EXPECT_EQ(out, it->second);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77,
+                                           88));
+
+} // namespace
+} // namespace cider::kernel

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * VFS unit tests: path resolution, overlays, and error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/device_profile.h"
+#include "kernel/vfs.h"
+
+namespace cider::kernel {
+namespace {
+
+class VfsTest : public ::testing::Test
+{
+  protected:
+    Vfs vfs_{hw::DeviceProfile::nexus7()};
+};
+
+TEST_F(VfsTest, MkdirAllAndLookup)
+{
+    ASSERT_TRUE(vfs_.mkdirAll("/a/b/c").ok());
+    Lookup lk = vfs_.lookup("/a/b/c");
+    ASSERT_NE(lk.inode, nullptr);
+    EXPECT_EQ(lk.inode->type, InodeType::Directory);
+    EXPECT_EQ(lk.leaf, "c");
+}
+
+TEST_F(VfsTest, CreateWriteReadFile)
+{
+    vfs_.mkdirAll("/data");
+    Bytes payload{10, 20, 30};
+    ASSERT_TRUE(vfs_.writeFile("/data/x", payload).ok());
+    Bytes out;
+    ASSERT_TRUE(vfs_.readFile("/data/x", out).ok());
+    EXPECT_EQ(out, payload);
+}
+
+TEST_F(VfsTest, UnlinkAndRmdirSemantics)
+{
+    vfs_.mkdirAll("/d");
+    vfs_.writeFile("/d/f", {1});
+    EXPECT_EQ(vfs_.rmdir("/d").err, lnx::NOTEMPTY);
+    EXPECT_TRUE(vfs_.unlink("/d/f").ok());
+    EXPECT_TRUE(vfs_.rmdir("/d").ok());
+    EXPECT_FALSE(vfs_.exists("/d"));
+    EXPECT_EQ(vfs_.unlink("/d/f").err, lnx::NOENT);
+}
+
+TEST_F(VfsTest, UnlinkDirectoryIsEISDIR)
+{
+    vfs_.mkdirAll("/dir");
+    EXPECT_EQ(vfs_.unlink("/dir").err, lnx::ISDIR);
+}
+
+TEST_F(VfsTest, LookupThroughFileIsENOTDIR)
+{
+    vfs_.writeFile("/plain", {1});
+    EXPECT_EQ(vfs_.lookup("/plain/sub").err, lnx::NOTDIR);
+}
+
+TEST_F(VfsTest, ReaddirListsChildren)
+{
+    vfs_.mkdirAll("/lib");
+    vfs_.writeFile("/lib/a.so", {1});
+    vfs_.writeFile("/lib/b.so", {2});
+    std::vector<std::string> names;
+    ASSERT_TRUE(vfs_.readdir("/lib", names).ok());
+    EXPECT_EQ(names, (std::vector<std::string>{"a.so", "b.so"}));
+}
+
+TEST_F(VfsTest, OverlayRewritesLongestPrefix)
+{
+    vfs_.mkdirAll("/data/ios/Documents");
+    vfs_.mkdirAll("/data/ios/Documents/Inbox2");
+    vfs_.addOverlay("/Documents", "/data/ios/Documents");
+    vfs_.addOverlay("/Documents/Inbox", "/data/ios/Documents/Inbox2");
+
+    EXPECT_EQ(vfs_.rewrite("/Documents/a.txt"),
+              "/data/ios/Documents/a.txt");
+    EXPECT_EQ(vfs_.rewrite("/Documents/Inbox/m"),
+              "/data/ios/Documents/Inbox2/m");
+    // Prefix must match on a component boundary.
+    EXPECT_EQ(vfs_.rewrite("/DocumentsX"), "/DocumentsX");
+}
+
+TEST_F(VfsTest, OverlayEndToEnd)
+{
+    vfs_.mkdirAll("/data/ios/Documents");
+    vfs_.addOverlay("/Documents", "/data/ios/Documents");
+    ASSERT_TRUE(vfs_.writeFile("/Documents/n.txt", {7}).ok());
+    EXPECT_TRUE(vfs_.exists("/data/ios/Documents/n.txt"));
+    Bytes out;
+    ASSERT_TRUE(vfs_.readFile("/Documents/n.txt", out).ok());
+    EXPECT_EQ(out, Bytes{7});
+}
+
+TEST_F(VfsTest, MkdirExistingFails)
+{
+    vfs_.mkdirAll("/x");
+    EXPECT_EQ(vfs_.mkdir("/x").err, lnx::EXIST);
+}
+
+TEST_F(VfsTest, SplitPathDropsDotAndEmpty)
+{
+    auto parts = Vfs::splitPath("//a/./b/");
+    EXPECT_EQ(parts, (std::vector<std::string>{"a", "b"}));
+}
+
+} // namespace
+} // namespace cider::kernel
