@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_diplomat.dir/abl_diplomat.cc.o"
+  "CMakeFiles/abl_diplomat.dir/abl_diplomat.cc.o.d"
+  "abl_diplomat"
+  "abl_diplomat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_diplomat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

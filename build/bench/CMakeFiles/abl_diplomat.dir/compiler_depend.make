@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_diplomat.
+# This may be replaced when dependencies are built.

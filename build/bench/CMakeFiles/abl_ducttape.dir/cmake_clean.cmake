@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ducttape.dir/abl_ducttape.cc.o"
+  "CMakeFiles/abl_ducttape.dir/abl_ducttape.cc.o.d"
+  "abl_ducttape"
+  "abl_ducttape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ducttape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

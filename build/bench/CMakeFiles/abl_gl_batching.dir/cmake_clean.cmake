@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gl_batching.dir/abl_gl_batching.cc.o"
+  "CMakeFiles/abl_gl_batching.dir/abl_gl_batching.cc.o.d"
+  "abl_gl_batching"
+  "abl_gl_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gl_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_shared_cache.dir/abl_shared_cache.cc.o"
+  "CMakeFiles/abl_shared_cache.dir/abl_shared_cache.cc.o.d"
+  "abl_shared_cache"
+  "abl_shared_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shared_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

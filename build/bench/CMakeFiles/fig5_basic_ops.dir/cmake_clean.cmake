@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_basic_ops.dir/fig5_basic_ops.cc.o"
+  "CMakeFiles/fig5_basic_ops.dir/fig5_basic_ops.cc.o.d"
+  "fig5_basic_ops"
+  "fig5_basic_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_basic_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

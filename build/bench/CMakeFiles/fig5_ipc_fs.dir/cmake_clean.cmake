@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ipc_fs.dir/fig5_ipc_fs.cc.o"
+  "CMakeFiles/fig5_ipc_fs.dir/fig5_ipc_fs.cc.o.d"
+  "fig5_ipc_fs"
+  "fig5_ipc_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ipc_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

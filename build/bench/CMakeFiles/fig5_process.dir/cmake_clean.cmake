@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_process.dir/fig5_process.cc.o"
+  "CMakeFiles/fig5_process.dir/fig5_process.cc.o.d"
+  "fig5_process"
+  "fig5_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_syscall_signal.dir/fig5_syscall_signal.cc.o"
+  "CMakeFiles/fig5_syscall_signal.dir/fig5_syscall_signal.cc.o.d"
+  "fig5_syscall_signal"
+  "fig5_syscall_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_syscall_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

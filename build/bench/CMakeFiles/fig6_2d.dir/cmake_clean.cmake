@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_2d.dir/fig6_2d.cc.o"
+  "CMakeFiles/fig6_2d.dir/fig6_2d.cc.o.d"
+  "fig6_2d"
+  "fig6_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3d.dir/fig6_3d.cc.o"
+  "CMakeFiles/fig6_3d.dir/fig6_3d.cc.o.d"
+  "fig6_3d"
+  "fig6_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculator_pro.dir/calculator_pro.cpp.o"
+  "CMakeFiles/calculator_pro.dir/calculator_pro.cpp.o.d"
+  "calculator_pro"
+  "calculator_pro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculator_pro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

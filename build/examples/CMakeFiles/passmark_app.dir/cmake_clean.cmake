@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passmark_app.dir/passmark_app.cpp.o"
+  "CMakeFiles/passmark_app.dir/passmark_app.cpp.o.d"
+  "passmark_app"
+  "passmark_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passmark_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

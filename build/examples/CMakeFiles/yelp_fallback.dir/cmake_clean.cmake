@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yelp_fallback.dir/yelp_fallback.cpp.o"
+  "CMakeFiles/yelp_fallback.dir/yelp_fallback.cpp.o.d"
+  "yelp_fallback"
+  "yelp_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yelp_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/bionic.cc" "src/CMakeFiles/cider.dir/android/bionic.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/bionic.cc.o.d"
+  "/root/repo/src/android/ciderpress.cc" "src/CMakeFiles/cider.dir/android/ciderpress.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/ciderpress.cc.o.d"
+  "/root/repo/src/android/dalvik.cc" "src/CMakeFiles/cider.dir/android/dalvik.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/dalvik.cc.o.d"
+  "/root/repo/src/android/egl.cc" "src/CMakeFiles/cider.dir/android/egl.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/egl.cc.o.d"
+  "/root/repo/src/android/gles.cc" "src/CMakeFiles/cider.dir/android/gles.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/gles.cc.o.d"
+  "/root/repo/src/android/gralloc.cc" "src/CMakeFiles/cider.dir/android/gralloc.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/gralloc.cc.o.d"
+  "/root/repo/src/android/input.cc" "src/CMakeFiles/cider.dir/android/input.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/input.cc.o.d"
+  "/root/repo/src/android/launcher.cc" "src/CMakeFiles/cider.dir/android/launcher.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/launcher.cc.o.d"
+  "/root/repo/src/android/location.cc" "src/CMakeFiles/cider.dir/android/location.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/location.cc.o.d"
+  "/root/repo/src/android/surfaceflinger.cc" "src/CMakeFiles/cider.dir/android/surfaceflinger.cc.o" "gcc" "src/CMakeFiles/cider.dir/android/surfaceflinger.cc.o.d"
+  "/root/repo/src/base/bytes.cc" "src/CMakeFiles/cider.dir/base/bytes.cc.o" "gcc" "src/CMakeFiles/cider.dir/base/bytes.cc.o.d"
+  "/root/repo/src/base/cost_clock.cc" "src/CMakeFiles/cider.dir/base/cost_clock.cc.o" "gcc" "src/CMakeFiles/cider.dir/base/cost_clock.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/cider.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/cider.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/cider.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/cider.dir/base/rng.cc.o.d"
+  "/root/repo/src/binfmt/binfmt_registry.cc" "src/CMakeFiles/cider.dir/binfmt/binfmt_registry.cc.o" "gcc" "src/CMakeFiles/cider.dir/binfmt/binfmt_registry.cc.o.d"
+  "/root/repo/src/binfmt/dex.cc" "src/CMakeFiles/cider.dir/binfmt/dex.cc.o" "gcc" "src/CMakeFiles/cider.dir/binfmt/dex.cc.o.d"
+  "/root/repo/src/binfmt/elf.cc" "src/CMakeFiles/cider.dir/binfmt/elf.cc.o" "gcc" "src/CMakeFiles/cider.dir/binfmt/elf.cc.o.d"
+  "/root/repo/src/binfmt/macho.cc" "src/CMakeFiles/cider.dir/binfmt/macho.cc.o" "gcc" "src/CMakeFiles/cider.dir/binfmt/macho.cc.o.d"
+  "/root/repo/src/binfmt/program.cc" "src/CMakeFiles/cider.dir/binfmt/program.cc.o" "gcc" "src/CMakeFiles/cider.dir/binfmt/program.cc.o.d"
+  "/root/repo/src/core/app_package.cc" "src/CMakeFiles/cider.dir/core/app_package.cc.o" "gcc" "src/CMakeFiles/cider.dir/core/app_package.cc.o.d"
+  "/root/repo/src/core/cider_system.cc" "src/CMakeFiles/cider.dir/core/cider_system.cc.o" "gcc" "src/CMakeFiles/cider.dir/core/cider_system.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/CMakeFiles/cider.dir/core/system_config.cc.o" "gcc" "src/CMakeFiles/cider.dir/core/system_config.cc.o.d"
+  "/root/repo/src/diplomat/diplomat.cc" "src/CMakeFiles/cider.dir/diplomat/diplomat.cc.o" "gcc" "src/CMakeFiles/cider.dir/diplomat/diplomat.cc.o.d"
+  "/root/repo/src/diplomat/generator.cc" "src/CMakeFiles/cider.dir/diplomat/generator.cc.o" "gcc" "src/CMakeFiles/cider.dir/diplomat/generator.cc.o.d"
+  "/root/repo/src/ducttape/cxx_runtime.cc" "src/CMakeFiles/cider.dir/ducttape/cxx_runtime.cc.o" "gcc" "src/CMakeFiles/cider.dir/ducttape/cxx_runtime.cc.o.d"
+  "/root/repo/src/ducttape/xnu_api.cc" "src/CMakeFiles/cider.dir/ducttape/xnu_api.cc.o" "gcc" "src/CMakeFiles/cider.dir/ducttape/xnu_api.cc.o.d"
+  "/root/repo/src/ducttape/zones.cc" "src/CMakeFiles/cider.dir/ducttape/zones.cc.o" "gcc" "src/CMakeFiles/cider.dir/ducttape/zones.cc.o.d"
+  "/root/repo/src/gpu/sim_gpu.cc" "src/CMakeFiles/cider.dir/gpu/sim_gpu.cc.o" "gcc" "src/CMakeFiles/cider.dir/gpu/sim_gpu.cc.o.d"
+  "/root/repo/src/hw/device_profile.cc" "src/CMakeFiles/cider.dir/hw/device_profile.cc.o" "gcc" "src/CMakeFiles/cider.dir/hw/device_profile.cc.o.d"
+  "/root/repo/src/iokit/framebuffer.cc" "src/CMakeFiles/cider.dir/iokit/framebuffer.cc.o" "gcc" "src/CMakeFiles/cider.dir/iokit/framebuffer.cc.o.d"
+  "/root/repo/src/iokit/io_registry.cc" "src/CMakeFiles/cider.dir/iokit/io_registry.cc.o" "gcc" "src/CMakeFiles/cider.dir/iokit/io_registry.cc.o.d"
+  "/root/repo/src/iokit/io_service.cc" "src/CMakeFiles/cider.dir/iokit/io_service.cc.o" "gcc" "src/CMakeFiles/cider.dir/iokit/io_service.cc.o.d"
+  "/root/repo/src/iokit/io_surface.cc" "src/CMakeFiles/cider.dir/iokit/io_surface.cc.o" "gcc" "src/CMakeFiles/cider.dir/iokit/io_surface.cc.o.d"
+  "/root/repo/src/iokit/linux_bridge.cc" "src/CMakeFiles/cider.dir/iokit/linux_bridge.cc.o" "gcc" "src/CMakeFiles/cider.dir/iokit/linux_bridge.cc.o.d"
+  "/root/repo/src/iokit/os_object.cc" "src/CMakeFiles/cider.dir/iokit/os_object.cc.o" "gcc" "src/CMakeFiles/cider.dir/iokit/os_object.cc.o.d"
+  "/root/repo/src/ios/corelocation.cc" "src/CMakeFiles/cider.dir/ios/corelocation.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/corelocation.cc.o.d"
+  "/root/repo/src/ios/dyld.cc" "src/CMakeFiles/cider.dir/ios/dyld.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/dyld.cc.o.d"
+  "/root/repo/src/ios/eagl.cc" "src/CMakeFiles/cider.dir/ios/eagl.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/eagl.cc.o.d"
+  "/root/repo/src/ios/eventpump.cc" "src/CMakeFiles/cider.dir/ios/eventpump.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/eventpump.cc.o.d"
+  "/root/repo/src/ios/gles_diplomatic.cc" "src/CMakeFiles/cider.dir/ios/gles_diplomatic.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/gles_diplomatic.cc.o.d"
+  "/root/repo/src/ios/iosurface_lib.cc" "src/CMakeFiles/cider.dir/ios/iosurface_lib.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/iosurface_lib.cc.o.d"
+  "/root/repo/src/ios/launchd.cc" "src/CMakeFiles/cider.dir/ios/launchd.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/launchd.cc.o.d"
+  "/root/repo/src/ios/libsystem.cc" "src/CMakeFiles/cider.dir/ios/libsystem.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/libsystem.cc.o.d"
+  "/root/repo/src/ios/services.cc" "src/CMakeFiles/cider.dir/ios/services.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/services.cc.o.d"
+  "/root/repo/src/ios/uikit.cc" "src/CMakeFiles/cider.dir/ios/uikit.cc.o" "gcc" "src/CMakeFiles/cider.dir/ios/uikit.cc.o.d"
+  "/root/repo/src/kernel/device.cc" "src/CMakeFiles/cider.dir/kernel/device.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/device.cc.o.d"
+  "/root/repo/src/kernel/fd_table.cc" "src/CMakeFiles/cider.dir/kernel/fd_table.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/fd_table.cc.o.d"
+  "/root/repo/src/kernel/file.cc" "src/CMakeFiles/cider.dir/kernel/file.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/file.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/cider.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/linux_syscalls.cc" "src/CMakeFiles/cider.dir/kernel/linux_syscalls.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/linux_syscalls.cc.o.d"
+  "/root/repo/src/kernel/pipe.cc" "src/CMakeFiles/cider.dir/kernel/pipe.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/pipe.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/CMakeFiles/cider.dir/kernel/process.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/process.cc.o.d"
+  "/root/repo/src/kernel/select.cc" "src/CMakeFiles/cider.dir/kernel/select.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/select.cc.o.d"
+  "/root/repo/src/kernel/signals.cc" "src/CMakeFiles/cider.dir/kernel/signals.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/signals.cc.o.d"
+  "/root/repo/src/kernel/thread.cc" "src/CMakeFiles/cider.dir/kernel/thread.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/thread.cc.o.d"
+  "/root/repo/src/kernel/types.cc" "src/CMakeFiles/cider.dir/kernel/types.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/types.cc.o.d"
+  "/root/repo/src/kernel/unix_socket.cc" "src/CMakeFiles/cider.dir/kernel/unix_socket.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/unix_socket.cc.o.d"
+  "/root/repo/src/kernel/vfs.cc" "src/CMakeFiles/cider.dir/kernel/vfs.cc.o" "gcc" "src/CMakeFiles/cider.dir/kernel/vfs.cc.o.d"
+  "/root/repo/src/persona/persona.cc" "src/CMakeFiles/cider.dir/persona/persona.cc.o" "gcc" "src/CMakeFiles/cider.dir/persona/persona.cc.o.d"
+  "/root/repo/src/persona/tls.cc" "src/CMakeFiles/cider.dir/persona/tls.cc.o" "gcc" "src/CMakeFiles/cider.dir/persona/tls.cc.o.d"
+  "/root/repo/src/xnu/bsd_syscalls.cc" "src/CMakeFiles/cider.dir/xnu/bsd_syscalls.cc.o" "gcc" "src/CMakeFiles/cider.dir/xnu/bsd_syscalls.cc.o.d"
+  "/root/repo/src/xnu/kern_return.cc" "src/CMakeFiles/cider.dir/xnu/kern_return.cc.o" "gcc" "src/CMakeFiles/cider.dir/xnu/kern_return.cc.o.d"
+  "/root/repo/src/xnu/kqueue.cc" "src/CMakeFiles/cider.dir/xnu/kqueue.cc.o" "gcc" "src/CMakeFiles/cider.dir/xnu/kqueue.cc.o.d"
+  "/root/repo/src/xnu/mach_ipc.cc" "src/CMakeFiles/cider.dir/xnu/mach_ipc.cc.o" "gcc" "src/CMakeFiles/cider.dir/xnu/mach_ipc.cc.o.d"
+  "/root/repo/src/xnu/mach_traps.cc" "src/CMakeFiles/cider.dir/xnu/mach_traps.cc.o" "gcc" "src/CMakeFiles/cider.dir/xnu/mach_traps.cc.o.d"
+  "/root/repo/src/xnu/psynch.cc" "src/CMakeFiles/cider.dir/xnu/psynch.cc.o" "gcc" "src/CMakeFiles/cider.dir/xnu/psynch.cc.o.d"
+  "/root/repo/src/xnu/xnu_signals.cc" "src/CMakeFiles/cider.dir/xnu/xnu_signals.cc.o" "gcc" "src/CMakeFiles/cider.dir/xnu/xnu_signals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_package_test.dir/app_package_test.cc.o"
+  "CMakeFiles/app_package_test.dir/app_package_test.cc.o.d"
+  "app_package_test"
+  "app_package_test.pdb"
+  "app_package_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_package_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

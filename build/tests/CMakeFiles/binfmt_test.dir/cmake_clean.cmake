@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binfmt_test.dir/binfmt_test.cc.o"
+  "CMakeFiles/binfmt_test.dir/binfmt_test.cc.o.d"
+  "binfmt_test"
+  "binfmt_test.pdb"
+  "binfmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binfmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

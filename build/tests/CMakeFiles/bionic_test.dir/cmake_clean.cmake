@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bionic_test.dir/bionic_test.cc.o"
+  "CMakeFiles/bionic_test.dir/bionic_test.cc.o.d"
+  "bionic_test"
+  "bionic_test.pdb"
+  "bionic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bionic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

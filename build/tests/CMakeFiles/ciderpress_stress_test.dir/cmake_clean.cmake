@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ciderpress_stress_test.dir/ciderpress_stress_test.cc.o"
+  "CMakeFiles/ciderpress_stress_test.dir/ciderpress_stress_test.cc.o.d"
+  "ciderpress_stress_test"
+  "ciderpress_stress_test.pdb"
+  "ciderpress_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ciderpress_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelocation_test.dir/corelocation_test.cc.o"
+  "CMakeFiles/corelocation_test.dir/corelocation_test.cc.o.d"
+  "corelocation_test"
+  "corelocation_test.pdb"
+  "corelocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

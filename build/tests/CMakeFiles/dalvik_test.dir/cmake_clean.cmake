@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dalvik_test.dir/dalvik_test.cc.o"
+  "CMakeFiles/dalvik_test.dir/dalvik_test.cc.o.d"
+  "dalvik_test"
+  "dalvik_test.pdb"
+  "dalvik_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dalvik_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diplomat_test.dir/diplomat_test.cc.o"
+  "CMakeFiles/diplomat_test.dir/diplomat_test.cc.o.d"
+  "diplomat_test"
+  "diplomat_test.pdb"
+  "diplomat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diplomat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

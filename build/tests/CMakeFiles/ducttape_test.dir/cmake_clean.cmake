@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ducttape_test.dir/ducttape_test.cc.o"
+  "CMakeFiles/ducttape_test.dir/ducttape_test.cc.o.d"
+  "ducttape_test"
+  "ducttape_test.pdb"
+  "ducttape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ducttape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

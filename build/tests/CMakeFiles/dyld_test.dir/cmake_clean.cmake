@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyld_test.dir/dyld_test.cc.o"
+  "CMakeFiles/dyld_test.dir/dyld_test.cc.o.d"
+  "dyld_test"
+  "dyld_test.pdb"
+  "dyld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_pipe_socket_test.dir/fd_pipe_socket_test.cc.o"
+  "CMakeFiles/fd_pipe_socket_test.dir/fd_pipe_socket_test.cc.o.d"
+  "fd_pipe_socket_test"
+  "fd_pipe_socket_test.pdb"
+  "fd_pipe_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_pipe_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_aggregation_test.dir/gl_aggregation_test.cc.o"
+  "CMakeFiles/gl_aggregation_test.dir/gl_aggregation_test.cc.o.d"
+  "gl_aggregation_test"
+  "gl_aggregation_test.pdb"
+  "gl_aggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iokit_test.dir/iokit_test.cc.o"
+  "CMakeFiles/iokit_test.dir/iokit_test.cc.o.d"
+  "iokit_test"
+  "iokit_test.pdb"
+  "iokit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iokit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kqueue_test.dir/kqueue_test.cc.o"
+  "CMakeFiles/kqueue_test.dir/kqueue_test.cc.o.d"
+  "kqueue_test"
+  "kqueue_test.pdb"
+  "kqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launchd_services_test.dir/launchd_services_test.cc.o"
+  "CMakeFiles/launchd_services_test.dir/launchd_services_test.cc.o.d"
+  "launchd_services_test"
+  "launchd_services_test.pdb"
+  "launchd_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launchd_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

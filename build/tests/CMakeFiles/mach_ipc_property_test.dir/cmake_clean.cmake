@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_ipc_property_test.dir/mach_ipc_property_test.cc.o"
+  "CMakeFiles/mach_ipc_property_test.dir/mach_ipc_property_test.cc.o.d"
+  "mach_ipc_property_test"
+  "mach_ipc_property_test.pdb"
+  "mach_ipc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_ipc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

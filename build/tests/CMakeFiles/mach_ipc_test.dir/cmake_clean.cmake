@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_ipc_test.dir/mach_ipc_test.cc.o"
+  "CMakeFiles/mach_ipc_test.dir/mach_ipc_test.cc.o.d"
+  "mach_ipc_test"
+  "mach_ipc_test.pdb"
+  "mach_ipc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

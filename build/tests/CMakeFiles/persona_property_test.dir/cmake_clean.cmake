@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persona_property_test.dir/persona_property_test.cc.o"
+  "CMakeFiles/persona_property_test.dir/persona_property_test.cc.o.d"
+  "persona_property_test"
+  "persona_property_test.pdb"
+  "persona_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persona_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

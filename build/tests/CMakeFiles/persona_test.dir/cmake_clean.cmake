@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persona_test.dir/persona_test.cc.o"
+  "CMakeFiles/persona_test.dir/persona_test.cc.o.d"
+  "persona_test"
+  "persona_test.pdb"
+  "persona_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persona_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_extras_test.dir/posix_extras_test.cc.o"
+  "CMakeFiles/posix_extras_test.dir/posix_extras_test.cc.o.d"
+  "posix_extras_test"
+  "posix_extras_test.pdb"
+  "posix_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psynch_test.dir/psynch_test.cc.o"
+  "CMakeFiles/psynch_test.dir/psynch_test.cc.o.d"
+  "psynch_test"
+  "psynch_test.pdb"
+  "psynch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psynch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfaceflinger_test.dir/surfaceflinger_test.cc.o"
+  "CMakeFiles/surfaceflinger_test.dir/surfaceflinger_test.cc.o.d"
+  "surfaceflinger_test"
+  "surfaceflinger_test.pdb"
+  "surfaceflinger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfaceflinger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

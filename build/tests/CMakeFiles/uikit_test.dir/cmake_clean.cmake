@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uikit_test.dir/uikit_test.cc.o"
+  "CMakeFiles/uikit_test.dir/uikit_test.cc.o.d"
+  "uikit_test"
+  "uikit_test.pdb"
+  "uikit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uikit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

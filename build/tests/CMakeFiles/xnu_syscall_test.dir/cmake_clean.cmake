@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnu_syscall_test.dir/xnu_syscall_test.cc.o"
+  "CMakeFiles/xnu_syscall_test.dir/xnu_syscall_test.cc.o.d"
+  "xnu_syscall_test"
+  "xnu_syscall_test.pdb"
+  "xnu_syscall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnu_syscall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
