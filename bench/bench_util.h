@@ -214,6 +214,45 @@ installAndRun(CiderSystem &sys, const std::string &name,
     return sys.runProgramTimed(path, {clean}, exit_code);
 }
 
+/**
+ * Print the per-syscall trap breakdown of @p sys: one line per
+ * syscall that executed, per dispatch table, with call counts and
+ * mean virtual-ns latency. Attribution comes from the kernel's
+ * TrapStats subsystem, so the numbers cover every trap the workload
+ * made — including the foreign-table traps of iOS binaries.
+ */
+inline void
+printTrapBreakdown(CiderSystem &sys, const std::string &label)
+{
+    const kernel::TrapStats &stats = sys.trapStats();
+    std::printf("\n--- trap breakdown: %s ---\n", label.c_str());
+    for (const kernel::SyscallTable *t : stats.tables()) {
+        if (stats.tableCalls(t->name()) == 0)
+            continue;
+        std::printf("%s:\n", t->name().c_str());
+        for (int nr : t->registeredNumbers()) {
+            const kernel::SyscallStat *s = stats.stat(t->name(), nr);
+            if (!s)
+                continue;
+            std::uint64_t calls = s->calls.load();
+            if (calls == 0)
+                continue;
+            std::printf("  %-18s %8llu calls  %8.0f ns/call\n",
+                        t->sysName(nr),
+                        static_cast<unsigned long long>(calls),
+                        static_cast<double>(s->totalNs.load()) /
+                            static_cast<double>(calls));
+        }
+    }
+    std::printf("persona switches: %llu, rejected: %llu, "
+                "unknown: %llu\n",
+                static_cast<unsigned long long>(
+                    stats.personaSwitches()),
+                static_cast<unsigned long long>(stats.rejectedTraps()),
+                static_cast<unsigned long long>(
+                    stats.unknownSyscalls()));
+}
+
 /** Run the google-benchmark pass and print the normalised tables. */
 inline int
 reportAndRun(int argc, char **argv,

@@ -110,12 +110,19 @@ main(int argc, char **argv)
             installAndRun(sys, "sys_" + name,
                           [&](binfmt::UserEnv &env) {
                               Posix posix(env);
+                              sys.trapStats().reset();
                               total_ns = measureVirtual(
                                   [&] { body(posix, env); });
                               return 0;
                           });
             table.set(name, config,
                       static_cast<double>(total_ns) / kIters);
+            // Per-syscall attribution for the persona-check rows.
+            if (name == "null-syscall" &&
+                config != SystemConfig::VanillaAndroid)
+                printTrapBreakdown(
+                    sys, name + " on " +
+                             core::systemConfigName(config));
         }
     }
 

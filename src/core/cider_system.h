@@ -81,6 +81,8 @@ class CiderSystem
 
     /// @{ Subsystem access.
     kernel::Kernel &kernel() { return *kernel_; }
+    /** Per-syscall trap counters/histograms and the trace ring. */
+    kernel::TrapStats &trapStats() { return kernel_->trapStats(); }
     const hw::DeviceProfile &profile() const { return profile_; }
     SystemConfig config() const { return opts_.config; }
 

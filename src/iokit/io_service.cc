@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "kernel/kernel.h"
+#include "kernel/trap_context.h"
 
 namespace cider::iokit {
 
@@ -101,48 +102,50 @@ void
 registerIoKitTraps(kernel::SyscallTable &mach_table, IORegistry &registry,
                    IOCatalogue &catalogue)
 {
+    // These capture two subsystem references, which does not fit the
+    // one-word fast path; they register via the std::function fallback.
     mach_table.set(
         iokitno::GET_MATCHING_SERVICE, "io_service_get_matching_service",
-        [&catalogue, &registry](kernel::Kernel &, kernel::Thread &,
-                                kernel::SyscallArgs &a) {
-            const std::string &class_name = a.str(0);
-            if (IOService *service = catalogue.findService(class_name))
-                return kernel::SyscallResult::success(
-                    static_cast<std::int64_t>(service->entryId()));
-            if (IORegistryEntry *entry = registry.findByName(class_name))
-                return kernel::SyscallResult::success(
-                    static_cast<std::int64_t>(entry->entryId()));
-            return kernel::SyscallResult::success(0);
-        });
+        kernel::SyscallHandler(
+            [&catalogue, &registry](kernel::TrapContext &c) {
+                const std::string &class_name = c.args.str(0);
+                if (IOService *service =
+                        catalogue.findService(class_name))
+                    return kernel::SyscallResult::success(
+                        static_cast<std::int64_t>(service->entryId()));
+                if (IORegistryEntry *entry =
+                        registry.findByName(class_name))
+                    return kernel::SyscallResult::success(
+                        static_cast<std::int64_t>(entry->entryId()));
+                return kernel::SyscallResult::success(0);
+            }));
 
     mach_table.set(
         iokitno::GET_PROPERTY, "io_registry_entry_get_property",
-        [&registry](kernel::Kernel &, kernel::Thread &,
-                    kernel::SyscallArgs &a) {
-            IORegistryEntry *entry = registry.findById(a.u64(0));
-            auto *out = static_cast<std::string *>(a.ptr(2));
+        kernel::SyscallHandler([&registry](kernel::TrapContext &c) {
+            IORegistryEntry *entry = registry.findById(c.args.u64(0));
+            auto *out = static_cast<std::string *>(c.args.ptr(2));
             if (!entry || !out)
                 return kernel::SyscallResult::success(
                     xnu::KERN_INVALID_NAME);
-            *out = osValueString(entry->property(a.str(1)));
+            *out = osValueString(entry->property(c.args.str(1)));
             return kernel::SyscallResult::success(xnu::KERN_SUCCESS);
-        });
+        }));
 
     mach_table.set(
         iokitno::CONNECT_CALL_METHOD, "io_connect_call_method",
-        [&registry](kernel::Kernel &, kernel::Thread &,
-                    kernel::SyscallArgs &a) {
-            IORegistryEntry *entry = registry.findById(a.u64(0));
-            auto *io = static_cast<IoConnectArgs *>(a.ptr(2));
+        kernel::SyscallHandler([&registry](kernel::TrapContext &c) {
+            IORegistryEntry *entry = registry.findById(c.args.u64(0));
+            auto *io = static_cast<IoConnectArgs *>(c.args.ptr(2));
             auto *service = dynamic_cast<IOService *>(entry);
             if (!service || !io)
                 return kernel::SyscallResult::success(
                     xnu::KERN_INVALID_NAME);
             xnu::kern_return_t kr = service->externalMethod(
-                static_cast<std::uint32_t>(a.u64(1)), io->input,
+                static_cast<std::uint32_t>(c.args.u64(1)), io->input,
                 io->output);
             return kernel::SyscallResult::success(kr);
-        });
+        }));
 }
 
 } // namespace cider::iokit

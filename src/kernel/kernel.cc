@@ -5,6 +5,7 @@
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/trap_context.h"
 
 namespace cider::kernel {
 
@@ -100,42 +101,107 @@ class VanillaDispatcher : public TrapDispatcher
     const char *name() const override { return "vanilla-linux"; }
 
     SyscallResult
-    dispatch(Kernel &k, Thread &t, TrapClass cls, int nr,
-             SyscallArgs &args) override
+    dispatch(TrapContext &ctx) override
     {
-        if (cls != TrapClass::LinuxSyscall) {
+        if (ctx.cls != TrapClass::LinuxSyscall) {
             warn("vanilla kernel has no handler for trap class ",
-                 trapClassName(cls));
+                 trapClassName(ctx.cls));
             return SyscallResult::failure(lnx::NOSYS);
         }
-        const SyscallHandler *h = k.linuxTable().find(nr);
-        if (!h)
+        ctx.table = &ctx.kernel.linuxTable();
+        ctx.entry = ctx.table->find(ctx.nr);
+        if (!ctx.entry)
             return SyscallResult::failure(lnx::NOSYS);
-        return (*h)(k, t, args);
+        return ctx.entry->call(ctx);
     }
 };
 
 } // namespace
 
+/** Largest dense span one table may cover (a registration this far
+ *  from the rest of the table is a table-construction bug). */
+constexpr std::size_t kMaxTableSpan = 65536;
+
+SyscallTable::Entry &
+SyscallTable::slotFor(int nr, const char *sys_name)
+{
+    if (dense_.empty()) {
+        base_ = nr;
+        dense_.emplace_back();
+        return dense_.front();
+    }
+    if (nr < base_) {
+        std::size_t grow = static_cast<std::size_t>(base_ - nr);
+        if (dense_.size() + grow > kMaxTableSpan)
+            cider_panic("syscall table ", name_, ": registering ",
+                        sys_name, " (nr ", nr,
+                        ") would exceed the dense span limit");
+        // Entry is move-only (owns its stat), so grow the front by
+        // rebuilding rather than a copy-filling insert().
+        std::vector<Entry> grown(grow);
+        grown.reserve(grow + dense_.size());
+        std::move(dense_.begin(), dense_.end(),
+                  std::back_inserter(grown));
+        dense_ = std::move(grown);
+        base_ = nr;
+    }
+    auto idx = static_cast<std::size_t>(nr - base_);
+    if (idx >= dense_.size()) {
+        if (idx + 1 > kMaxTableSpan)
+            cider_panic("syscall table ", name_, ": registering ",
+                        sys_name, " (nr ", nr,
+                        ") would exceed the dense span limit");
+        dense_.resize(idx + 1);
+    }
+    return dense_[idx];
+}
+
 void
-SyscallTable::set(int nr, const std::string &sys_name,
-                  SyscallHandler handler)
+SyscallTable::set(int nr, const char *sys_name, SyscallFn fn,
+                  void *user)
 {
-    handlers_[nr] = Entry{sys_name, std::move(handler)};
+    Entry &e = slotFor(nr, sys_name);
+    if (!e.empty())
+        cider_panic("syscall table ", name_, ": duplicate registration "
+                    "of nr ", nr, " (", e.name ? e.name : "?", " vs ",
+                    sys_name, ")");
+    e.name = sys_name;
+    e.fn = fn;
+    e.user = user;
+    e.stat = std::make_unique<SyscallStat>();
+    ++count_;
 }
 
-const SyscallHandler *
-SyscallTable::find(int nr) const
+void
+SyscallTable::set(int nr, const char *sys_name, SyscallHandler fallback)
 {
-    auto it = handlers_.find(nr);
-    return it == handlers_.end() ? nullptr : &it->second.handler;
+    Entry &e = slotFor(nr, sys_name);
+    if (!e.empty())
+        cider_panic("syscall table ", name_, ": duplicate registration "
+                    "of nr ", nr, " (", e.name ? e.name : "?", " vs ",
+                    sys_name, ")");
+    e.name = sys_name;
+    e.fallback = std::move(fallback);
+    e.stat = std::make_unique<SyscallStat>();
+    ++count_;
 }
 
-const std::string *
+const char *
 SyscallTable::sysName(int nr) const
 {
-    auto it = handlers_.find(nr);
-    return it == handlers_.end() ? nullptr : &it->second.name;
+    const Entry *e = find(nr);
+    return e ? e->name : nullptr;
+}
+
+std::vector<int>
+SyscallTable::registeredNumbers() const
+{
+    std::vector<int> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < dense_.size(); ++i)
+        if (!dense_[i].empty())
+            out.push_back(base_ + static_cast<int>(i));
+    return out;
 }
 
 Kernel::Kernel(const hw::DeviceProfile &profile)
@@ -148,6 +214,12 @@ Kernel::Kernel(const hw::DeviceProfile &profile)
     vfs_.mkdirAll("/data");
     vfs_.mkdirAll("/system/bin");
     vfs_.mkdirAll("/system/lib");
+
+    trapStats_.attachTable(linuxTable_);
+    vfs_.mkdirAll("/proc/cider");
+    Device &dump =
+        devices_.add(std::make_unique<TrapStatsDevice>(trapStats_));
+    vfs_.mknod("/proc/cider/trapstats", &dump);
 }
 
 Kernel::~Kernel() = default;
@@ -174,8 +246,21 @@ Kernel::findProcess(Pid pid) const
 SyscallResult
 Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
 {
+    TrapContext ctx{*this,       t,
+                    cls,         nr,
+                    args,        t.persona(),
+                    t.clock().now(), &trapStats_.tracer()};
     charge(profile_.trapEnterExitNs);
-    SyscallResult r = dispatcher_->dispatch(*this, t, cls, nr, args);
+    SyscallResult r;
+    try {
+        r = dispatcher_->dispatch(ctx);
+    } catch (...) {
+        // exit/execve unwind through the trap; account them before
+        // the exception leaves the kernel.
+        trapStats_.recordNoReturn(ctx, t.clock().now() - ctx.enterNs);
+        throw;
+    }
+    trapStats_.recordTrap(ctx, r, t.clock().now() - ctx.enterNs);
     checkPendingSignals(t);
     return r;
 }

@@ -29,6 +29,7 @@
 #include "hw/device_profile.h"
 #include "kernel/device.h"
 #include "kernel/process.h"
+#include "kernel/trap_stats.h"
 #include "kernel/types.h"
 #include "kernel/unix_socket.h"
 #include "kernel/vfs.h"
@@ -36,6 +37,7 @@
 namespace cider::kernel {
 
 class Kernel;
+struct TrapContext;
 
 /** stat(2) result as handed to user space. */
 struct StatBuf
@@ -44,35 +46,84 @@ struct StatBuf
     InodeType type = InodeType::Regular;
 };
 
-/** A syscall implementation bound into a dispatch table. */
-using SyscallHandler =
-    std::function<SyscallResult(Kernel &, Thread &, SyscallArgs &)>;
+/**
+ * A syscall implementation on the fast path: a raw function pointer
+ * plus one user-data word (the subsystem the handler routes into).
+ * Captureless lambdas convert to this directly, so almost every
+ * handler dispatches without a type-erased std::function call.
+ */
+using SyscallFn = SyscallResult (*)(TrapContext &, void *user);
+
+/** Fallback handler for registrations that need to capture more than
+ *  one word of state (rare; pays a std::function indirection). */
+using SyscallHandler = std::function<SyscallResult(TrapContext &)>;
 
 /**
  * One syscall dispatch table. Cider maintains one or more of these
  * per persona and switches among them by the calling thread's persona
  * and trap class (paper section 4.1).
+ *
+ * Storage is a flat dense vector indexed by (nr - base), so lookup is
+ * O(1): one bounds check and one load. The table grows to cover the
+ * registered number range; Linux/XNU syscall numbers are small and
+ * Mach trap numbers are small negatives, so the span stays tiny.
  */
 class SyscallTable
 {
   public:
-    explicit SyscallTable(std::string name) : name_(std::move(name)) {}
-
-    void set(int nr, const std::string &sys_name, SyscallHandler handler);
-    const SyscallHandler *find(int nr) const;
-    const std::string *sysName(int nr) const;
-    const std::string &name() const { return name_; }
-    std::size_t size() const { return handlers_.size(); }
-
-  private:
     struct Entry
     {
-        std::string name;
-        SyscallHandler handler;
+        const char *name = nullptr; ///< static registration string
+        SyscallFn fn = nullptr;
+        void *user = nullptr;
+        SyscallHandler fallback;
+        /** Per-syscall counters (stable address; see trap_stats.h). */
+        std::unique_ptr<SyscallStat> stat;
+
+        bool empty() const { return fn == nullptr && !fallback; }
+
+        SyscallResult
+        call(TrapContext &ctx) const
+        {
+            return fn ? fn(ctx, user) : fallback(ctx);
+        }
     };
 
+    explicit SyscallTable(std::string name) : name_(std::move(name)) {}
+
+    /** Register the fast-path form. Panics on duplicate @p nr. */
+    void set(int nr, const char *sys_name, SyscallFn fn,
+             void *user = nullptr);
+    /** Register the capture-heavy fallback form. Panics on duplicate. */
+    void set(int nr, const char *sys_name, SyscallHandler fallback);
+
+    /** O(1) lookup; null when @p nr has no handler. */
+    const Entry *
+    find(int nr) const
+    {
+        // Unsigned wrap makes one compare cover both range ends.
+        auto idx = static_cast<std::size_t>(
+            static_cast<long long>(nr) - base_);
+        if (idx >= dense_.size())
+            return nullptr;
+        const Entry &e = dense_[idx];
+        return e.empty() ? nullptr : &e;
+    }
+
+    const char *sysName(int nr) const;
+    const std::string &name() const { return name_; }
+    /** Number of registered handlers (not the dense span). */
+    std::size_t size() const { return count_; }
+    /** Registered syscall numbers in ascending order. */
+    std::vector<int> registeredNumbers() const;
+
+  private:
+    Entry &slotFor(int nr, const char *sys_name);
+
     std::string name_;
-    std::map<int, Entry> handlers_;
+    int base_ = 0;
+    std::size_t count_ = 0;
+    std::vector<Entry> dense_;
 };
 
 /** Pluggable trap dispatcher (vanilla vs. Cider multi-persona). */
@@ -81,8 +132,8 @@ class TrapDispatcher
   public:
     virtual ~TrapDispatcher() = default;
     virtual const char *name() const = 0;
-    virtual SyscallResult dispatch(Kernel &k, Thread &t, TrapClass cls,
-                                   int nr, SyscallArgs &args) = 0;
+    /** Resolve ctx.table / ctx.entry and invoke the handler. */
+    virtual SyscallResult dispatch(TrapContext &ctx) = 0;
 };
 
 /** A binfmt handler in the kernel's loader chain. */
@@ -137,6 +188,11 @@ class Kernel
     void setDispatcher(std::unique_ptr<TrapDispatcher> d);
     TrapDispatcher &dispatcher() { return *dispatcher_; }
     SyscallTable &linuxTable() { return linuxTable_; }
+
+    /** Per-syscall counters, latency histograms, and the trap trace
+     *  ring (also readable from /proc/cider/trapstats). */
+    TrapStats &trapStats() { return trapStats_; }
+    const TrapStats &trapStats() const { return trapStats_; }
     /// @}
 
     /// @{ Extension seams.
@@ -234,6 +290,7 @@ class Kernel
     DeviceRegistry devices_;
     UnixSocketRegistry unixRegistry_;
     SyscallTable linuxTable_;
+    TrapStats trapStats_;
     std::unique_ptr<TrapDispatcher> dispatcher_;
     std::unique_ptr<SignalDeliveryHook> signalHook_;
     std::vector<std::unique_ptr<BinaryLoader>> loaders_;

@@ -1,6 +1,7 @@
 #include "kernel/linux_syscalls.h"
 
 #include "kernel/kernel.h"
+#include "kernel/trap_context.h"
 
 namespace cider::kernel {
 
@@ -9,154 +10,150 @@ buildLinuxSyscallTable(Kernel &k)
 {
     SyscallTable &tbl = k.linuxTable();
 
-    tbl.set(sysno::NULL_SYSCALL, "null",
-            [](Kernel &kk, Thread &t, SyscallArgs &) {
-                return kk.sysNull(t);
-            });
+    tbl.set(sysno::NULL_SYSCALL, "null", [](TrapContext &c, void *) {
+        return c.kernel.sysNull(c.thread);
+    });
 
-    tbl.set(sysno::EXIT, "exit", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        kk.sysExit(t, a.i32(0));
+    tbl.set(sysno::EXIT, "exit", [](TrapContext &c, void *) {
+        c.kernel.sysExit(c.thread, c.args.i32(0));
         return SyscallResult::success(); // unreachable
     });
 
-    tbl.set(sysno::FORK, "fork", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        auto *body = static_cast<EntryFn *>(a.ptr(0));
-        return kk.sysFork(t, body ? *body : EntryFn());
+    tbl.set(sysno::FORK, "fork", [](TrapContext &c, void *) {
+        auto *body = static_cast<EntryFn *>(c.args.ptr(0));
+        return c.kernel.sysFork(c.thread, body ? *body : EntryFn());
     });
 
-    tbl.set(sysno::READ, "read", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysRead(t, a.i32(0), *a.bytes(1),
-                          static_cast<std::size_t>(a.u64(2)));
+    tbl.set(sysno::READ, "read", [](TrapContext &c, void *) {
+        return c.kernel.sysRead(c.thread, c.args.i32(0),
+                                *c.args.bytes(1),
+                                static_cast<std::size_t>(c.args.u64(2)));
     });
 
-    tbl.set(sysno::WRITE, "write", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysWrite(t, a.i32(0), *a.cbytes(1));
+    tbl.set(sysno::WRITE, "write", [](TrapContext &c, void *) {
+        return c.kernel.sysWrite(c.thread, c.args.i32(0),
+                                 *c.args.cbytes(1));
     });
 
-    tbl.set(sysno::OPEN, "open", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysOpen(t, a.str(0), a.i32(1));
+    tbl.set(sysno::OPEN, "open", [](TrapContext &c, void *) {
+        return c.kernel.sysOpen(c.thread, c.args.str(0), c.args.i32(1));
     });
 
-    tbl.set(sysno::CLOSE, "close", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysClose(t, a.i32(0));
+    tbl.set(sysno::CLOSE, "close", [](TrapContext &c, void *) {
+        return c.kernel.sysClose(c.thread, c.args.i32(0));
     });
 
-    tbl.set(sysno::WAITPID, "waitpid",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                return kk.sysWaitpid(t, a.i32(0),
-                                     static_cast<int *>(a.ptr(1)));
-            });
-
-    tbl.set(sysno::UNLINK, "unlink",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                return kk.sysUnlink(t, a.str(0));
-            });
-
-    tbl.set(sysno::EXECVE, "execve",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                auto *argv =
-                    static_cast<std::vector<std::string> *>(a.ptr(1));
-                return kk.sysExecve(t, a.str(0),
-                                    argv ? *argv
-                                         : std::vector<std::string>());
-            });
-
-    tbl.set(sysno::GETPID, "getpid",
-            [](Kernel &kk, Thread &t, SyscallArgs &) {
-                return kk.sysGetpid(t);
-            });
-
-    tbl.set(sysno::KILL, "kill", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysKill(t, a.i32(0), a.i32(1));
+    tbl.set(sysno::WAITPID, "waitpid", [](TrapContext &c, void *) {
+        return c.kernel.sysWaitpid(c.thread, c.args.i32(0),
+                                   static_cast<int *>(c.args.ptr(1)));
     });
 
-    tbl.set(sysno::MKDIR, "mkdir", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysMkdir(t, a.str(0));
+    tbl.set(sysno::UNLINK, "unlink", [](TrapContext &c, void *) {
+        return c.kernel.sysUnlink(c.thread, c.args.str(0));
     });
 
-    tbl.set(sysno::RMDIR, "rmdir", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysRmdir(t, a.str(0));
+    tbl.set(sysno::EXECVE, "execve", [](TrapContext &c, void *) {
+        auto *argv =
+            static_cast<std::vector<std::string> *>(c.args.ptr(1));
+        return c.kernel.sysExecve(c.thread, c.args.str(0),
+                                  argv ? *argv
+                                       : std::vector<std::string>());
     });
 
-    tbl.set(sysno::DUP, "dup", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysDup(t, a.i32(0));
+    tbl.set(sysno::GETPID, "getpid", [](TrapContext &c, void *) {
+        return c.kernel.sysGetpid(c.thread);
     });
 
-    tbl.set(sysno::PIPE, "pipe", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysPipe(t, static_cast<Fd *>(a.ptr(0)));
+    tbl.set(sysno::KILL, "kill", [](TrapContext &c, void *) {
+        return c.kernel.sysKill(c.thread, c.args.i32(0), c.args.i32(1));
     });
 
-    tbl.set(sysno::IOCTL, "ioctl", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysIoctl(t, a.i32(0), a.u64(1), a.ptr(2));
+    tbl.set(sysno::MKDIR, "mkdir", [](TrapContext &c, void *) {
+        return c.kernel.sysMkdir(c.thread, c.args.str(0));
     });
 
-    tbl.set(sysno::LSEEK, "lseek", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysLseek(t, a.i32(0), a.i64(1), a.i32(2));
+    tbl.set(sysno::RMDIR, "rmdir", [](TrapContext &c, void *) {
+        return c.kernel.sysRmdir(c.thread, c.args.str(0));
     });
 
-    tbl.set(sysno::STAT, "stat", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysStat(t, a.str(0), static_cast<StatBuf *>(a.ptr(1)));
+    tbl.set(sysno::DUP, "dup", [](TrapContext &c, void *) {
+        return c.kernel.sysDup(c.thread, c.args.i32(0));
     });
 
-    tbl.set(sysno::RENAME, "rename",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                return kk.sysRename(t, a.str(0), a.str(1));
-            });
-
-    tbl.set(sysno::DUP2, "dup2", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysDup2(t, a.i32(0), a.i32(1));
+    tbl.set(sysno::PIPE, "pipe", [](TrapContext &c, void *) {
+        return c.kernel.sysPipe(c.thread,
+                                static_cast<Fd *>(c.args.ptr(0)));
     });
 
-    tbl.set(sysno::GETPPID, "getppid",
-            [](Kernel &kk, Thread &t, SyscallArgs &) {
-                return kk.sysGetppid(t);
-            });
-
-    tbl.set(sysno::SIGACTION, "sigaction",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                auto *act = static_cast<SignalAction *>(a.ptr(1));
-                return kk.sysSigaction(t, a.i32(0),
-                                       act ? *act : SignalAction());
-            });
-
-    tbl.set(sysno::SELECT, "select",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                auto *rd = static_cast<std::vector<Fd> *>(a.ptr(0));
-                auto *wr = static_cast<std::vector<Fd> *>(a.ptr(1));
-                auto *ready = static_cast<std::vector<Fd> *>(a.ptr(2));
-                static const std::vector<Fd> empty;
-                return kk.sysSelect(t, rd ? *rd : empty, wr ? *wr : empty,
-                                    *ready);
-            });
-
-    tbl.set(sysno::SOCKET, "socket",
-            [](Kernel &kk, Thread &t, SyscallArgs &) {
-                return kk.sysSocket(t);
-            });
-
-    tbl.set(sysno::BIND, "bind", [](Kernel &kk, Thread &t, SyscallArgs &a) {
-        return kk.sysBind(t, a.i32(0), a.str(1));
+    tbl.set(sysno::IOCTL, "ioctl", [](TrapContext &c, void *) {
+        return c.kernel.sysIoctl(c.thread, c.args.i32(0), c.args.u64(1),
+                                 c.args.ptr(2));
     });
 
-    tbl.set(sysno::CONNECT, "connect",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                return kk.sysConnect(t, a.i32(0), a.str(1));
-            });
+    tbl.set(sysno::LSEEK, "lseek", [](TrapContext &c, void *) {
+        return c.kernel.sysLseek(c.thread, c.args.i32(0), c.args.i64(1),
+                                 c.args.i32(2));
+    });
 
-    tbl.set(sysno::LISTEN, "listen",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                return kk.sysListen(t, a.i32(0), a.i32(1));
-            });
+    tbl.set(sysno::STAT, "stat", [](TrapContext &c, void *) {
+        return c.kernel.sysStat(c.thread, c.args.str(0),
+                                static_cast<StatBuf *>(c.args.ptr(1)));
+    });
 
-    tbl.set(sysno::ACCEPT, "accept",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                return kk.sysAccept(t, a.i32(0));
-            });
+    tbl.set(sysno::RENAME, "rename", [](TrapContext &c, void *) {
+        return c.kernel.sysRename(c.thread, c.args.str(0),
+                                  c.args.str(1));
+    });
 
-    tbl.set(sysno::SOCKETPAIR, "socketpair",
-            [](Kernel &kk, Thread &t, SyscallArgs &a) {
-                return kk.sysSocketpair(t, static_cast<Fd *>(a.ptr(0)));
-            });
+    tbl.set(sysno::DUP2, "dup2", [](TrapContext &c, void *) {
+        return c.kernel.sysDup2(c.thread, c.args.i32(0), c.args.i32(1));
+    });
+
+    tbl.set(sysno::GETPPID, "getppid", [](TrapContext &c, void *) {
+        return c.kernel.sysGetppid(c.thread);
+    });
+
+    tbl.set(sysno::SIGACTION, "sigaction", [](TrapContext &c, void *) {
+        auto *act = static_cast<SignalAction *>(c.args.ptr(1));
+        return c.kernel.sysSigaction(c.thread, c.args.i32(0),
+                                     act ? *act : SignalAction());
+    });
+
+    tbl.set(sysno::SELECT, "select", [](TrapContext &c, void *) {
+        auto *rd = static_cast<std::vector<Fd> *>(c.args.ptr(0));
+        auto *wr = static_cast<std::vector<Fd> *>(c.args.ptr(1));
+        auto *ready = static_cast<std::vector<Fd> *>(c.args.ptr(2));
+        static const std::vector<Fd> empty;
+        return c.kernel.sysSelect(c.thread, rd ? *rd : empty,
+                                  wr ? *wr : empty, *ready);
+    });
+
+    tbl.set(sysno::SOCKET, "socket", [](TrapContext &c, void *) {
+        return c.kernel.sysSocket(c.thread);
+    });
+
+    tbl.set(sysno::BIND, "bind", [](TrapContext &c, void *) {
+        return c.kernel.sysBind(c.thread, c.args.i32(0), c.args.str(1));
+    });
+
+    tbl.set(sysno::CONNECT, "connect", [](TrapContext &c, void *) {
+        return c.kernel.sysConnect(c.thread, c.args.i32(0),
+                                   c.args.str(1));
+    });
+
+    tbl.set(sysno::LISTEN, "listen", [](TrapContext &c, void *) {
+        return c.kernel.sysListen(c.thread, c.args.i32(0),
+                                  c.args.i32(1));
+    });
+
+    tbl.set(sysno::ACCEPT, "accept", [](TrapContext &c, void *) {
+        return c.kernel.sysAccept(c.thread, c.args.i32(0));
+    });
+
+    tbl.set(sysno::SOCKETPAIR, "socketpair", [](TrapContext &c, void *) {
+        return c.kernel.sysSocketpair(c.thread,
+                                      static_cast<Fd *>(c.args.ptr(0)));
+    });
 }
 
 } // namespace cider::kernel

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Per-syscall trap statistics and the lock-free trap trace ring.
+ *
+ * Every Kernel owns one TrapStats. The trap path records, per dispatch
+ * table and per syscall number: invocation counts, error counts, and a
+ * log2 histogram of virtual-ns latencies measured from the calling
+ * thread's CostClock. A fixed-size lock-free ring buffer keeps the
+ * most recent trap records (including persona switches) for
+ * flight-recorder style debugging.
+ *
+ * Recording costs *host* cycles only — it never calls charge() — so
+ * installing the subsystem does not perturb the simulated virtual-time
+ * results the Figure 5 reproductions depend on.
+ *
+ * The accumulated state is queryable through Kernel::trapStats() and
+ * readable as text from the /proc/cider/trapstats device node.
+ */
+
+#ifndef CIDER_KERNEL_TRAP_STATS_H
+#define CIDER_KERNEL_TRAP_STATS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/device.h"
+#include "kernel/types.h"
+
+namespace cider::kernel {
+
+class SyscallTable;
+class Thread;
+struct TrapContext;
+
+/**
+ * Counters for one syscall in one dispatch table. All fields are
+ * relaxed atomics: service threads trap concurrently with the main
+ * simulation thread and per-counter exactness beats a lock on the
+ * hot path.
+ */
+struct SyscallStat
+{
+    /** Log2 latency buckets: bucket i counts traps with virtual-ns
+     *  latency in [2^i, 2^(i+1)); the last bucket absorbs the tail. */
+    static constexpr int kBuckets = 24;
+
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> totalNs{0};
+    std::atomic<std::uint64_t> minNs{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> maxNs{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> hist{};
+
+    /** Bucket index for a latency value. */
+    static int bucketOf(std::uint64_t ns);
+
+    /** Record one completed invocation. */
+    void record(std::uint64_t latency_ns, bool ok);
+};
+
+/** One record in the trap trace ring. */
+struct TraceRecord
+{
+    enum class Kind : std::uint8_t
+    {
+        Trap,          ///< a completed kernel trap
+        PersonaSwitch, ///< set_persona changed a thread's persona
+    };
+
+    Kind kind = Kind::Trap;
+    TrapClass cls = TrapClass::LinuxSyscall;
+    Persona persona = Persona::Android; ///< persona at trap entry
+    Persona toPersona = Persona::Android; ///< target (switches only)
+    int nr = 0;
+    Tid tid = 0;
+    std::int64_t value = 0;
+    int err = 0;
+    std::uint64_t latencyNs = 0;
+    std::uint64_t timeNs = 0; ///< calling thread's virtual time
+    std::uint64_t seq = 0;    ///< global record sequence number
+};
+
+/**
+ * Fixed-size lock-free ring of recent trap records. Writers claim a
+ * slot with one relaxed fetch_add and overwrite the oldest record;
+ * readers snapshot without stopping writers (a record being written
+ * concurrently may read torn, which a flight recorder tolerates).
+ */
+class TrapTracer
+{
+  public:
+    explicit TrapTracer(std::size_t capacity = 256);
+
+    /** Append one record (lock-free, wait-free). */
+    void record(TraceRecord rec);
+
+    /** Oldest-to-newest copy of the current ring contents. */
+    std::vector<TraceRecord> snapshot() const;
+
+    /** Total records ever written (>= capacity means wrapped). */
+    std::uint64_t recorded() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    void reset();
+
+  private:
+    std::vector<TraceRecord> ring_;
+    std::size_t mask_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+/**
+ * The per-kernel trap observability subsystem: per-table per-syscall
+ * counters (stored in the dispatch-table entries themselves, so the
+ * hot path is one pointer deref), global rejection counters, the
+ * persona-switch count, and the trace ring.
+ */
+class TrapStats
+{
+  public:
+    TrapStats();
+
+    /** Register a dispatch table for enumeration in dumps/queries.
+     *  Tables attach once; re-attaching is a no-op. */
+    void attachTable(const SyscallTable &tbl);
+
+    const std::vector<const SyscallTable *> &tables() const
+    {
+        return tables_;
+    }
+
+    /// @{ Hot-path recording (called from Kernel::trap()).
+    void recordTrap(const TrapContext &ctx, const SyscallResult &r,
+                    std::uint64_t latency_ns);
+    /** A trap whose handler never returned (exit/execve). */
+    void recordNoReturn(const TrapContext &ctx, std::uint64_t latency_ns);
+    void recordPersonaSwitch(Thread &t, Persona from, Persona to);
+    /// @}
+
+    /// @{ Queries (tests and benchmarks).
+    /** Counters for @p nr in the table named @p table (null if the
+     *  table or the syscall is unknown). */
+    const SyscallStat *stat(const std::string &table, int nr) const;
+    std::uint64_t calls(const std::string &table, int nr) const;
+    std::uint64_t errors(const std::string &table, int nr) const;
+    std::uint64_t totalNs(const std::string &table, int nr) const;
+
+    /** Sum of invocation counts across one table / all tables. */
+    std::uint64_t tableCalls(const std::string &table) const;
+    std::uint64_t totalCalls() const;
+
+    std::uint64_t personaSwitches() const
+    {
+        return personaSwitches_.load(std::memory_order_relaxed);
+    }
+    /** Traps rejected before a table was selected (wrong persona). */
+    std::uint64_t rejectedTraps() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+    /** Traps that resolved a table but found no handler for the nr. */
+    std::uint64_t unknownSyscalls() const
+    {
+        return unknownNr_.load(std::memory_order_relaxed);
+    }
+    /// @}
+
+    TrapTracer &tracer() { return tracer_; }
+    const TrapTracer &tracer() const { return tracer_; }
+
+    /** The /proc/cider/trapstats text: per-table per-syscall counts,
+     *  latency histograms, and the tail of the trace ring. */
+    std::string dump() const;
+
+    /** Zero all counters and the trace ring (benchmark warm-up). */
+    void reset();
+
+  private:
+    std::vector<const SyscallTable *> tables_;
+    TrapTracer tracer_;
+    std::atomic<std::uint64_t> personaSwitches_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> unknownNr_{0};
+    std::atomic<std::uint64_t> noReturnTraps_{0};
+};
+
+/**
+ * Kernel device node exposing the stats dump at /proc/cider/trapstats.
+ * Reads are single-shot: each read() returns up to @p n bytes of a
+ * freshly formatted dump (procfs-style generated content).
+ */
+class TrapStatsDevice : public Device
+{
+  public:
+    explicit TrapStatsDevice(const TrapStats &stats)
+        : Device("trapstats", "proc"), stats_(stats)
+    {}
+
+    SyscallResult read(Thread &t, Bytes &out, std::size_t n) override;
+
+  private:
+    const TrapStats &stats_;
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_TRAP_STATS_H

@@ -2,6 +2,7 @@
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/trap_context.h"
 #include "xnu/bsd_syscalls.h"
 #include "xnu/mach_traps.h"
 #include "xnu/xnu_signals.h"
@@ -9,10 +10,49 @@
 namespace cider::persona {
 
 using kernel::Persona;
-using kernel::SyscallArgs;
 using kernel::SyscallResult;
+using kernel::SyscallTable;
 using kernel::Thread;
 using kernel::TrapClass;
+using kernel::TrapContext;
+
+namespace {
+
+/** Per-thread machine-dependent state ("persona.mdep"). */
+struct MdepState
+{
+    std::uint64_t tlsBase = 0; ///< user cthread/TLS base register
+    std::uint64_t icacheFlushes = 0;
+};
+
+/** The machine-dependent trap table: tiny register-level services
+ *  that never reach the BSD or Mach layers on real XNU either. */
+void
+buildMdepTable(SyscallTable &tbl)
+{
+    tbl.set(mdepno::ICACHE_FLUSH, "icache_flush",
+            [](TrapContext &c, void *) {
+                auto &st = c.thread.ext().get<MdepState>("persona.mdep");
+                ++st.icacheFlushes;
+                return SyscallResult::success();
+            });
+
+    tbl.set(mdepno::SET_TLS_BASE, "set_tls_base",
+            [](TrapContext &c, void *) {
+                auto &st = c.thread.ext().get<MdepState>("persona.mdep");
+                st.tlsBase = c.args.u64(0);
+                return SyscallResult::success();
+            });
+
+    tbl.set(mdepno::GET_TLS_BASE, "get_tls_base",
+            [](TrapContext &c, void *) {
+                auto &st = c.thread.ext().get<MdepState>("persona.mdep");
+                return SyscallResult::success(
+                    static_cast<std::int64_t>(st.tlsBase));
+            });
+}
+
+} // namespace
 
 /**
  * The Cider trap dispatcher: one or more dispatch tables per persona,
@@ -26,30 +66,30 @@ class MultiPersonaDispatcher : public kernel::TrapDispatcher
     const char *name() const override { return "cider-multipersona"; }
 
     SyscallResult
-    dispatch(kernel::Kernel &k, Thread &t, TrapClass cls, int nr,
-             SyscallArgs &args) override
+    dispatch(TrapContext &ctx) override
     {
         const PersonaCosts &costs = mgr_.costs();
-        const hw::DeviceProfile &profile = k.profile();
+        const hw::DeviceProfile &profile = ctx.kernel.profile();
+        Thread &t = ctx.thread;
 
         // Persona check and handling on every syscall entry — the
         // 8.5% null-syscall cost of running Cider at all (Figure 5).
         charge(profile.cyclesToNs(costs.personaCheckCycles));
 
         // set_persona is reachable from all personas and trap classes.
-        if (nr == SET_PERSONA) {
-            auto target = static_cast<Persona>(args.u64(0));
+        if (ctx.nr == SET_PERSONA) {
+            auto target = static_cast<Persona>(ctx.args.u64(0));
             mgr_.setPersona(t, target);
             return SyscallResult::success();
         }
 
-        const kernel::SyscallTable *table = nullptr;
-        switch (cls) {
+        const SyscallTable *table = nullptr;
+        switch (ctx.cls) {
           case TrapClass::LinuxSyscall:
             // Only threads currently in the domestic persona use the
             // Linux ABI entry path.
             if (t.persona() == Persona::Android)
-                table = &k.linuxTable();
+                table = &ctx.kernel.linuxTable();
             break;
           case TrapClass::XnuBsd:
             if (t.persona() == Persona::Ios) {
@@ -60,8 +100,13 @@ class MultiPersonaDispatcher : public kernel::TrapDispatcher
                 table = &mgr_.xnuBsd_;
             }
             break;
-          case TrapClass::XnuMach:
           case TrapClass::XnuMdep:
+            if (t.persona() == Persona::Ios) {
+                charge(profile.cyclesToNs(costs.machTrapCycles));
+                table = &mgr_.mdep_;
+            }
+            break;
+          case TrapClass::XnuMach:
           case TrapClass::XnuDiag:
             if (t.persona() == Persona::Ios) {
                 charge(profile.cyclesToNs(costs.machTrapCycles));
@@ -70,25 +115,27 @@ class MultiPersonaDispatcher : public kernel::TrapDispatcher
             break;
         }
         if (!table) {
-            warn("trap class ", kernel::trapClassName(cls),
+            warn("trap class ", kernel::trapClassName(ctx.cls),
                  " rejected for persona ",
                  kernel::personaName(t.persona()));
             return SyscallResult::failure(kernel::lnx::NOSYS);
         }
 
-        const kernel::SyscallHandler *h = table->find(nr);
-        if (!h) {
+        ctx.table = table;
+        const SyscallTable::Entry *e = table->find(ctx.nr);
+        if (!e) {
             SyscallResult r = SyscallResult::failure(kernel::lnx::NOSYS);
-            if (cls == TrapClass::XnuBsd)
+            if (ctx.cls == TrapClass::XnuBsd)
                 r.err = xnu::linuxErrnoToXnu(r.err);
             return r;
         }
-        SyscallResult r = (*h)(k, t, args);
+        ctx.entry = e;
+        SyscallResult r = e->call(ctx);
         // Persona-tagged exit path: XNU BSD syscalls report failure
         // through a carry flag and a *Darwin* errno value, so the
         // boundary converts the Linux result before returning to the
         // foreign user space (a non-zero err models the carry flag).
-        if (cls == TrapClass::XnuBsd && !r.ok())
+        if (ctx.cls == TrapClass::XnuBsd && !r.ok())
             r.err = xnu::linuxErrnoToXnu(r.err);
         return r;
     }
@@ -144,10 +191,11 @@ PersonaManager::PersonaManager(kernel::Kernel &k, xnu::MachIpc &ipc,
                                xnu::PsynchSubsystem &psynch,
                                const PersonaCosts &costs)
     : kernel_(k), ipc_(ipc), psynch_(psynch), costs_(costs),
-      xnuBsd_("xnu-bsd"), mach_("xnu-mach")
+      xnuBsd_("xnu-bsd"), mach_("xnu-mach"), mdep_("xnu-mdep")
 {
     xnu::buildXnuBsdTable(xnuBsd_, psynch_);
     xnu::buildMachTrapTable(mach_, ipc_, psynch_);
+    buildMdepTable(mdep_);
 }
 
 void
@@ -156,6 +204,11 @@ PersonaManager::install()
     kernel_.setDispatcher(
         std::make_unique<MultiPersonaDispatcher>(*this));
     kernel_.setSignalHook(std::make_unique<PersonaSignalHook>(*this));
+    // Make the foreign tables visible to the kernel's stats subsystem
+    // so /proc/cider/trapstats covers every trap class.
+    kernel_.trapStats().attachTable(xnuBsd_);
+    kernel_.trapStats().attachTable(mach_);
+    kernel_.trapStats().attachTable(mdep_);
 }
 
 void
@@ -164,9 +217,11 @@ PersonaManager::setPersona(kernel::Thread &t, kernel::Persona p)
     // Swap the kernel ABI selection and the TLS area pointer; any
     // later kernel trap or TLS access uses the new persona's state.
     charge(kernel_.profile().cyclesToNs(costs_.setPersonaCycles));
+    kernel::Persona from = t.persona();
     t.setPersona(p);
     ThreadTls::of(t).activate(p);
     ++switches_;
+    kernel_.trapStats().recordPersonaSwitch(t, from, p);
 }
 
 } // namespace cider::persona

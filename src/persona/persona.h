@@ -49,6 +49,20 @@ struct PersonaCosts
 };
 
 /**
+ * Machine-dependent trap numbers (TrapClass::XnuMdep): XNU's ARM
+ * fast traps for cache maintenance and the user TLS base register —
+ * the fourth of the "four different ways" an iOS binary enters the
+ * kernel (paper section 4.1).
+ */
+namespace mdepno {
+
+inline constexpr int ICACHE_FLUSH = 0;
+inline constexpr int SET_TLS_BASE = 2; ///< thread_set_cthread_self
+inline constexpr int GET_TLS_BASE = 3; ///< thread_get_cthread_self
+
+} // namespace mdepno
+
+/**
  * Owns the foreign dispatch tables and wires the Cider mechanisms
  * into a kernel. Keep it alive as long as the kernel runs.
  */
@@ -68,6 +82,7 @@ class PersonaManager
 
     kernel::SyscallTable &xnuBsdTable() { return xnuBsd_; }
     kernel::SyscallTable &machTable() { return mach_; }
+    kernel::SyscallTable &mdepTable() { return mdep_; }
     const PersonaCosts &costs() const { return costs_; }
 
     /** Count of persona switches performed (ablation metric). */
@@ -83,6 +98,7 @@ class PersonaManager
     PersonaCosts costs_;
     kernel::SyscallTable xnuBsd_;
     kernel::SyscallTable mach_;
+    kernel::SyscallTable mdep_;
     std::uint64_t switches_ = 0;
 };
 

@@ -1,236 +1,255 @@
 #include "xnu/bsd_syscalls.h"
 
 #include "kernel/kernel.h"
+#include "kernel/trap_context.h"
 #include "xnu/psynch.h"
 #include "xnu/xnu_signals.h"
 
 namespace cider::xnu {
 
-using kernel::Kernel;
-using kernel::SyscallArgs;
 using kernel::SyscallResult;
 using kernel::SyscallTable;
-using kernel::Thread;
+using kernel::TrapContext;
+
+namespace {
+
+SyscallResult
+krToSys(kern_return_t kr)
+{
+    if (kr == KERN_SUCCESS)
+        return SyscallResult::success();
+    return SyscallResult::failure(kernel::lnx::INVAL);
+}
+
+PsynchSubsystem &
+psynchOf(void *user)
+{
+    return *static_cast<PsynchSubsystem *>(user);
+}
+
+} // namespace
 
 void
 buildXnuBsdTable(SyscallTable &tbl, PsynchSubsystem &psynch)
 {
-    tbl.set(xnuno::NULL_SYSCALL, "null",
-            [](Kernel &k, Thread &t, SyscallArgs &) {
-                return k.sysNull(t);
-            });
+    tbl.set(xnuno::NULL_SYSCALL, "null", [](TrapContext &c, void *) {
+        return c.kernel.sysNull(c.thread);
+    });
 
-    tbl.set(xnuno::EXIT, "exit", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        k.sysExit(t, a.i32(0));
+    tbl.set(xnuno::EXIT, "exit", [](TrapContext &c, void *) {
+        c.kernel.sysExit(c.thread, c.args.i32(0));
         return SyscallResult::success();
     });
 
-    tbl.set(xnuno::FORK, "fork", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        auto *body = static_cast<kernel::EntryFn *>(a.ptr(0));
-        return k.sysFork(t, body ? *body : kernel::EntryFn());
+    tbl.set(xnuno::FORK, "fork", [](TrapContext &c, void *) {
+        auto *body = static_cast<kernel::EntryFn *>(c.args.ptr(0));
+        return c.kernel.sysFork(c.thread,
+                                body ? *body : kernel::EntryFn());
     });
 
-    tbl.set(xnuno::READ, "read", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysRead(t, a.i32(0), *a.bytes(1),
-                         static_cast<std::size_t>(a.u64(2)));
+    tbl.set(xnuno::READ, "read", [](TrapContext &c, void *) {
+        return c.kernel.sysRead(c.thread, c.args.i32(0),
+                                *c.args.bytes(1),
+                                static_cast<std::size_t>(c.args.u64(2)));
     });
 
-    tbl.set(xnuno::WRITE, "write", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysWrite(t, a.i32(0), *a.cbytes(1));
+    tbl.set(xnuno::WRITE, "write", [](TrapContext &c, void *) {
+        return c.kernel.sysWrite(c.thread, c.args.i32(0),
+                                 *c.args.cbytes(1));
     });
 
-    tbl.set(xnuno::OPEN, "open", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysOpen(t, a.str(0), a.i32(1));
+    tbl.set(xnuno::OPEN, "open", [](TrapContext &c, void *) {
+        return c.kernel.sysOpen(c.thread, c.args.str(0), c.args.i32(1));
     });
 
-    tbl.set(xnuno::CLOSE, "close", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysClose(t, a.i32(0));
+    tbl.set(xnuno::CLOSE, "close", [](TrapContext &c, void *) {
+        return c.kernel.sysClose(c.thread, c.args.i32(0));
     });
 
-    tbl.set(xnuno::WAIT4, "wait4", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysWaitpid(t, a.i32(0), static_cast<int *>(a.ptr(1)));
+    tbl.set(xnuno::WAIT4, "wait4", [](TrapContext &c, void *) {
+        return c.kernel.sysWaitpid(c.thread, c.args.i32(0),
+                                   static_cast<int *>(c.args.ptr(1)));
     });
 
-    tbl.set(xnuno::UNLINK, "unlink",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                return k.sysUnlink(t, a.str(0));
-            });
+    tbl.set(xnuno::UNLINK, "unlink", [](TrapContext &c, void *) {
+        return c.kernel.sysUnlink(c.thread, c.args.str(0));
+    });
 
-    tbl.set(xnuno::GETPID, "getpid",
-            [](Kernel &k, Thread &t, SyscallArgs &) {
-                return k.sysGetpid(t);
-            });
+    tbl.set(xnuno::GETPID, "getpid", [](TrapContext &c, void *) {
+        return c.kernel.sysGetpid(c.thread);
+    });
 
-    tbl.set(xnuno::KILL, "kill", [](Kernel &k, Thread &t, SyscallArgs &a) {
+    tbl.set(xnuno::KILL, "kill", [](TrapContext &c, void *) {
         // Programmatic XNU signal: translate the Darwin number into
         // the kernel's Linux vocabulary before delivery, so iOS apps
         // can signal Android apps and vice versa (paper section 4.1).
-        int xnu_signo = a.i32(1);
+        int xnu_signo = c.args.i32(1);
         int linux_signo = xnu_signo == 0 ? 0 : xnuSigToLinux(xnu_signo);
         if (xnu_signo != 0 && linux_signo == 0)
             return SyscallResult::failure(kernel::lnx::INVAL);
-        return k.sysKill(t, a.i32(0), linux_signo);
+        return c.kernel.sysKill(c.thread, c.args.i32(0), linux_signo);
     });
 
-    tbl.set(xnuno::DUP, "dup", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysDup(t, a.i32(0));
+    tbl.set(xnuno::DUP, "dup", [](TrapContext &c, void *) {
+        return c.kernel.sysDup(c.thread, c.args.i32(0));
     });
 
-    tbl.set(xnuno::PIPE, "pipe", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysPipe(t, static_cast<kernel::Fd *>(a.ptr(0)));
+    tbl.set(xnuno::PIPE, "pipe", [](TrapContext &c, void *) {
+        return c.kernel.sysPipe(
+            c.thread, static_cast<kernel::Fd *>(c.args.ptr(0)));
     });
 
-    tbl.set(xnuno::SIGACTION, "sigaction",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                int linux_signo = xnuSigToLinux(a.i32(0));
-                if (linux_signo == 0)
-                    return SyscallResult::failure(kernel::lnx::INVAL);
-                auto *act = static_cast<kernel::SignalAction *>(a.ptr(1));
-                return k.sysSigaction(t, linux_signo,
-                                      act ? *act
-                                          : kernel::SignalAction());
-            });
-
-    tbl.set(xnuno::IOCTL, "ioctl", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysIoctl(t, a.i32(0), a.u64(1), a.ptr(2));
+    tbl.set(xnuno::SIGACTION, "sigaction", [](TrapContext &c, void *) {
+        int linux_signo = xnuSigToLinux(c.args.i32(0));
+        if (linux_signo == 0)
+            return SyscallResult::failure(kernel::lnx::INVAL);
+        auto *act = static_cast<kernel::SignalAction *>(c.args.ptr(1));
+        return c.kernel.sysSigaction(c.thread, linux_signo,
+                                     act ? *act
+                                         : kernel::SignalAction());
     });
 
-    tbl.set(xnuno::LSEEK, "lseek", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysLseek(t, a.i32(0), a.i64(1), a.i32(2));
+    tbl.set(xnuno::IOCTL, "ioctl", [](TrapContext &c, void *) {
+        return c.kernel.sysIoctl(c.thread, c.args.i32(0), c.args.u64(1),
+                                 c.args.ptr(2));
     });
 
-    tbl.set(xnuno::STAT, "stat", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysStat(t, a.str(0),
-                         static_cast<kernel::StatBuf *>(a.ptr(1)));
+    tbl.set(xnuno::LSEEK, "lseek", [](TrapContext &c, void *) {
+        return c.kernel.sysLseek(c.thread, c.args.i32(0), c.args.i64(1),
+                                 c.args.i32(2));
     });
 
-    tbl.set(xnuno::RENAME, "rename",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                return k.sysRename(t, a.str(0), a.str(1));
-            });
-
-    tbl.set(xnuno::DUP2, "dup2", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysDup2(t, a.i32(0), a.i32(1));
+    tbl.set(xnuno::STAT, "stat", [](TrapContext &c, void *) {
+        return c.kernel.sysStat(
+            c.thread, c.args.str(0),
+            static_cast<kernel::StatBuf *>(c.args.ptr(1)));
     });
 
-    tbl.set(xnuno::GETPPID, "getppid",
-            [](Kernel &k, Thread &t, SyscallArgs &) {
-                return k.sysGetppid(t);
-            });
-
-    tbl.set(xnuno::EXECVE, "execve",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                auto *argv =
-                    static_cast<std::vector<std::string> *>(a.ptr(1));
-                return k.sysExecve(t, a.str(0),
-                                   argv ? *argv
-                                        : std::vector<std::string>());
-            });
-
-    tbl.set(xnuno::SELECT, "select",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                auto *rd = static_cast<std::vector<kernel::Fd> *>(a.ptr(0));
-                auto *wr = static_cast<std::vector<kernel::Fd> *>(a.ptr(1));
-                auto *ready =
-                    static_cast<std::vector<kernel::Fd> *>(a.ptr(2));
-                static const std::vector<kernel::Fd> empty;
-                return k.sysSelect(t, rd ? *rd : empty, wr ? *wr : empty,
-                                   *ready);
-            });
-
-    tbl.set(xnuno::SOCKET, "socket",
-            [](Kernel &k, Thread &t, SyscallArgs &) {
-                return k.sysSocket(t);
-            });
-
-    tbl.set(xnuno::CONNECT, "connect",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                return k.sysConnect(t, a.i32(0), a.str(1));
-            });
-
-    tbl.set(xnuno::ACCEPT, "accept",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                return k.sysAccept(t, a.i32(0));
-            });
-
-    tbl.set(xnuno::BIND, "bind", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysBind(t, a.i32(0), a.str(1));
+    tbl.set(xnuno::RENAME, "rename", [](TrapContext &c, void *) {
+        return c.kernel.sysRename(c.thread, c.args.str(0),
+                                  c.args.str(1));
     });
 
-    tbl.set(xnuno::LISTEN, "listen",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                return k.sysListen(t, a.i32(0), a.i32(1));
-            });
-
-    tbl.set(xnuno::SOCKETPAIR, "socketpair",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                return k.sysSocketpair(t,
-                                       static_cast<kernel::Fd *>(a.ptr(0)));
-            });
-
-    tbl.set(xnuno::MKDIR, "mkdir", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysMkdir(t, a.str(0));
+    tbl.set(xnuno::DUP2, "dup2", [](TrapContext &c, void *) {
+        return c.kernel.sysDup2(c.thread, c.args.i32(0), c.args.i32(1));
     });
 
-    tbl.set(xnuno::RMDIR, "rmdir", [](Kernel &k, Thread &t, SyscallArgs &a) {
-        return k.sysRmdir(t, a.str(0));
+    tbl.set(xnuno::GETPPID, "getppid", [](TrapContext &c, void *) {
+        return c.kernel.sysGetppid(c.thread);
+    });
+
+    tbl.set(xnuno::EXECVE, "execve", [](TrapContext &c, void *) {
+        auto *argv =
+            static_cast<std::vector<std::string> *>(c.args.ptr(1));
+        return c.kernel.sysExecve(c.thread, c.args.str(0),
+                                  argv ? *argv
+                                       : std::vector<std::string>());
+    });
+
+    tbl.set(xnuno::SELECT, "select", [](TrapContext &c, void *) {
+        auto *rd = static_cast<std::vector<kernel::Fd> *>(c.args.ptr(0));
+        auto *wr = static_cast<std::vector<kernel::Fd> *>(c.args.ptr(1));
+        auto *ready =
+            static_cast<std::vector<kernel::Fd> *>(c.args.ptr(2));
+        static const std::vector<kernel::Fd> empty;
+        return c.kernel.sysSelect(c.thread, rd ? *rd : empty,
+                                  wr ? *wr : empty, *ready);
+    });
+
+    tbl.set(xnuno::SOCKET, "socket", [](TrapContext &c, void *) {
+        return c.kernel.sysSocket(c.thread);
+    });
+
+    tbl.set(xnuno::CONNECT, "connect", [](TrapContext &c, void *) {
+        return c.kernel.sysConnect(c.thread, c.args.i32(0),
+                                   c.args.str(1));
+    });
+
+    tbl.set(xnuno::ACCEPT, "accept", [](TrapContext &c, void *) {
+        return c.kernel.sysAccept(c.thread, c.args.i32(0));
+    });
+
+    tbl.set(xnuno::BIND, "bind", [](TrapContext &c, void *) {
+        return c.kernel.sysBind(c.thread, c.args.i32(0), c.args.str(1));
+    });
+
+    tbl.set(xnuno::LISTEN, "listen", [](TrapContext &c, void *) {
+        return c.kernel.sysListen(c.thread, c.args.i32(0),
+                                  c.args.i32(1));
+    });
+
+    tbl.set(xnuno::SOCKETPAIR, "socketpair", [](TrapContext &c, void *) {
+        return c.kernel.sysSocketpair(
+            c.thread, static_cast<kernel::Fd *>(c.args.ptr(0)));
+    });
+
+    tbl.set(xnuno::MKDIR, "mkdir", [](TrapContext &c, void *) {
+        return c.kernel.sysMkdir(c.thread, c.args.str(0));
+    });
+
+    tbl.set(xnuno::RMDIR, "rmdir", [](TrapContext &c, void *) {
+        return c.kernel.sysRmdir(c.thread, c.args.str(0));
     });
 
     // posix_spawn has no Linux twin; compose it from the Linux clone
     // and exec implementations, as the paper does.
     tbl.set(xnuno::POSIX_SPAWN, "posix_spawn",
-            [](Kernel &k, Thread &t, SyscallArgs &a) {
-                std::string path = a.str(0);
+            [](TrapContext &c, void *) {
+                std::string path = c.args.str(0);
                 auto *argv_in =
-                    static_cast<std::vector<std::string> *>(a.ptr(1));
+                    static_cast<std::vector<std::string> *>(
+                        c.args.ptr(1));
                 std::vector<std::string> argv =
                     argv_in ? *argv_in : std::vector<std::string>();
+                kernel::Kernel &k = c.kernel;
                 kernel::EntryFn child =
                     [&k, path, argv](kernel::Thread &ct) -> int {
                     kernel::SyscallResult r = k.sysExecve(ct, path, argv);
                     return r.ok() ? 0 : 127;
                 };
-                return k.sysFork(t, child);
+                return c.kernel.sysFork(c.thread, child);
             });
 
-    // psynch: the duct-taped XNU pthread kernel support.
-    auto kr_to_sys = [](kern_return_t kr) {
-        if (kr == KERN_SUCCESS)
-            return SyscallResult::success();
-        return SyscallResult::failure(kernel::lnx::INVAL);
-    };
-
+    // psynch: the duct-taped XNU pthread kernel support, routed to the
+    // subsystem through the entry's user-data word.
     tbl.set(xnuno::PSYNCH_MUTEXWAIT, "psynch_mutexwait",
-            [&psynch, kr_to_sys](Kernel &, Thread &t, SyscallArgs &a) {
-                kern_return_t kr = psynch.mutexWait(
-                    a.u64(0), static_cast<std::uint64_t>(t.tid()));
+            [](TrapContext &c, void *u) {
+                kern_return_t kr = psynchOf(u).mutexWait(
+                    c.args.u64(0),
+                    static_cast<std::uint64_t>(c.thread.tid()));
                 if (kr == KERN_INVALID_ARGUMENT)
                     return SyscallResult::failure(kernel::lnx::DEADLK);
-                return kr_to_sys(kr);
-            });
+                return krToSys(kr);
+            },
+            &psynch);
 
     tbl.set(xnuno::PSYNCH_MUTEXDROP, "psynch_mutexdrop",
-            [&psynch, kr_to_sys](Kernel &, Thread &t, SyscallArgs &a) {
-                return kr_to_sys(psynch.mutexDrop(
-                    a.u64(0), static_cast<std::uint64_t>(t.tid())));
-            });
+            [](TrapContext &c, void *u) {
+                return krToSys(psynchOf(u).mutexDrop(
+                    c.args.u64(0),
+                    static_cast<std::uint64_t>(c.thread.tid())));
+            },
+            &psynch);
 
     tbl.set(xnuno::PSYNCH_CVWAIT, "psynch_cvwait",
-            [&psynch, kr_to_sys](Kernel &, Thread &t, SyscallArgs &a) {
-                return kr_to_sys(psynch.cvWait(
-                    a.u64(0), a.u64(1),
-                    static_cast<std::uint64_t>(t.tid())));
-            });
+            [](TrapContext &c, void *u) {
+                return krToSys(psynchOf(u).cvWait(
+                    c.args.u64(0), c.args.u64(1),
+                    static_cast<std::uint64_t>(c.thread.tid())));
+            },
+            &psynch);
 
     tbl.set(xnuno::PSYNCH_CVSIGNAL, "psynch_cvsignal",
-            [&psynch, kr_to_sys](Kernel &, Thread &, SyscallArgs &a) {
-                return kr_to_sys(psynch.cvSignal(a.u64(0)));
-            });
+            [](TrapContext &c, void *u) {
+                return krToSys(psynchOf(u).cvSignal(c.args.u64(0)));
+            },
+            &psynch);
 
     tbl.set(xnuno::PSYNCH_CVBROAD, "psynch_cvbroad",
-            [&psynch, kr_to_sys](Kernel &, Thread &, SyscallArgs &a) {
-                return kr_to_sys(psynch.cvBroadcast(a.u64(0)));
-            });
+            [](TrapContext &c, void *u) {
+                return krToSys(psynchOf(u).cvBroadcast(c.args.u64(0)));
+            },
+            &psynch);
 }
 
 } // namespace cider::xnu

@@ -1,15 +1,14 @@
 #include "xnu/mach_traps.h"
 
 #include "kernel/kernel.h"
+#include "kernel/trap_context.h"
 #include "xnu/psynch.h"
 
 namespace cider::xnu {
 
-using kernel::Kernel;
-using kernel::SyscallArgs;
 using kernel::SyscallResult;
 using kernel::SyscallTable;
-using kernel::Thread;
+using kernel::TrapContext;
 
 MachTaskState &
 machTask(MachIpc &ipc, kernel::Process &proc)
@@ -45,82 +44,111 @@ kr(kern_return_t code)
     return SyscallResult::success(code);
 }
 
+MachIpc &
+ipcOf(void *user)
+{
+    return *static_cast<MachIpc *>(user);
+}
+
+PsynchSubsystem &
+psynchOf(void *user)
+{
+    return *static_cast<PsynchSubsystem *>(user);
+}
+
 } // namespace
 
 void
 buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
 {
     tbl.set(machno::PORT_ALLOCATE, "mach_port_allocate",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
-                auto right = static_cast<PortRight>(a.u64(0));
-                auto *out = static_cast<mach_port_name_t *>(a.ptr(1));
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
+                auto right = static_cast<PortRight>(c.args.u64(0));
+                auto *out =
+                    static_cast<mach_port_name_t *>(c.args.ptr(1));
                 return kr(ipc.portAllocate(*task.space, right, out));
-            });
+            },
+            &ipc);
 
     tbl.set(machno::PORT_DESTROY, "mach_port_destroy",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return kr(ipc.portDestroy(
                     *task.space,
-                    static_cast<mach_port_name_t>(a.u64(0))));
-            });
+                    static_cast<mach_port_name_t>(c.args.u64(0))));
+            },
+            &ipc);
 
     tbl.set(machno::PORT_DEALLOCATE, "mach_port_deallocate",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return kr(ipc.portDeallocate(
                     *task.space,
-                    static_cast<mach_port_name_t>(a.u64(0))));
-            });
+                    static_cast<mach_port_name_t>(c.args.u64(0))));
+            },
+            &ipc);
 
     tbl.set(machno::PORT_INSERT_RIGHT, "mach_port_insert_right",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return kr(ipc.portInsertRight(
                     *task.space,
-                    static_cast<mach_port_name_t>(a.u64(0)),
-                    static_cast<MsgDisposition>(a.u64(1))));
-            });
+                    static_cast<mach_port_name_t>(c.args.u64(0)),
+                    static_cast<MsgDisposition>(c.args.u64(1))));
+            },
+            &ipc);
 
     tbl.set(machno::MACH_REPLY_PORT, "mach_reply_port",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 mach_port_name_t name = MACH_PORT_NULL;
                 ipc.portAllocate(*task.space, PortRight::Receive, &name);
                 return SyscallResult::success(name);
-            });
+            },
+            &ipc);
 
     tbl.set(machno::TASK_SELF, "task_self",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return SyscallResult::success(task.taskSelf);
-            });
+            },
+            &ipc);
 
     tbl.set(machno::THREAD_SELF, "thread_self",
-            [](Kernel &, Thread &t, SyscallArgs &) {
-                return SyscallResult::success(t.tid());
+            [](TrapContext &c, void *) {
+                return SyscallResult::success(c.thread.tid());
             });
 
-    tbl.set(machno::HOST_SELF, "host_self",
-            [](Kernel &, Thread &, SyscallArgs &) {
-                return SyscallResult::success(1);
-            });
+    tbl.set(machno::HOST_SELF, "host_self", [](TrapContext &, void *) {
+        return SyscallResult::success(1);
+    });
 
     tbl.set(machno::GET_BOOTSTRAP_PORT, "task_get_bootstrap_port",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return SyscallResult::success(task.bootstrapPort);
-            });
+            },
+            &ipc);
 
     tbl.set(machno::MACH_MSG, "mach_msg",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
-                auto *send_msg = static_cast<MachMessage *>(a.ptr(0));
-                std::uint64_t options = a.u64(1);
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
+                auto *send_msg =
+                    static_cast<MachMessage *>(c.args.ptr(0));
+                std::uint64_t options = c.args.u64(1);
                 auto rcv_name =
-                    static_cast<mach_port_name_t>(a.u64(2));
-                auto *rcv_msg = static_cast<MachMessage *>(a.ptr(3));
+                    static_cast<mach_port_name_t>(c.args.u64(2));
+                auto *rcv_msg =
+                    static_cast<MachMessage *>(c.args.ptr(3));
 
                 if ((options & machmsg::SEND) && send_msg) {
                     kern_return_t code =
@@ -136,43 +164,52 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                                              *rcv_msg, opts));
                 }
                 return kr(KERN_SUCCESS);
-            });
+            },
+            &ipc);
 
     tbl.set(machno::PORT_SET_INSERT, "mach_port_move_member",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return kr(ipc.portSetInsert(
                     *task.space,
-                    static_cast<mach_port_name_t>(a.u64(0)),
-                    static_cast<mach_port_name_t>(a.u64(1))));
-            });
+                    static_cast<mach_port_name_t>(c.args.u64(0)),
+                    static_cast<mach_port_name_t>(c.args.u64(1))));
+            },
+            &ipc);
 
     tbl.set(machno::PORT_SET_REMOVE, "mach_port_set_remove",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return kr(ipc.portSetRemove(
                     *task.space,
-                    static_cast<mach_port_name_t>(a.u64(0))));
-            });
+                    static_cast<mach_port_name_t>(c.args.u64(0))));
+            },
+            &ipc);
 
     tbl.set(machno::REQUEST_NOTIFY, "mach_port_request_notification",
-            [&ipc](Kernel &, Thread &t, SyscallArgs &a) {
-                MachTaskState &task = machTask(ipc, t.process());
+            [](TrapContext &c, void *u) {
+                MachIpc &ipc = ipcOf(u);
+                MachTaskState &task = machTask(ipc, c.thread.process());
                 return kr(ipc.requestDeadNameNotification(
                     *task.space,
-                    static_cast<mach_port_name_t>(a.u64(0)),
-                    static_cast<mach_port_name_t>(a.u64(1))));
-            });
+                    static_cast<mach_port_name_t>(c.args.u64(0)),
+                    static_cast<mach_port_name_t>(c.args.u64(1))));
+            },
+            &ipc);
 
     tbl.set(machno::SEMAPHORE_WAIT, "semaphore_wait",
-            [&psynch](Kernel &, Thread &, SyscallArgs &a) {
-                return kr(psynch.semWait(a.u64(0)));
-            });
+            [](TrapContext &c, void *u) {
+                return kr(psynchOf(u).semWait(c.args.u64(0)));
+            },
+            &psynch);
 
     tbl.set(machno::SEMAPHORE_SIGNAL, "semaphore_signal",
-            [&psynch](Kernel &, Thread &, SyscallArgs &a) {
-                return kr(psynch.semSignal(a.u64(0)));
-            });
+            [](TrapContext &c, void *u) {
+                return kr(psynchOf(u).semSignal(c.args.u64(0)));
+            },
+            &psynch);
 }
 
 } // namespace cider::xnu
