@@ -1,11 +1,11 @@
-#include "xnu/mach_ipc.h"
+#include "bench/legacy_mach_ipc.h"
 
 #include <algorithm>
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
 
-namespace cider::xnu {
+namespace cider::legacyipc {
 
 namespace {
 
@@ -25,64 +25,9 @@ bodyCopyNs(std::size_t bytes)
 } // namespace
 
 /**
- * Fixed-capacity FIFO ring of in-flight messages. The qlimit slots
- * are allocated once on first use; after that, message payloads move
- * in and out of the slots and the ring itself never allocates —
- * receive-side buffer reuse is what makes the steady-state
- * send/receive cycle heap-free.
- */
-class KMsgRing
-{
-  public:
-    bool empty() const { return count_ == 0; }
-    std::size_t size() const { return count_; }
-
-    /** Caller guarantees size() < capacity (qlimit back-pressure). */
-    void
-    push(MachIpc::KMsg &&kmsg, std::size_t capacity)
-    {
-        if (slots_.empty())
-            slots_.resize(capacity);
-        slots_[(head_ + count_) % slots_.size()] = std::move(kmsg);
-        ++count_;
-    }
-
-    MachIpc::KMsg
-    pop()
-    {
-        MachIpc::KMsg out = std::move(slots_[head_]);
-        head_ = (head_ + 1) % slots_.size();
-        --count_;
-        return out;
-    }
-
-    /** i-th queued message, 0 = front (for teardown walks). */
-    MachIpc::KMsg &
-    at(std::size_t i)
-    {
-        return slots_[(head_ + i) % slots_.size()];
-    }
-
-    void
-    clear()
-    {
-        for (std::size_t i = 0; i < count_; ++i)
-            at(i) = MachIpc::KMsg{};
-        head_ = 0;
-        count_ = 0;
-    }
-
-  private:
-    std::vector<MachIpc::KMsg> slots_;
-    std::size_t head_ = 0;
-    std::size_t count_ = 0;
-};
-
-/**
- * The in-kernel port object. The message queue is a flat FIFO ring:
- * the recursive queuing of the original XNU sources is disallowed in
- * the domestic kernel, so this part was rewritten (paper section
- * 4.2).
+ * The in-kernel port object. The message queue is a flat FIFO: the
+ * recursive queuing of the original XNU sources is disallowed in the
+ * domestic kernel, so this part was rewritten (paper section 4.2).
  */
 class IpcPort
 {
@@ -106,7 +51,7 @@ class IpcPort
     const bool isSet;
     bool active = true;
     std::size_t qlimit = 16;
-    KMsgRing queue;
+    std::deque<MachIpc::KMsg> queue;
 
     /** Set membership (a port belongs to at most one set). */
     std::weak_ptr<IpcPort> memberOf;
@@ -129,66 +74,13 @@ std::size_t
 IpcSpace::entryCount() const
 {
     ducttape::lck_mtx_lock(lock_);
-    std::size_t n = liveCount_;
+    std::size_t n = entries_.size();
     ducttape::lck_mtx_unlock(lock_);
     return n;
 }
 
-IpcEntry *
-IpcSpace::lookupEntry(mach_port_name_t name)
-{
-    if ((name & 0x3) != 0x3)
-        return nullptr;
-    std::uint32_t index = name >> 8;
-    if (index == 0)
-        return nullptr;
-    --index;
-    if (index >= slots_.size())
-        return nullptr;
-    Slot &slot = slots_[index];
-    if (!slot.occupied || makeName(index, slot.gen) != name)
-        return nullptr;
-    return &slot.entry;
-}
-
-mach_port_name_t
-IpcSpace::allocEntry(IpcEntry &&entry)
-{
-    std::uint32_t index;
-    if (freeHead_ < freeSlots_.size()) {
-        index = freeSlots_[freeHead_++];
-        if (freeHead_ == freeSlots_.size()) {
-            freeSlots_.clear();
-            freeHead_ = 0;
-        }
-    } else {
-        if (slots_.size() > kMaxIndex)
-            return MACH_PORT_NULL; // name space exhausted
-        index = static_cast<std::uint32_t>(slots_.size());
-        slots_.emplace_back();
-    }
-    Slot &slot = slots_[index];
-    slot.entry = std::move(entry);
-    slot.occupied = true;
-    ++liveCount_;
-    return makeName(index, slot.gen);
-}
-
-void
-IpcSpace::releaseEntry(mach_port_name_t name)
-{
-    std::uint32_t index = (name >> 8) - 1;
-    Slot &slot = slots_[index];
-    slot.entry = IpcEntry{};
-    slot.occupied = false;
-    slot.gen = (slot.gen + 1) & kGenMask;
-    freeSlots_.push_back(index);
-    --liveCount_;
-}
-
 MachIpc::MachIpc()
-    : portZone_(ducttape::zinit(256, "ipc.ports"),
-                [](ducttape::ZoneT *z) { ducttape::zdestroy(z); }),
+    : portZone_(ducttape::zinit(256, "ipc.ports")),
       spaceZone_(ducttape::zinit(128, "ipc.spaces")),
       statsLock_(ducttape::lck_mtx_alloc_init())
 {}
@@ -196,6 +88,7 @@ MachIpc::MachIpc()
 MachIpc::~MachIpc()
 {
     ducttape::lck_mtx_free(statsLock_);
+    ducttape::zdestroy(portZone_);
     ducttape::zdestroy(spaceZone_);
 }
 
@@ -212,15 +105,13 @@ PortPtr
 MachIpc::makePort(bool is_set)
 {
     // Ports are accounted in a zalloc zone exactly as XNU does; the
-    // zone can be armed with failure injection in tests. The deleter
-    // captures the zone's shared handle so slabs stay valid however
-    // long the port lives.
-    void *mem = ducttape::zalloc(portZone_.get());
+    // zone can be armed with failure injection in tests.
+    void *mem = ducttape::zalloc(portZone_);
     if (!mem)
         return nullptr;
     auto port = std::shared_ptr<IpcPort>(
         new IpcPort(is_set), [zone = portZone_, mem](IpcPort *p) {
-            ducttape::zfree(zone.get(), mem);
+            ducttape::zfree(zone, mem);
             delete p;
         });
     ducttape::lck_mtx_lock(statsLock_);
@@ -239,15 +130,15 @@ MachIpc::portAllocate(IpcSpace &space, PortRight right,
     if (!port)
         return KERN_RESOURCE_SHORTAGE;
 
+    ducttape::lck_mtx_lock(space.lock_);
+    mach_port_name_t name = space.nextName_;
+    space.nextName_ += 4;
     IpcEntry entry;
     entry.port = port;
     entry.hasReceive = (right == PortRight::Receive);
     entry.isPortSet = (right == PortRight::PortSet);
-    ducttape::lck_mtx_lock(space.lock_);
-    mach_port_name_t name = space.allocEntry(std::move(entry));
+    space.entries_[name] = std::move(entry);
     ducttape::lck_mtx_unlock(space.lock_);
-    if (name == MACH_PORT_NULL)
-        return KERN_RESOURCE_SHORTAGE;
 
     *out_name = name;
     return KERN_SUCCESS;
@@ -284,8 +175,8 @@ MachIpc::markPortDead(const PortPtr &port)
     {
         ducttape::lck_mtx_lock(port->lock);
         port->active = false;
-        for (std::size_t i = 0; i < port->queue.size(); ++i)
-            destroyKMsgRights(port->queue.at(i));
+        for (auto &kmsg : port->queue)
+            destroyKMsgRights(kmsg);
         port->queue.clear();
         notify.swap(port->deadNameRequests);
         ducttape::waitq_wakeup_all(port->wq);
@@ -308,13 +199,13 @@ kern_return_t
 MachIpc::portDestroy(IpcSpace &space, mach_port_name_t name)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *e = space.lookupEntry(name);
-    if (!e) {
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
-    IpcEntry entry = std::move(*e);
-    space.releaseEntry(name);
+    IpcEntry entry = it->second;
+    space.entries_.erase(it);
     ducttape::lck_mtx_unlock(space.lock_);
 
     if (entry.port && (entry.hasReceive || entry.isPortSet))
@@ -326,23 +217,24 @@ kern_return_t
 MachIpc::portDeallocate(IpcSpace &space, mach_port_name_t name)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *entry = space.lookupEntry(name);
-    if (!entry) {
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
-    if (entry->sendOnceRefs > 0) {
-        --entry->sendOnceRefs;
-    } else if (entry->sendRefs > 0) {
-        --entry->sendRefs;
-    } else if (entry->deadName) {
-        entry->deadName = false;
+    IpcEntry &entry = it->second;
+    if (entry.sendOnceRefs > 0) {
+        --entry.sendOnceRefs;
+    } else if (entry.sendRefs > 0) {
+        --entry.sendRefs;
+    } else if (entry.deadName) {
+        entry.deadName = false;
     } else {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_RIGHT;
     }
-    if (entry->empty())
-        space.releaseEntry(name);
+    if (entry.empty())
+        space.entries_.erase(it);
     ducttape::lck_mtx_unlock(space.lock_);
     return KERN_SUCCESS;
 }
@@ -352,22 +244,23 @@ MachIpc::portInsertRight(IpcSpace &space, mach_port_name_t name,
                          MsgDisposition disposition)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *entry = space.lookupEntry(name);
-    if (!entry) {
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
-    if (!entry->hasReceive) {
+    IpcEntry &entry = it->second;
+    if (!entry.hasReceive) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_RIGHT;
     }
     kern_return_t kr = KERN_SUCCESS;
     switch (disposition) {
       case MsgDisposition::MakeSend:
-        ++entry->sendRefs;
+        ++entry.sendRefs;
         break;
       case MsgDisposition::MakeSendOnce:
-        ++entry->sendOnceRefs;
+        ++entry.sendOnceRefs;
         break;
       default:
         kr = KERN_INVALID_VALUE;
@@ -382,18 +275,18 @@ MachIpc::portSetInsert(IpcSpace &space, mach_port_name_t set_name,
                        mach_port_name_t member_name)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *se = space.lookupEntry(set_name);
-    IpcEntry *me = space.lookupEntry(member_name);
-    if (!se || !me) {
+    auto sit = space.entries_.find(set_name);
+    auto mit = space.entries_.find(member_name);
+    if (sit == space.entries_.end() || mit == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
-    if (!se->isPortSet || !me->hasReceive) {
+    if (!sit->second.isPortSet || !mit->second.hasReceive) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_RIGHT;
     }
-    PortPtr set = se->port;
-    PortPtr member = me->port;
+    PortPtr set = sit->second.port;
+    PortPtr member = mit->second.port;
     ducttape::lck_mtx_unlock(space.lock_);
 
     ducttape::lck_mtx_lock(set->lock);
@@ -408,12 +301,12 @@ kern_return_t
 MachIpc::portSetRemove(IpcSpace &space, mach_port_name_t member_name)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *me = space.lookupEntry(member_name);
-    if (!me) {
+    auto mit = space.entries_.find(member_name);
+    if (mit == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
-    PortPtr member = me->port;
+    PortPtr member = mit->second.port;
     ducttape::lck_mtx_unlock(space.lock_);
 
     PortPtr set = member->memberOf.lock();
@@ -435,15 +328,15 @@ MachIpc::requestDeadNameNotification(IpcSpace &space,
                                      mach_port_name_t notify_name)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *e = space.lookupEntry(name);
-    IpcEntry *ne = space.lookupEntry(notify_name);
-    if (!e || !ne) {
+    auto it = space.entries_.find(name);
+    auto nit = space.entries_.find(notify_name);
+    if (it == space.entries_.end() || nit == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
-    PortPtr port = e->port;
-    PortPtr notify = ne->port;
-    if (!ne->hasReceive) {
+    PortPtr port = it->second.port;
+    PortPtr notify = nit->second.port;
+    if (!nit->second.hasReceive) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_CAPABILITY;
     }
@@ -464,19 +357,20 @@ kern_return_t
 MachIpc::portRights(IpcSpace &space, mach_port_name_t name, IpcEntry *out)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *entry = space.lookupEntry(name);
-    if (!entry) {
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
     // Lazily reflect port death as a dead name, as Mach does.
-    if (entry->port && !entry->port->active && !entry->isPortSet) {
-        entry->deadName = true;
-        entry->hasReceive = false;
-        entry->sendRefs = 0;
-        entry->sendOnceRefs = 0;
+    if (it->second.port && !it->second.port->active &&
+        !it->second.isPortSet) {
+        it->second.deadName = true;
+        it->second.hasReceive = false;
+        it->second.sendRefs = 0;
+        it->second.sendOnceRefs = 0;
     }
-    *out = *entry;
+    *out = it->second;
     ducttape::lck_mtx_unlock(space.lock_);
     return KERN_SUCCESS;
 }
@@ -486,12 +380,12 @@ MachIpc::copyinRight(IpcSpace &space, mach_port_name_t name,
                      MsgDisposition disposition, KMsgRight *out)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *ep = space.lookupEntry(name);
-    if (!ep) {
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end()) {
         ducttape::lck_mtx_unlock(space.lock_);
         return MACH_SEND_INVALID_RIGHT;
     }
-    IpcEntry &entry = *ep;
+    IpcEntry &entry = it->second;
     if (!entry.port || !entry.port->active) {
         entry.deadName = true;
         ducttape::lck_mtx_unlock(space.lock_);
@@ -542,7 +436,7 @@ MachIpc::copyinRight(IpcSpace &space, mach_port_name_t name,
         break;
     }
     if (kr == KERN_SUCCESS && entry.empty())
-        space.releaseEntry(name);
+        space.entries_.erase(it);
     ducttape::lck_mtx_unlock(space.lock_);
     if (kr != KERN_SUCCESS)
         out->port.reset();
@@ -557,30 +451,23 @@ MachIpc::copyoutRight(IpcSpace &space, const KMsgRight &right)
 
     ducttape::lck_mtx_lock(space.lock_);
     // Send rights to the same port coalesce under one name, as in
-    // Mach; send-once and receive rights get fresh names. The slot
-    // scan runs in allocation order over a dense array — the same
-    // visit order the old name-sorted map gave.
+    // Mach; send-once and receive rights get fresh names.
     mach_port_name_t name = MACH_PORT_NULL;
     if (right.disposition == MsgDisposition::MoveSend) {
-        for (std::uint32_t i = 0; i < space.slots_.size(); ++i) {
-            const IpcSpace::Slot &slot = space.slots_[i];
-            if (slot.occupied && slot.entry.port == right.port &&
-                !slot.entry.isPortSet) {
-                name = IpcSpace::makeName(i, slot.gen);
+        for (auto &[n, e] : space.entries_) {
+            if (e.port == right.port && !e.isPortSet) {
+                name = n;
                 break;
             }
         }
     }
     if (name == MACH_PORT_NULL) {
-        IpcEntry fresh;
-        fresh.port = right.port;
-        name = space.allocEntry(std::move(fresh));
-        if (name == MACH_PORT_NULL) {
-            ducttape::lck_mtx_unlock(space.lock_);
-            return MACH_PORT_NULL; // name space exhausted
-        }
+        name = space.nextName_;
+        space.nextName_ += 4;
+        space.entries_[name] = IpcEntry{};
+        space.entries_[name].port = right.port;
     }
-    IpcEntry &entry = *space.lookupEntry(name);
+    IpcEntry &entry = space.entries_[name];
     bool dead = !right.port->active;
     if (dead) {
         entry.deadName = true;
@@ -618,7 +505,7 @@ MachIpc::enqueue(const PortPtr &port, KMsg &&kmsg)
         destroyKMsgRights(dead);
         return MACH_SEND_INVALID_DEST;
     }
-    port->queue.push(std::move(kmsg), port->qlimit);
+    port->queue.push_back(std::move(kmsg));
     ducttape::waitq_wakeup_all(port->wq);
     ducttape::lck_mtx_unlock(port->lock);
 
@@ -651,7 +538,8 @@ MachIpc::dequeue(const PortPtr &port, bool nonblocking, KMsg *out)
             ducttape::lck_mtx_unlock(port->lock);
             return MACH_RCV_PORT_DIED;
         }
-        *out = port->queue.pop();
+        *out = std::move(port->queue.front());
+        port->queue.pop_front();
         ducttape::waitq_wakeup_all(port->wq); // senders waiting on room
         ducttape::lck_mtx_unlock(port->lock);
         return KERN_SUCCESS;
@@ -671,7 +559,8 @@ MachIpc::dequeue(const PortPtr &port, bool nonblocking, KMsg *out)
                 continue;
             ducttape::lck_mtx_lock(member->lock);
             if (!member->queue.empty()) {
-                *out = member->queue.pop();
+                *out = std::move(member->queue.front());
+                member->queue.pop_front();
                 ducttape::waitq_wakeup_all(member->wq);
                 ducttape::lck_mtx_unlock(member->lock);
                 ducttape::lck_mtx_unlock(port->lock);
@@ -758,12 +647,13 @@ MachIpc::msgReceive(IpcSpace &space, mach_port_name_t name,
                     MachMessage &out, const RcvOptions &opts)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *entry = space.lookupEntry(name);
-    if (!entry || (!entry->hasReceive && !entry->isPortSet)) {
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end() ||
+        (!it->second.hasReceive && !it->second.isPortSet)) {
         ducttape::lck_mtx_unlock(space.lock_);
         return MACH_RCV_INVALID_NAME;
     }
-    PortPtr port = entry->port;
+    PortPtr port = it->second.port;
     ducttape::lck_mtx_unlock(space.lock_);
 
     KMsg kmsg;
@@ -825,12 +715,12 @@ kern_return_t
 MachIpc::portLookup(IpcSpace &space, mach_port_name_t name, PortPtr *out)
 {
     ducttape::lck_mtx_lock(space.lock_);
-    IpcEntry *entry = space.lookupEntry(name);
-    if (!entry || !entry->port) {
+    auto it = space.entries_.find(name);
+    if (it == space.entries_.end() || !it->second.port) {
         ducttape::lck_mtx_unlock(space.lock_);
         return KERN_INVALID_NAME;
     }
-    *out = entry->port;
+    *out = it->second.port;
     ducttape::lck_mtx_unlock(space.lock_);
     return KERN_SUCCESS;
 }
@@ -853,17 +743,11 @@ MachIpc::destroySpace(IpcSpace &space)
 {
     std::vector<PortPtr> to_kill;
     ducttape::lck_mtx_lock(space.lock_);
-    for (const IpcSpace::Slot &slot : space.slots_) {
-        if (!slot.occupied)
-            continue;
-        const IpcEntry &entry = slot.entry;
+    for (auto &[name, entry] : space.entries_) {
         if (entry.port && (entry.hasReceive || entry.isPortSet))
             to_kill.push_back(entry.port);
     }
-    space.slots_.clear();
-    space.freeSlots_.clear();
-    space.freeHead_ = 0;
-    space.liveCount_ = 0;
+    space.entries_.clear();
     ducttape::lck_mtx_unlock(space.lock_);
     for (const PortPtr &port : to_kill)
         markPortDead(port);
@@ -881,13 +765,13 @@ MachIpc::stats() const
 ducttape::ZoneStats
 MachIpc::portZoneStats() const
 {
-    return ducttape::zone_stats(portZone_.get());
+    return ducttape::zone_stats(portZone_);
 }
 
 void
 MachIpc::armPortZoneFailure(std::int64_t n)
 {
-    ducttape::zone_set_fail_after(portZone_.get(), n);
+    ducttape::zone_set_fail_after(portZone_, n);
 }
 
-} // namespace cider::xnu
+} // namespace cider::legacyipc

@@ -1,36 +1,18 @@
 /**
  * @file
- * Mach IPC, duct-taped into the domestic kernel (foreign zone).
- *
- * This is the subsystem the paper calls "a prime example of a
- * subsystem missing from the Linux kernel, but used extensively by
- * iOS apps" (section 4.2). The implementation is written the way the
- * XNU sources are — against XNU kernel APIs (lck_mtx locking, zalloc
- * zones, wait queues) — and those APIs resolve through the duct-tape
- * adaptation layer onto domestic primitives.
- *
- * Modelled semantics:
- *  - per-task IPC spaces with name->entry tables;
- *  - receive, send (counted), send-once, port-set, and dead-name
- *    rights with Mach transfer dispositions (move/copy/make);
- *  - message queues with qlimit back-pressure, blocking send/receive;
- *  - port sets (receive from any member);
- *  - out-of-line descriptors moved zero-copy (charged per descriptor,
- *    not per byte — the IOSurface path depends on this);
- *  - dead-name notifications when a receive right dies.
- *
- * One deliberate divergence, straight from the paper: XNU's recursive
- * queuing structures are "disallowed in the Linux kernel" and were
- * rewritten — our message queue is a flat FIFO ring per port rather
- * than XNU's recursive ipc_kmsg queues. The ring's qlimit slots are
- * allocated once and message buffers move through them, so the
- * steady-state send/receive cycle performs no heap allocation.
+ * VERBATIM COPY of the pre-optimisation Mach IPC (std::map name
+ * table, std::deque message queues), kept ONLY as the legacy side of
+ * the abl_hotpath A/B. Renamed into namespace cider::legacyipc so it
+ * links beside the optimised subsystem. Do not fix or improve this
+ * file; it must stay what the optimisation replaced.
  */
 
-#ifndef CIDER_XNU_MACH_IPC_H
-#define CIDER_XNU_MACH_IPC_H
+#ifndef CIDER_BENCH_LEGACY_MACH_IPC_H
+#define CIDER_BENCH_LEGACY_MACH_IPC_H
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -38,7 +20,27 @@
 #include "ducttape/xnu_api.h"
 #include "xnu/kern_return.h"
 
-namespace cider::xnu {
+namespace cider::legacyipc {
+
+// The result-code vocabulary is shared with the live subsystem.
+using xnu::kern_return_t;
+using xnu::KERN_SUCCESS;
+using xnu::KERN_RESOURCE_SHORTAGE;
+using xnu::KERN_INVALID_NAME;
+using xnu::KERN_INVALID_RIGHT;
+using xnu::KERN_INVALID_VALUE;
+using xnu::KERN_INVALID_CAPABILITY;
+using xnu::KERN_NAME_EXISTS;
+using xnu::KERN_NOT_IN_SET;
+using xnu::KERN_UREFS_OVERFLOW;
+using xnu::KERN_FAILURE;
+using xnu::MACH_SEND_INVALID_DEST;
+using xnu::MACH_SEND_INVALID_RIGHT;
+using xnu::MACH_SEND_TIMED_OUT;
+using xnu::MACH_RCV_INVALID_NAME;
+using xnu::MACH_RCV_TIMED_OUT;
+using xnu::MACH_RCV_PORT_DIED;
+using xnu::MACH_RCV_PORT_CHANGED;
 
 using mach_port_name_t = std::uint32_t;
 inline constexpr mach_port_name_t MACH_PORT_NULL = 0;
@@ -120,18 +122,7 @@ struct IpcEntry
     }
 };
 
-/**
- * A task's IPC space.
- *
- * Names resolve through a flat slot table instead of a tree: Mach
- * names are small and dense, so a name encodes its slot index plus a
- * per-slot generation — `((index + 1) << 8) | (gen << 2) | 0x3` —
- * and every lookup is O(1) arithmetic. The generation advances each
- * time a slot is vacated, so a stale name held across destroy/alloc
- * churn can never alias a live entry; freed slots are recycled FIFO
- * to stretch the time before a generation wraps (and when it does,
- * the resurfacing name's previous holder is long dead).
- */
+/** A task's IPC space. */
 class IpcSpace
 {
   public:
@@ -147,34 +138,9 @@ class IpcSpace
   private:
     friend class MachIpc;
 
-    struct Slot
-    {
-        IpcEntry entry;
-        std::uint32_t gen = 0;
-        bool occupied = false;
-    };
-
-    static constexpr std::uint32_t kGenMask = 0x3f;
-    static constexpr std::uint32_t kMaxIndex = (1u << 24) - 2;
-
-    static mach_port_name_t
-    makeName(std::uint32_t index, std::uint32_t gen)
-    {
-        return ((index + 1) << 8) | ((gen & kGenMask) << 2) | 0x3;
-    }
-
-    /// @{ All three require lock_ held.
-    IpcEntry *lookupEntry(mach_port_name_t name);
-    /** Claim a slot; MACH_PORT_NULL when the name space is full. */
-    mach_port_name_t allocEntry(IpcEntry &&entry);
-    void releaseEntry(mach_port_name_t name);
-    /// @}
-
     ducttape::LckMtx *lock_;
-    std::vector<Slot> slots_;
-    std::vector<std::uint32_t> freeSlots_; ///< FIFO via freeHead_
-    std::size_t freeHead_ = 0;
-    std::size_t liveCount_ = 0;
+    std::map<mach_port_name_t, IpcEntry> entries_;
+    mach_port_name_t nextName_ = 0x103; // Mach-style small names
 };
 
 using SpacePtr = std::shared_ptr<IpcSpace>;
@@ -266,7 +232,6 @@ class MachIpc
 
   private:
     friend class IpcPort;
-    friend class KMsgRing;
 
     struct KMsgRight
     {
@@ -300,18 +265,12 @@ class MachIpc
     void sendDeadNameNotification(const PortPtr &notify_port,
                                   mach_port_name_t dead_name);
 
-    /**
-     * Shared so a port's zfree-ing deleter keeps the zone (and its
-     * slabs) alive even when ports outlive the MachIpc instance —
-     * task teardown can release bootstrap rights after the subsystem
-     * itself is gone.
-     */
-    std::shared_ptr<ducttape::ZoneT> portZone_;
+    ducttape::ZoneT *portZone_;
     ducttape::ZoneT *spaceZone_;
     mutable ducttape::LckMtx *statsLock_;
     MachIpcStats stats_;
 };
 
-} // namespace cider::xnu
+} // namespace cider::legacyipc
 
-#endif // CIDER_XNU_MACH_IPC_H
+#endif // CIDER_BENCH_LEGACY_MACH_IPC_H

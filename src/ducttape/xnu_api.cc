@@ -1,8 +1,10 @@
 #include "ducttape/xnu_api.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <vector>
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
@@ -57,14 +59,37 @@ lck_mtx_free(LckMtx *m)
     delete m;
 }
 
+/**
+ * A zalloc zone. Elements are carved out of slab chunks and recycled
+ * through an intrusive singly-linked free-list (the link lives in the
+ * first word of each free element), so only the refill path touches
+ * the domestic heap. The mutex is mutable so const accessors such as
+ * zone_stats can lock without casting away constness.
+ */
 struct ZoneT
 {
     std::string name;
     std::size_t elemSize = 0;
-    std::mutex mu;
+    std::size_t slotSize = 0;   ///< elemSize rounded up for the link
+    std::size_t chunkElems = 0; ///< elements per slab refill
+    mutable std::mutex mu;
     ZoneStats stats;
     std::int64_t failAfter = -1;
+    bool caching = true;
+    void *freeList = nullptr;
+    std::vector<void *> slabs;
 };
+
+namespace {
+
+/** Intrusive link stored in the first word of a free element. */
+void *&
+freeLink(void *elem)
+{
+    return *static_cast<void **>(elem);
+}
+
+} // namespace
 
 ZoneT *
 zinit(std::size_t elem_size, const char *zone_name)
@@ -73,12 +98,21 @@ zinit(std::size_t elem_size, const char *zone_name)
     z->name = zone_name ? zone_name : "?";
     z->elemSize = elem_size;
     z->stats.elemSize = elem_size;
+    // Slots must hold the free-list link and keep every element
+    // max-aligned within the slab.
+    std::size_t slot = std::max(elem_size, sizeof(void *));
+    constexpr std::size_t kAlign = alignof(std::max_align_t);
+    z->slotSize = (slot + kAlign - 1) / kAlign * kAlign;
+    // Refill roughly a page at a time, as XNU zones do.
+    z->chunkElems = std::clamp<std::size_t>(4096 / z->slotSize, 8, 256);
     return z;
 }
 
 void
 zdestroy(ZoneT *z)
 {
+    for (void *slab : z->slabs)
+        std::free(slab);
     delete z;
 }
 
@@ -94,7 +128,28 @@ zalloc(ZoneT *z)
     }
     ++z->stats.allocs;
     ++z->stats.live;
-    return std::malloc(z->elemSize);
+    if (!z->caching)
+        return std::malloc(z->elemSize);
+    if (!z->freeList) {
+        // Refill: carve a fresh slab into free elements.
+        void *slab = std::malloc(z->slotSize * z->chunkElems);
+        if (!slab) {
+            --z->stats.allocs;
+            --z->stats.live;
+            ++z->stats.failed;
+            return nullptr;
+        }
+        z->slabs.push_back(slab);
+        char *base = static_cast<char *>(slab);
+        for (std::size_t i = z->chunkElems; i-- > 0;) {
+            void *elem = base + i * z->slotSize;
+            freeLink(elem) = z->freeList;
+            z->freeList = elem;
+        }
+    }
+    void *elem = z->freeList;
+    z->freeList = freeLink(elem);
+    return elem;
 }
 
 void
@@ -108,13 +163,18 @@ zfree(ZoneT *z, void *elem)
     if (z->stats.live == 0)
         cider_panic("zfree underflow in zone ", z->name);
     --z->stats.live;
-    std::free(elem);
+    if (!z->caching) {
+        std::free(elem);
+        return;
+    }
+    freeLink(elem) = z->freeList;
+    z->freeList = elem;
 }
 
 ZoneStats
 zone_stats(const ZoneT *z)
 {
-    std::lock_guard<std::mutex> lock(const_cast<ZoneT *>(z)->mu);
+    std::lock_guard<std::mutex> lock(z->mu);
     return z->stats;
 }
 
@@ -125,18 +185,123 @@ zone_set_fail_after(ZoneT *z, std::int64_t n)
     z->failAfter = n;
 }
 
+void
+zone_set_caching(ZoneT *z, bool enabled)
+{
+    std::lock_guard<std::mutex> lock(z->mu);
+    if (z->caching == enabled)
+        return;
+    if (z->stats.live != 0)
+        cider_panic("zone_set_caching with live elements in zone ",
+                    z->name);
+    z->caching = enabled;
+}
+
+namespace {
+
+/**
+ * Size-class cache behind xnu_kalloc/xnu_kfree, mirroring XNU's
+ * kalloc zones: power-of-two classes from 16 bytes to 4 KiB, each
+ * with an intrusive free-list of recycled blocks. Larger requests
+ * fall through to the domestic heap. Per-class depth is capped so a
+ * burst cannot pin unbounded memory.
+ */
+class KallocCache
+{
+  public:
+    ~KallocCache()
+    {
+        for (std::size_t c = 0; c < kClasses; ++c) {
+            void *p = heads_[c];
+            while (p) {
+                void *next = freeLink(p);
+                std::free(p);
+                p = next;
+            }
+        }
+    }
+
+    void *
+    alloc(std::size_t size)
+    {
+        int c = classIndex(size);
+        if (c < 0)
+            return std::malloc(size);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (void *p = heads_[static_cast<std::size_t>(c)]) {
+            heads_[static_cast<std::size_t>(c)] = freeLink(p);
+            --depth_[static_cast<std::size_t>(c)];
+            return p;
+        }
+        return std::malloc(classSize(c));
+    }
+
+    void
+    free(void *p, std::size_t size)
+    {
+        int c = classIndex(size);
+        if (c < 0) {
+            std::free(p);
+            return;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (depth_[static_cast<std::size_t>(c)] >= kMaxDepth) {
+            std::free(p);
+            return;
+        }
+        freeLink(p) = heads_[static_cast<std::size_t>(c)];
+        heads_[static_cast<std::size_t>(c)] = p;
+        ++depth_[static_cast<std::size_t>(c)];
+    }
+
+  private:
+    static constexpr std::size_t kClasses = 9; // 16 .. 4096
+    static constexpr std::size_t kMaxDepth = 1024;
+
+    static std::size_t classSize(int c)
+    {
+        return std::size_t{16} << c;
+    }
+
+    /** Smallest class covering @p size, or -1 for heap fallthrough. */
+    static int classIndex(std::size_t size)
+    {
+        if (size == 0 || size > 4096)
+            return -1;
+        int c = 0;
+        while (classSize(c) < size)
+            ++c;
+        return c;
+    }
+
+    std::mutex mu_;
+    void *heads_[kClasses] = {};
+    std::size_t depth_[kClasses] = {};
+};
+
+KallocCache &
+kallocCache()
+{
+    static KallocCache cache;
+    return cache;
+}
+
+} // namespace
+
 void *
 xnu_kalloc(std::size_t size)
 {
     charge(kKallocNs);
-    return std::malloc(size);
+    return kallocCache().alloc(size);
 }
 
 void
-xnu_kfree(void *p, std::size_t)
+xnu_kfree(void *p, std::size_t size)
 {
     charge(kZfreeNs);
-    std::free(p);
+    if (!p)
+        return;
+    kallocCache().free(p, size);
 }
 
 struct WaitQ

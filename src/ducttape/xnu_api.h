@@ -39,6 +39,11 @@ void lck_mtx_free(LckMtx *m);
 /// @}
 
 /// @{ Allocation: XNU zalloc zones mapped onto the domestic heap.
+///
+/// Zones amortise the domestic allocator the way real XNU does: each
+/// zone keeps an intrusive free-list of fixed-size elements and
+/// refills it in page-sized slab chunks, so the steady-state
+/// zalloc/zfree cycle never touches the heap.
 struct ZoneT;
 
 /** Create an allocation zone for fixed-size elements. */
@@ -64,6 +69,14 @@ ZoneStats zone_stats(const ZoneT *z);
 /** Failure injection: the (n+1)-th allocation onward returns null.
  *  Pass a negative value to disable. */
 void zone_set_fail_after(ZoneT *z, std::int64_t n);
+
+/**
+ * Toggle free-list caching (on by default). With caching off the zone
+ * degrades to one domestic heap allocation per element — the legacy
+ * behaviour, kept as the A/B baseline for the hot-path benches. Only
+ * legal while the zone has no live elements.
+ */
+void zone_set_caching(ZoneT *z, bool enabled);
 
 void *xnu_kalloc(std::size_t size);
 void xnu_kfree(void *p, std::size_t size);

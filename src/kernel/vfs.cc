@@ -8,6 +8,41 @@
 
 namespace cider::kernel {
 
+namespace {
+
+/** Entries cached before the dentry table is wiped and restarted. */
+constexpr std::size_t kDentryCacheCap = 8192;
+
+/** In-place iterator over the components of a path; no allocation,
+ *  empty and "." components skipped. */
+class PathComponents
+{
+  public:
+    explicit PathComponents(std::string_view path) : rest_(path) {}
+
+    bool
+    next(std::string_view *out)
+    {
+        while (!rest_.empty()) {
+            std::size_t slash = rest_.find('/');
+            std::string_view c = rest_.substr(0, slash);
+            rest_ = (slash == std::string_view::npos)
+                        ? std::string_view{}
+                        : rest_.substr(slash + 1);
+            if (!c.empty() && c != ".") {
+                *out = c;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::string_view rest_;
+};
+
+} // namespace
+
 Vfs::Vfs(const hw::DeviceProfile &profile) : profile_(profile)
 {
     root_ = std::make_shared<Inode>();
@@ -24,6 +59,27 @@ Vfs::addOverlay(const std::string &prefix, const std::string &target)
               [](const auto &a, const auto &b) {
                   return a.first.size() > b.first.size();
               });
+    // New overlays change what any path resolves to.
+    bumpNamespaceGen();
+}
+
+void
+Vfs::setDentryCacheEnabled(bool enabled)
+{
+    cacheEnabled_ = enabled;
+    if (!enabled)
+        dentryCache_.clear();
+}
+
+DentryCacheStats
+Vfs::dentryCacheStats() const
+{
+    DentryCacheStats st;
+    st.hits = cacheHits_;
+    st.misses = cacheMisses_;
+    st.entries = dentryCache_.size();
+    st.enabled = cacheEnabled_;
+    return st;
 }
 
 std::string
@@ -43,55 +99,89 @@ std::vector<std::string>
 Vfs::splitPath(const std::string &path)
 {
     std::vector<std::string> parts;
-    std::string cur;
-    for (char c : path) {
-        if (c == '/') {
-            if (!cur.empty() && cur != ".")
-                parts.push_back(cur);
-            cur.clear();
-        } else {
-            cur.push_back(c);
+    PathComponents components(path);
+    std::string_view c;
+    while (components.next(&c)) {
+        if (c == "..") {
+            // Resolve to the parent; at the root, ".." stays put.
+            if (!parts.empty())
+                parts.pop_back();
+            continue;
         }
+        parts.emplace_back(c);
     }
-    if (!cur.empty() && cur != ".")
-        parts.push_back(cur);
     return parts;
+}
+
+Lookup
+Vfs::walk(std::string_view effective) const
+{
+    Lookup out;
+    // One frame per resolved component: (inode, name). ".." pops a
+    // frame instead of being treated as a child name; only the final
+    // component may be absent.
+    std::vector<std::pair<InodePtr, std::string_view>> stack;
+    PathComponents components(effective);
+    std::string_view c;
+    bool missing = false;
+    while (components.next(&c)) {
+        if (missing) {
+            out.err = lnx::NOENT;
+            return out;
+        }
+        if (c == "..") {
+            if (stack.empty())
+                continue; // "/.." resolves to the root itself
+            if (stack.back().first->type != InodeType::Directory) {
+                out.err = lnx::NOTDIR;
+                return out;
+            }
+            stack.pop_back();
+            continue;
+        }
+        InodePtr parent = stack.empty() ? root_ : stack.back().first;
+        if (parent->type != InodeType::Directory) {
+            out.err = lnx::NOTDIR;
+            return out;
+        }
+        auto it = parent->children.find(c);
+        InodePtr node =
+            it == parent->children.end() ? nullptr : it->second;
+        missing = (node == nullptr);
+        stack.emplace_back(std::move(node), c);
+    }
+    if (stack.empty()) {
+        out.inode = root_;
+        out.parent = root_;
+        return out;
+    }
+    out.parent =
+        stack.size() >= 2 ? stack[stack.size() - 2].first : root_;
+    out.leaf = std::string(stack.back().second);
+    out.inode = stack.back().first;
+    return out;
 }
 
 Lookup
 Vfs::lookup(const std::string &path) const
 {
-    Lookup out;
-    std::string effective = rewrite(path);
-    std::vector<std::string> parts = splitPath(effective);
-
-    InodePtr dir = root_;
-    if (parts.empty()) {
-        out.inode = root_;
-        out.parent = root_;
-        return out;
-    }
-    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
-        if (dir->type != InodeType::Directory) {
-            out.err = lnx::NOTDIR;
-            return out;
+    if (cacheEnabled_) {
+        auto it = dentryCache_.find(path);
+        if (it != dentryCache_.end() &&
+            it->second.gen == namespaceGen_) {
+            ++cacheHits_;
+            return it->second.result;
         }
-        auto it = dir->children.find(parts[i]);
-        if (it == dir->children.end()) {
-            out.err = lnx::NOENT;
-            return out;
-        }
-        dir = it->second;
+        ++cacheMisses_;
     }
-    if (dir->type != InodeType::Directory) {
-        out.err = lnx::NOTDIR;
-        return out;
+    Lookup out = walk(rewrite(path));
+    if (cacheEnabled_ && out.err == 0) {
+        if (dentryCache_.size() >= kDentryCacheCap)
+            dentryCache_.clear();
+        DentryEntry &entry = dentryCache_[path];
+        entry.gen = namespaceGen_;
+        entry.result = out;
     }
-    out.parent = dir;
-    out.leaf = parts.back();
-    auto it = dir->children.find(out.leaf);
-    if (it != dir->children.end())
-        out.inode = it->second;
     return out;
 }
 
@@ -99,22 +189,31 @@ SyscallResult
 Vfs::mkdirAll(const std::string &path)
 {
     std::string effective = rewrite(path);
-    std::vector<std::string> parts = splitPath(effective);
-    InodePtr dir = root_;
-    for (const auto &part : parts) {
+    std::vector<InodePtr> stack;
+    PathComponents components(effective);
+    std::string_view c;
+    while (components.next(&c)) {
+        InodePtr dir = stack.empty() ? root_ : stack.back();
         if (dir->type != InodeType::Directory)
             return SyscallResult::failure(lnx::NOTDIR);
-        auto it = dir->children.find(part);
+        if (c == "..") {
+            if (!stack.empty())
+                stack.pop_back();
+            continue;
+        }
+        auto it = dir->children.find(c);
         if (it == dir->children.end()) {
             auto node = std::make_shared<Inode>();
             node->type = InodeType::Directory;
-            dir->children[part] = node;
-            dir = node;
+            dir->children.emplace(std::string(c), node);
+            bumpNamespaceGen();
+            stack.push_back(node);
         } else {
-            dir = it->second;
+            stack.push_back(it->second);
         }
     }
-    if (dir->type != InodeType::Directory)
+    InodePtr last = stack.empty() ? root_ : stack.back();
+    if (last->type != InodeType::Directory)
         return SyscallResult::failure(lnx::NOTDIR);
     return SyscallResult::success();
 }
@@ -130,6 +229,7 @@ Vfs::mkdir(const std::string &path)
     auto node = std::make_shared<Inode>();
     node->type = InodeType::Directory;
     lk.parent->children[lk.leaf] = node;
+    bumpNamespaceGen();
     return SyscallResult::success();
 }
 
@@ -153,6 +253,7 @@ Vfs::create(const std::string &path, InodePtr *out)
     auto node = std::make_shared<Inode>();
     node->type = InodeType::Regular;
     lk.parent->children[lk.leaf] = node;
+    bumpNamespaceGen();
     if (out)
         *out = node;
     return SyscallResult::success();
@@ -170,6 +271,7 @@ Vfs::unlink(const std::string &path)
     if (lk.inode->type == InodeType::Directory)
         return SyscallResult::failure(lnx::ISDIR);
     lk.parent->children.erase(lk.leaf);
+    bumpNamespaceGen();
     return SyscallResult::success();
 }
 
@@ -193,6 +295,7 @@ Vfs::rename(const std::string &from, const std::string &to)
     // Self-rename must not drop the file.
     if (src.parent != dst.parent || src.leaf != dst.leaf)
         src.parent->children.erase(src.leaf);
+    bumpNamespaceGen();
     return SyscallResult::success();
 }
 
@@ -209,6 +312,7 @@ Vfs::rmdir(const std::string &path)
     if (!lk.inode->children.empty())
         return SyscallResult::failure(lnx::NOTEMPTY);
     lk.parent->children.erase(lk.leaf);
+    bumpNamespaceGen();
     return SyscallResult::success();
 }
 
@@ -240,6 +344,7 @@ Vfs::mknod(const std::string &path, Device *dev)
     node->type = InodeType::DeviceNode;
     node->device = dev;
     lk.parent->children[lk.leaf] = node;
+    bumpNamespaceGen();
     return SyscallResult::success();
 }
 

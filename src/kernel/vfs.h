@@ -11,15 +11,27 @@
  * All operations charge storage costs from the kernel's DeviceProfile
  * so filesystem-heavy benchmarks (file create/delete, storage
  * read/write) reflect the device being simulated.
+ *
+ * Resolution is built for the dyld workload (the same 115-dylib
+ * closure walked on every exec): components are iterated as
+ * string_views with no intermediate vector, directory lookups are
+ * heterogeneous (no key materialisation), and a generation-stamped
+ * dentry cache short-circuits repeated full-path walks. Any
+ * namespace mutation — create/unlink/rename/rmdir/mknod/overlay-add
+ * — bumps the generation, atomically invalidating every cached
+ * entry, so the cache can never serve a stale inode.
  */
 
 #ifndef CIDER_KERNEL_VFS_H
 #define CIDER_KERNEL_VFS_H
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "base/bytes.h"
@@ -46,7 +58,9 @@ struct Inode
 {
     InodeType type = InodeType::Regular;
     Bytes data;                              ///< regular-file contents
-    std::map<std::string, std::shared_ptr<Inode>> children; ///< dirs
+    /** Directory entries; the transparent comparator lets lookups
+     *  probe with string_view components without allocating keys. */
+    std::map<std::string, std::shared_ptr<Inode>, std::less<>> children;
     Device *device = nullptr;                ///< device nodes
     /**
      * Binary-image tag: names a registered LibraryImage or program so
@@ -64,6 +78,15 @@ struct Lookup
     InodePtr parent; ///< directory that holds (or would hold) it
     std::string leaf;
     int err = 0;     ///< non-zero when resolution itself failed
+};
+
+/** Dentry-cache observability for tests and benches. */
+struct DentryCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+    bool enabled = true;
 };
 
 /** The mounted namespace. */
@@ -116,13 +139,47 @@ class Vfs
 
     const hw::DeviceProfile &profile() const { return profile_; }
 
-    /** Split an absolute path into components; "." and "" dropped. */
+    /**
+     * Split an absolute path into components; "." and "" dropped and
+     * ".." resolved by popping the previous component (a leading
+     * ".." at the root stays at the root, as in POSIX).
+     */
     static std::vector<std::string> splitPath(const std::string &path);
 
+    /** Toggle the dentry cache (on by default); disabling clears it. */
+    void setDentryCacheEnabled(bool enabled);
+
+    DentryCacheStats dentryCacheStats() const;
+
   private:
+    struct DentryEntry
+    {
+        std::uint64_t gen = 0;
+        Lookup result;
+    };
+
+    /** Resolve an overlay-rewritten path by walking components. */
+    Lookup walk(std::string_view effective) const;
+
+    /** Invalidate every cached dentry (namespace mutated). */
+    void bumpNamespaceGen() { ++namespaceGen_; }
+
     const hw::DeviceProfile &profile_;
     InodePtr root_;
     std::vector<std::pair<std::string, std::string>> overlays_;
+
+    /**
+     * Dentry cache: original (pre-rewrite) path -> resolved Lookup,
+     * valid only while its generation matches namespaceGen_. Mutable
+     * because lookup() is logically const; the Vfs carries no locks,
+     * so the cache inherits the class's existing single-threaded
+     * contract.
+     */
+    mutable std::unordered_map<std::string, DentryEntry> dentryCache_;
+    mutable std::uint64_t cacheHits_ = 0;
+    mutable std::uint64_t cacheMisses_ = 0;
+    std::uint64_t namespaceGen_ = 0;
+    bool cacheEnabled_ = true;
 };
 
 } // namespace cider::kernel

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "base/cost_clock.h"
 #include "ducttape/cxx_runtime.h"
@@ -130,6 +133,96 @@ TEST(XnuApi, ZoneAllocatorAccountingAndFailureInjection)
     zfree(zone, c);
     EXPECT_EQ(zone_stats(zone).live, 0u);
     zdestroy(zone);
+}
+
+TEST(XnuApi, ZoneFreeListStressWithFailureInjection)
+{
+    // Alloc/free storms interleaved with failAfter arming. Every
+    // element is written end to end while live, so a free-list link
+    // scribbling over user data — or two live elements sharing
+    // memory — trips the pattern check (and ASan, under the sanitize
+    // preset).
+    constexpr std::size_t kElem = 48;
+    constexpr int kStorm = 128;
+    ZoneT *zone = zinit(kElem, "test.stress");
+
+    std::vector<void *> live;
+    for (int round = 0; round < 50; ++round) {
+        // Storm up: fill, stamping each element with its index.
+        std::set<void *> unique;
+        for (int i = 0; i < kStorm; ++i) {
+            void *p = zalloc(zone);
+            ASSERT_NE(p, nullptr);
+            ASSERT_TRUE(unique.insert(p).second)
+                << "zone handed out a live element twice";
+            std::memset(p, 0x40 + (i % 64), kElem);
+            live.push_back(p);
+        }
+        // Verify stamps survived the whole storm.
+        for (int i = 0; i < kStorm; ++i) {
+            auto *bytes = static_cast<unsigned char *>(
+                live[live.size() - kStorm + i]);
+            for (std::size_t b = 0; b < kElem; ++b)
+                ASSERT_EQ(bytes[b], 0x40 + (i % 64));
+        }
+        // Storm down: free every other element, then the rest, so
+        // the free list is rebuilt in a scrambled order.
+        std::vector<void *> survivors;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            if (i % 2)
+                zfree(zone, live[i]);
+            else
+                survivors.push_back(live[i]);
+        }
+        live.swap(survivors);
+
+        // Arm failure two allocations ahead: both succeed, the third
+        // fails, and the failure leaves the free list coherent.
+        ZoneStats st = zone_stats(zone);
+        zone_set_fail_after(zone,
+                            static_cast<std::int64_t>(st.allocs) + 2);
+        void *x = zalloc(zone);
+        void *y = zalloc(zone);
+        ASSERT_NE(x, nullptr);
+        ASSERT_NE(y, nullptr);
+        EXPECT_EQ(zalloc(zone), nullptr);
+        zone_set_fail_after(zone, -1);
+        zfree(zone, x);
+        zfree(zone, y);
+    }
+    for (void *p : live)
+        zfree(zone, p);
+
+    ZoneStats st = zone_stats(zone);
+    EXPECT_EQ(st.live, 0u);
+    EXPECT_EQ(st.allocs, st.frees);
+    EXPECT_EQ(st.failed, 50u);
+    zdestroy(zone);
+}
+
+TEST(XnuApi, ZoneLegacyModeMatchesFreeListSemantics)
+{
+    // zone_set_caching(false) must be observationally identical —
+    // same stats, same failAfter behaviour — just slower.
+    for (bool caching : {true, false}) {
+        ZoneT *zone = zinit(96, "test.mode");
+        zone_set_caching(zone, caching);
+        void *a = zalloc(zone);
+        void *b = zalloc(zone);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        zone_set_fail_after(zone, 2);
+        EXPECT_EQ(zalloc(zone), nullptr);
+        zone_set_fail_after(zone, -1);
+        zfree(zone, a);
+        zfree(zone, b);
+        ZoneStats st = zone_stats(zone);
+        EXPECT_EQ(st.allocs, 2u);
+        EXPECT_EQ(st.frees, 2u);
+        EXPECT_EQ(st.failed, 1u);
+        EXPECT_EQ(st.live, 0u);
+        zdestroy(zone);
+    }
 }
 
 TEST(XnuApi, LockAndWaitqBlockUntilPredicate)

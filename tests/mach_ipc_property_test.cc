@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <map>
+
 #include "base/rng.h"
 #include "xnu/mach_ipc.h"
 

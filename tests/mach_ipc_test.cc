@@ -346,5 +346,60 @@ TEST_F(MachIpcTest, PortZoneFailureInjectionSurfacesAsShortage)
               KERN_SUCCESS);
 }
 
+TEST_F(MachIpcTest, DestroyedNameIsStaleEvenAfterSlotReuse)
+{
+    mach_port_name_t first;
+    ASSERT_EQ(ipc_.portAllocate(*spaceA_, PortRight::Receive, &first),
+              KERN_SUCCESS);
+    ASSERT_EQ(ipc_.portDestroy(*spaceA_, first), KERN_SUCCESS);
+
+    // The vacated slot is recycled under a bumped generation, so the
+    // new name differs and the old one stays dead.
+    mach_port_name_t second;
+    ASSERT_EQ(ipc_.portAllocate(*spaceA_, PortRight::Receive, &second),
+              KERN_SUCCESS);
+    EXPECT_NE(second, first);
+
+    IpcEntry entry;
+    EXPECT_EQ(ipc_.portRights(*spaceA_, first, &entry),
+              KERN_INVALID_NAME);
+    // MakeSend copyin fails on the unresolvable name.
+    EXPECT_EQ(ipc_.msgSend(*spaceA_, simpleMsg(first, 1)),
+              MACH_SEND_INVALID_RIGHT);
+    EXPECT_EQ(ipc_.portRights(*spaceA_, second, &entry), KERN_SUCCESS);
+    EXPECT_TRUE(entry.hasReceive);
+}
+
+TEST_F(MachIpcTest, NameChurnNeverDisturbsLivePorts)
+{
+    // A long-lived port with a queued message must survive heavy
+    // allocate/destroy churn around it — names may eventually repeat
+    // (the generation counter is finite, as in Mach), but they must
+    // never alias an entry that is still live.
+    mach_port_name_t keeper;
+    ASSERT_EQ(ipc_.portAllocate(*spaceA_, PortRight::Receive, &keeper),
+              KERN_SUCCESS);
+    ASSERT_EQ(ipc_.msgSend(*spaceA_, simpleMsg(keeper, 4242)),
+              KERN_SUCCESS);
+
+    for (int i = 0; i < 1000; ++i) {
+        mach_port_name_t churn;
+        ASSERT_EQ(
+            ipc_.portAllocate(*spaceA_, PortRight::Receive, &churn),
+            KERN_SUCCESS);
+        EXPECT_NE(churn, keeper) << "live entry aliased at churn " << i;
+        ASSERT_EQ(ipc_.portDestroy(*spaceA_, churn), KERN_SUCCESS);
+    }
+    EXPECT_EQ(spaceA_->entryCount(), 1u);
+
+    MachMessage out;
+    ASSERT_EQ(ipc_.msgReceive(*spaceA_, keeper, out), KERN_SUCCESS);
+    EXPECT_EQ(out.header.msgId, 4242);
+
+    // Zone accounting balanced: only the keeper's port is live.
+    ducttape::ZoneStats zs = ipc_.portZoneStats();
+    EXPECT_EQ(zs.allocs - zs.frees, 1u);
+}
+
 } // namespace
 } // namespace cider::xnu

@@ -107,5 +107,80 @@ TEST_F(VfsTest, SplitPathDropsDotAndEmpty)
     EXPECT_EQ(parts, (std::vector<std::string>{"a", "b"}));
 }
 
+TEST_F(VfsTest, SplitPathResolvesDotDot)
+{
+    EXPECT_EQ(Vfs::splitPath("a/../b"),
+              (std::vector<std::string>{"b"}));
+    EXPECT_EQ(Vfs::splitPath("/a/b/../../c"),
+              (std::vector<std::string>{"c"}));
+    // A leading ".." at the root stays at the root, as in POSIX.
+    EXPECT_EQ(Vfs::splitPath("../a"),
+              (std::vector<std::string>{"a"}));
+    EXPECT_EQ(Vfs::splitPath("/../../a/.."),
+              (std::vector<std::string>{}));
+}
+
+TEST_F(VfsTest, DotDotResolvesToParentNotChildName)
+{
+    ASSERT_TRUE(vfs_.mkdirAll("/a").ok());
+    ASSERT_TRUE(vfs_.mkdirAll("/b").ok());
+    ASSERT_TRUE(vfs_.writeFile("/b/file", Bytes{9}).ok());
+
+    // The regression: ".." used to be looked up as a literal child
+    // named "..", so this returned ENOENT.
+    EXPECT_TRUE(vfs_.exists("/a/../b/file"));
+    Lookup lk = vfs_.lookup("/a/../b/file");
+    EXPECT_EQ(lk.err, 0);
+    ASSERT_NE(lk.inode, nullptr);
+    EXPECT_EQ(lk.leaf, "file");
+
+    Bytes data;
+    EXPECT_TRUE(vfs_.readFile("/a/../b/file", data).ok());
+    EXPECT_EQ(data, Bytes{9});
+}
+
+TEST_F(VfsTest, LeadingDotDotStaysAtRoot)
+{
+    ASSERT_TRUE(vfs_.mkdirAll("/top").ok());
+    EXPECT_TRUE(vfs_.exists("/../top"));
+    EXPECT_TRUE(vfs_.exists("/../../top"));
+    // "/.." is the root itself.
+    Lookup lk = vfs_.lookup("/..");
+    EXPECT_EQ(lk.err, 0);
+    ASSERT_NE(lk.inode, nullptr);
+    EXPECT_EQ(lk.inode->type, InodeType::Directory);
+}
+
+TEST_F(VfsTest, DotDotAfterMissingComponentIsENOENT)
+{
+    ASSERT_TRUE(vfs_.mkdirAll("/real").ok());
+    Lookup lk = vfs_.lookup("/missing/../real");
+    EXPECT_EQ(lk.err, lnx::NOENT);
+}
+
+TEST_F(VfsTest, DotDotThroughFileIsENOTDIR)
+{
+    ASSERT_TRUE(vfs_.writeFile("/plain", Bytes{1}).ok());
+    Lookup lk = vfs_.lookup("/plain/../other");
+    EXPECT_EQ(lk.err, lnx::NOTDIR);
+}
+
+TEST_F(VfsTest, DotDotThroughOverlayRewrittenPath)
+{
+    vfs_.addOverlay("/Documents", "/data/ios/Documents");
+    ASSERT_TRUE(vfs_.mkdirAll("/data/ios/Documents/sub").ok());
+    ASSERT_TRUE(
+        vfs_.writeFile("/data/ios/Documents/inbox.txt", Bytes{5})
+            .ok());
+
+    // ".." applies to the rewritten path: /Documents/sub/.. is the
+    // overlay target directory itself.
+    EXPECT_TRUE(vfs_.exists("/Documents/sub/../inbox.txt"));
+    Bytes data;
+    ASSERT_TRUE(
+        vfs_.readFile("/Documents/sub/../inbox.txt", data).ok());
+    EXPECT_EQ(data, Bytes{5});
+}
+
 } // namespace
 } // namespace cider::kernel
