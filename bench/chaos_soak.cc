@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Chaos soak: boot the full Cider system, install an .ipa, and run a
+ * syscall-heavy workload under seeded fault storms.
+ *
+ * The soak asserts the FaultRail hardening contract end to end:
+ *
+ *  1. Determinism: with every fault site registered but disarmed,
+ *     two boots produce bit-identical virtual-time series for the
+ *     workload. Registration alone must cost nothing.
+ *  2. Graceful degradation: under seeded probability storms across
+ *     the site catalog (allocation, VFS, Mach IPC, binfmt, psynch,
+ *     signal delivery) with the per-process OOM killer armed, every
+ *     failure surfaces as an errno / kern_return_t / process exit --
+ *     never an abort. The soak completing at all is the proof.
+ *  3. Invariant preservation: after each storm is disarmed, a clean
+ *     workload run still passes on the same booted system.
+ *
+ * Exit code 0 on success, 1 on any violated assertion. A per-seed
+ * fault report (trips per site, exit codes observed) is written to
+ * BENCH_chaos_faults.txt for CI artifact upload.
+ *
+ * Usage: chaos_soak [seed ...]   (default seeds: 101 202 303)
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "core/app_package.h"
+#include "core/cider_system.h"
+#include "ducttape/xnu_api.h"
+#include "kernel/fault_rail.h"
+#include "kernel/file.h"
+#include "xnu/mach_traps.h"
+
+namespace cider::bench {
+namespace {
+
+using core::CiderSystem;
+using core::SystemConfig;
+using core::SystemOptions;
+using kernel::FaultRail;
+using kernel::SyscallResult;
+using kernel::TrapClass;
+using kernel::makeArgs;
+
+/**
+ * Every fault site the storm arms. Registering the catalog up front
+ * also pins the /proc/cider/faults layout, so the determinism phase
+ * exercises "registered but disarmed" rather than "unknown".
+ */
+const char *const kSiteCatalog[] = {
+    "zone.alloc",      "kalloc.alloc",     "vfs.lookup",
+    "vfs.create",      "mach.port.alloc",  "mach.name.alloc",
+    "mach.right.copyout", "mach.msg.send", "mach.msg.receive",
+    "binfmt.elf",      "binfmt.macho",     "psynch.wait",
+    "signal.deliver",
+};
+
+int g_failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        ++g_failures;
+        std::fprintf(stderr, "chaos_soak: FAIL: %s\n", what.c_str());
+    }
+}
+
+/**
+ * The workload an installed app runs: a deterministic storm of VFS,
+ * Mach IPC (with receive timeouts), psynch, signal, and process
+ * traps. Every call tolerates failure -- under an armed rail any of
+ * them may come back with an error, and the contract is that errors
+ * are *all* that comes back.
+ */
+int
+workloadMain(binfmt::UserEnv &env)
+{
+    kernel::Kernel &k = env.kernel;
+    kernel::Thread &t = env.thread;
+
+    auto trap = [&](TrapClass cls, int nr, kernel::SyscallArgs args) {
+        return k.trap(t, cls, nr, std::move(args));
+    };
+
+    int delivered = 0;
+    kernel::SignalAction act;
+    act.kind = kernel::SignalAction::Kind::Handler;
+    act.fn = [&delivered](int, const kernel::SigInfo &) { ++delivered; };
+    k.sysSigaction(t, kernel::lsig::USR1, act);
+
+    for (int round = 0; round < 24; ++round) {
+        // --- VFS churn: create, write, read back, unlink.
+        std::string dir = "/tmp/chaos" + std::to_string(round);
+        k.sysMkdir(t, dir);
+        for (int i = 0; i < 4; ++i) {
+            std::string path = dir + "/f" + std::to_string(i);
+            SyscallResult fd = k.sysOpen(
+                t, path, kernel::oflag::WRONLY | kernel::oflag::CREAT);
+            if (fd.ok()) {
+                k.sysWrite(t, static_cast<kernel::Fd>(fd.value),
+                           Bytes{1, 2, 3, 4});
+                k.sysClose(t, static_cast<kernel::Fd>(fd.value));
+            }
+            SyscallResult rd = k.sysOpen(t, path, kernel::oflag::RDONLY);
+            if (rd.ok()) {
+                Bytes buf;
+                k.sysRead(t, static_cast<kernel::Fd>(rd.value), buf, 4);
+                k.sysClose(t, static_cast<kernel::Fd>(rd.value));
+            }
+            k.sysUnlink(t, path);
+        }
+        k.sysRmdir(t, dir);
+
+        // --- Mach IPC: allocate a port, self-send, timed receive,
+        // destroy. A fault anywhere surfaces as a kern_return_t (or,
+        // with the OOM killer armed, as this process's clean death).
+        xnu::mach_port_name_t port = xnu::MACH_PORT_NULL;
+        SyscallResult r = trap(
+            TrapClass::XnuMach, xnu::machno::PORT_ALLOCATE,
+            makeArgs(static_cast<std::uint64_t>(xnu::PortRight::Receive),
+                     static_cast<void *>(&port)));
+        if (r.ok() && r.value == xnu::KERN_SUCCESS &&
+            port != xnu::MACH_PORT_NULL) {
+            xnu::MachMessage msg;
+            msg.header.remotePort = port;
+            msg.header.remoteDisposition = xnu::MsgDisposition::MakeSend;
+            msg.header.msgId = 4000 + round;
+            trap(TrapClass::XnuMach, xnu::machno::MACH_MSG,
+                 makeArgs(static_cast<void *>(&msg), xnu::machmsg::SEND,
+                          std::uint64_t{0},
+                          static_cast<void *>(nullptr)));
+            xnu::MachMessage rcv;
+            trap(TrapClass::XnuMach, xnu::machno::MACH_MSG,
+                 makeArgs(static_cast<void *>(nullptr),
+                          xnu::machmsg::RCV | xnu::machmsg::RCV_TIMEOUT,
+                          static_cast<std::uint64_t>(port),
+                          static_cast<void *>(&rcv),
+                          std::uint64_t{50'000}));
+            trap(TrapClass::XnuMach, xnu::machno::PORT_DESTROY,
+                 makeArgs(static_cast<std::uint64_t>(port)));
+        }
+
+        // --- psynch: signal then timed wait on a Mach semaphore.
+        std::uint64_t sem = 0x7000 + static_cast<std::uint64_t>(round);
+        trap(TrapClass::XnuMach, xnu::machno::SEMAPHORE_SIGNAL,
+             makeArgs(sem));
+        trap(TrapClass::XnuMach, xnu::machno::SEMAPHORE_WAIT,
+             makeArgs(sem, std::uint64_t{25'000}));
+
+        // --- Signals: self-delivery through the hardened path.
+        k.sysKill(t, t.process().pid(), kernel::lsig::USR1);
+    }
+
+    return 0;
+}
+
+/** A tiny app shipped inside the .ipa. */
+int
+ipaAppMain(binfmt::UserEnv &env)
+{
+    kernel::Kernel &k = env.kernel;
+    SyscallResult fd = k.sysOpen(env.thread, "/tmp/ipa_probe",
+                                 kernel::oflag::WRONLY |
+                                     kernel::oflag::CREAT);
+    if (fd.ok())
+        k.sysClose(env.thread, static_cast<kernel::Fd>(fd.value));
+    return 0;
+}
+
+/** Boot a system with the workload binaries installed. */
+struct Soak
+{
+    explicit Soak()
+        : sys([] {
+              SystemOptions opts;
+              opts.config = SystemConfig::CiderIos;
+              return opts;
+          }())
+    {
+        sys.installMachOExecutable("/data/chaos_workload",
+                                   "chaos.workload", workloadMain);
+        sys.programs().add("chaos.ipa_app", ipaAppMain);
+    }
+
+    Bytes
+    buildAppIpa()
+    {
+        core::IpaPackage package;
+        package.appName = "ChaosApp";
+        binfmt::MachOBuilder builder(binfmt::MachOFileType::Execute);
+        builder.entry("chaos.ipa_app")
+            .codegen(hw::Codegen::XcodeClang)
+            .segment("__TEXT", 8)
+            .dylib("libSystem.dylib");
+        package.binary = builder.build();
+        package.icon = Bytes{9, 9, 9};
+        package.infoPlist["CFBundleIdentifier"] = "com.chaos.app";
+        return core::buildIpa(package);
+    }
+
+    CiderSystem sys;
+};
+
+/**
+ * The virtual-time series the determinism phase compares: the main
+ * thread's consumed virtual ns for each of three workload runs plus
+ * the .ipa-app run (exit codes folded in so control flow is part of
+ * the signature too).
+ */
+std::vector<std::uint64_t>
+virtualSeries()
+{
+    Soak soak;
+    // Registered-but-disarmed is the configuration under test.
+    FaultRail &rail = FaultRail::global();
+    rail.disarmAll();
+    rail.setTracking(false);
+    for (const char *site : kSiteCatalog)
+        rail.site(site);
+
+    std::vector<std::uint64_t> series;
+    for (int run = 0; run < 3; ++run) {
+        int rc = -1;
+        std::uint64_t ns =
+            soak.sys.runProgramTimed("/data/chaos_workload", {}, &rc);
+        series.push_back(ns);
+        series.push_back(static_cast<std::uint64_t>(rc));
+    }
+    std::string app = soak.sys.installIpa(soak.buildAppIpa());
+    check(!app.empty(), "clean .ipa install failed");
+    if (!app.empty()) {
+        int rc = -1;
+        series.push_back(soak.sys.runProgramTimed(app, {}, &rc));
+        series.push_back(static_cast<std::uint64_t>(rc));
+    }
+    return series;
+}
+
+/** One seeded storm; returns a human-readable report section. */
+std::string
+stormRun(std::uint64_t seed)
+{
+    Soak soak;
+    soak.sys.kernel().setOomKillEnabled(true);
+    // Timeout storms should expire in host milliseconds, not the
+    // default 100ms-per-timeout grace.
+    ducttape::waitq_set_block_grace_ms(2);
+
+    FaultRail &rail = FaultRail::global();
+    rail.disarmAll();
+    rail.resetCounters();
+    rail.setTracking(true);
+
+    // Seeded probability on the whole catalog; each site gets its own
+    // stream derived from (seed, site index) so one site's draw count
+    // never perturbs another's.
+    std::uint64_t idx = 0;
+    for (const char *site : kSiteCatalog)
+        rail.armProbability(site, 0.02, seed * 1000 + idx++);
+
+    std::map<int, int> exitCodes;
+    for (int run = 0; run < 6; ++run) {
+        int rc = soak.sys.runProgram("/data/chaos_workload");
+        ++exitCodes[rc];
+    }
+    // Install + run the .ipa under fire too: a corrupt-path or
+    // shortage fault must reject the package or fail the exec, not
+    // wedge the installer.
+    for (int run = 0; run < 3; ++run) {
+        std::string app = soak.sys.installIpa(soak.buildAppIpa());
+        int rc = app.empty() ? -2 : soak.sys.runProgram(app);
+        ++exitCodes[rc];
+    }
+
+    // Storm over: disarm and prove the system is still whole.
+    rail.disarmAll();
+    rail.setTracking(false);
+    ducttape::waitq_set_block_grace_ms(100);
+    check(soak.sys.runProgram("/data/chaos_workload") == 0,
+          "post-storm clean workload failed (seed " +
+              std::to_string(seed) + ")");
+    std::string app = soak.sys.installIpa(soak.buildAppIpa());
+    check(!app.empty() && soak.sys.runProgram(app) == 0,
+          "post-storm clean .ipa run failed (seed " +
+              std::to_string(seed) + ")");
+
+    char head[128];
+    std::snprintf(head, sizeof head, "--- seed %" PRIu64 " ---\n", seed);
+    std::string report = head;
+    for (const auto &[rc, count] : exitCodes) {
+        char line[96];
+        std::snprintf(line, sizeof line, "  exit %4d x%d\n", rc, count);
+        report += line;
+    }
+    std::uint64_t trips = 0;
+    for (const auto &s : rail.snapshot()) {
+        trips += s.trips;
+        char line[128];
+        std::snprintf(line, sizeof line,
+                      "  %-24s hits %8" PRIu64 " trips %6" PRIu64 "\n",
+                      s.name.c_str(), s.hits, s.trips);
+        report += line;
+    }
+    check(trips > 0, "storm tripped no faults at all (seed " +
+                         std::to_string(seed) + ")");
+    // The kernel-side books survived the storm.
+    check(soak.sys.trapStats().totalCalls() > 0, "trap stats wedged");
+    rail.resetCounters();
+    return report;
+}
+
+int
+soakMain(int argc, char **argv)
+{
+    setLogQuiet(true); // fault storms are loud by design
+
+    std::vector<std::uint64_t> seeds;
+    for (int i = 1; i < argc; ++i)
+        seeds.push_back(std::strtoull(argv[i], nullptr, 10));
+    if (seeds.empty())
+        seeds = {101, 202, 303};
+
+    // Phase 1: registered-but-disarmed sites leave virtual time
+    // bit-identical across two full boots.
+    std::vector<std::uint64_t> a = virtualSeries();
+    std::vector<std::uint64_t> b = virtualSeries();
+    check(a == b, "disarmed fault sites perturbed the virtual-time "
+                  "series");
+    check(!a.empty() && a[0] > 0, "workload consumed no virtual time");
+
+    // Phase 2: seeded storms.
+    std::string report = "chaos_soak fault report\n";
+    for (std::uint64_t seed : seeds)
+        report += stormRun(seed);
+    report += g_failures == 0 ? "RESULT: PASS\n" : "RESULT: FAIL\n";
+
+    std::ofstream out("BENCH_chaos_faults.txt");
+    out << report;
+    out.close();
+    std::fputs(report.c_str(), stdout);
+
+    if (g_failures != 0) {
+        std::fprintf(stderr, "chaos_soak: %d failure(s)\n", g_failures);
+        return 1;
+    }
+    std::puts("chaos_soak: OK");
+    return 0;
+}
+
+} // namespace
+} // namespace cider::bench
+
+int
+main(int argc, char **argv)
+{
+    return cider::bench::soakMain(argc, argv);
+}

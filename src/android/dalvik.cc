@@ -42,6 +42,8 @@ DalvikVm::run(const DexFile &file, const std::string &method,
 {
     const DexMethod *m = file.method(method);
     if (!m)
+        // invariant-only: entry methods are in-tree workload names;
+        // foreign images are validated by parseDex before they run.
         cider_panic("dalvik: no method ", method, " in ", file.name);
     return execute(file, *m, args, 0);
 }
@@ -51,6 +53,7 @@ DalvikVm::execute(const DexFile &file, const DexMethod &method,
                   std::vector<DexVal> &args, int depth)
 {
     if (depth > 64)
+        // invariant-only: bounds in-tree workload recursion.
         cider_panic("dalvik: call depth exceeded in ", method.name);
 
     std::vector<DexVal> locals(method.nlocals,
@@ -62,6 +65,7 @@ DalvikVm::execute(const DexFile &file, const DexMethod &method,
 
     auto pop = [&stack]() -> DexVal {
         if (stack.empty())
+            // invariant-only: bytecode comes from the in-tree assembler.
             cider_panic("dalvik: operand stack underflow");
         DexVal v = std::move(stack.back());
         stack.pop_back();
@@ -178,6 +182,7 @@ DalvikVm::execute(const DexFile &file, const DexMethod &method,
             break;
           case DexOp::Dup:
             if (stack.empty())
+                // invariant-only: see operand stack underflow above.
                 cider_panic("dalvik: dup on empty stack");
             stack.push_back(stack.back());
             break;
@@ -194,6 +199,7 @@ DalvikVm::execute(const DexFile &file, const DexMethod &method,
               const std::string &name = file.string(insn.sidx);
               auto it = natives_.find(name);
               if (it == natives_.end())
+                  // invariant-only: natives are registered by in-tree setup.
                   cider_panic("dalvik: unknown native ", name);
               std::vector<DexVal> nargs;
               for (std::int64_t i = 0; i < insn.a; ++i)
@@ -206,6 +212,7 @@ DalvikVm::execute(const DexFile &file, const DexMethod &method,
               const std::string &name = file.string(insn.sidx);
               const DexMethod *callee = file.method(name);
               if (!callee)
+                  // invariant-only: parseDex validated the callee string index.
                   cider_panic("dalvik: unknown method ", name);
               std::vector<DexVal> cargs;
               for (std::int64_t i = 0; i < insn.a; ++i)

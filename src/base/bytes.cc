@@ -42,6 +42,7 @@ void
 ByteWriter::patchU32(std::size_t offset, std::uint32_t v)
 {
     if (offset + 4 > buf_.size())
+        // invariant-only: patch offsets come from the writer itself.
         cider_panic("patchU32 out of range: offset ", offset,
                     " size ", buf_.size());
     buf_[offset + 0] = static_cast<std::uint8_t>(v);

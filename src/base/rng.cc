@@ -18,6 +18,7 @@ std::uint64_t
 Rng::below(std::uint64_t bound)
 {
     if (bound == 0)
+        // invariant-only: misuse by the calling in-tree code.
         cider_panic("Rng::below with zero bound");
     return next() % bound;
 }
@@ -26,6 +27,7 @@ std::uint64_t
 Rng::range(std::uint64_t lo, std::uint64_t hi)
 {
     if (lo > hi)
+        // invariant-only: misuse by the calling in-tree code.
         cider_panic("Rng::range with lo > hi");
     return lo + below(hi - lo + 1);
 }

@@ -2,6 +2,7 @@
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/fault_rail.h"
 
 namespace cider::binfmt {
 
@@ -24,6 +25,10 @@ ElfLoader::load(kernel::Kernel &k, kernel::Thread &t, const Bytes &blob,
                 const std::string &path,
                 const std::vector<std::string> &argv)
 {
+    // Fault site: image load failing mid-exec (bad media, truncated
+    // read); exec reports ENOEXEC and the caller's process survives.
+    if (CIDER_FAULT_POINT("binfmt.elf"))
+        return kernel::SyscallResult::failure(kernel::lnx::NOEXEC);
     std::optional<ElfImage> parsed = parseElf(blob);
     if (!parsed)
         return kernel::SyscallResult::failure(kernel::lnx::NOEXEC);
@@ -70,6 +75,9 @@ MachOLoader::load(kernel::Kernel &k, kernel::Thread &t, const Bytes &blob,
                   const std::string &path,
                   const std::vector<std::string> &argv)
 {
+    // Fault site: see the ELF loader above.
+    if (CIDER_FAULT_POINT("binfmt.macho"))
+        return kernel::SyscallResult::failure(kernel::lnx::NOEXEC);
     std::optional<MachOImage> parsed = parseMachO(blob);
     if (!parsed)
         return kernel::SyscallResult::failure(kernel::lnx::NOEXEC);

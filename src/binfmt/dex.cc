@@ -19,8 +19,15 @@ DexFile::intern(const std::string &s)
 const std::string &
 DexFile::string(std::uint32_t idx) const
 {
-    if (idx >= strings.size())
-        cider_panic("dex string index ", idx, " out of range in ", name);
+    if (idx >= strings.size()) {
+        // Reachable from a foreign (installed) image, so it must not
+        // panic: parseDex validates indices, but a DexFile built
+        // in-process can still hold a stale one. Resolve to the empty
+        // string; the interpreter then fails the call cleanly.
+        warn("dex string index ", idx, " out of range in ", name);
+        static const std::string empty;
+        return empty;
+    }
     return strings[idx];
 }
 
@@ -88,6 +95,14 @@ parseDex(const Bytes &blob)
     }
     if (!r.ok())
         return std::nullopt;
+    // A corrupt image is rejected here, not detected mid-execution:
+    // every string-referencing instruction must resolve.
+    for (const auto &[name, m] : file.methods)
+        for (const DexInsn &insn : m.code)
+            if ((insn.op == DexOp::CallNative ||
+                 insn.op == DexOp::CallMethod) &&
+                insn.sidx >= file.strings.size())
+                return std::nullopt;
     return file;
 }
 
@@ -103,6 +118,8 @@ void
 DexAssembler::finish()
 {
     if (finished_)
+        // invariant-only: the assembler is driven by in-tree code
+        // generators, never by a foreign image.
         cider_panic("DexAssembler::finish called twice for ", method_.name);
     finished_ = true;
     file_.methods[method_.name] = std::move(method_);
@@ -196,6 +213,8 @@ void
 DexAssembler::patch(std::size_t at, std::int64_t target)
 {
     if (at >= method_.code.size())
+        // invariant-only: patch targets come from this assembler's
+        // own jmp()/jz() return values.
         cider_panic("DexAssembler::patch out of range");
     method_.code[at].a = target;
 }

@@ -19,6 +19,8 @@ KernelCxxRuntime::noteDestroy(std::size_t bytes)
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.objectsDestroyed;
     if (stats_.liveObjects == 0 || stats_.liveBytes < bytes)
+        // invariant-only: a free the heap never handed out is a
+        // kernel-internal bug, not foreign input.
         cider_panic("kernel C++ heap underflow");
     --stats_.liveObjects;
     stats_.liveBytes -= bytes;

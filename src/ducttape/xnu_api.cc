@@ -1,13 +1,17 @@
 #include "ducttape/xnu_api.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <vector>
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/fault_rail.h"
 
 namespace cider::ducttape {
 
@@ -121,8 +125,15 @@ zalloc(ZoneT *z)
 {
     charge(kZallocNs);
     std::lock_guard<std::mutex> lock(z->mu);
+    // Both injection paths run before the allocs increment, so the
+    // logical allocation index they key on is identical whether the
+    // zone is slab-cached or in legacy one-heap-call-per-element mode.
     if (z->failAfter >= 0 &&
         static_cast<std::int64_t>(z->stats.allocs) >= z->failAfter) {
+        ++z->stats.failed;
+        return nullptr;
+    }
+    if (CIDER_FAULT_POINT("zone.alloc")) {
         ++z->stats.failed;
         return nullptr;
     }
@@ -160,7 +171,7 @@ zfree(ZoneT *z, void *elem)
     charge(kZfreeNs);
     std::lock_guard<std::mutex> lock(z->mu);
     ++z->stats.frees;
-    if (z->stats.live == 0)
+    if (z->stats.live == 0) // invariant-only: double-free by kernel code
         cider_panic("zfree underflow in zone ", z->name);
     --z->stats.live;
     if (!z->caching) {
@@ -191,7 +202,7 @@ zone_set_caching(ZoneT *z, bool enabled)
     std::lock_guard<std::mutex> lock(z->mu);
     if (z->caching == enabled)
         return;
-    if (z->stats.live != 0)
+    if (z->stats.live != 0) // invariant-only: kernel-internal misuse
         cider_panic("zone_set_caching with live elements in zone ",
                     z->name);
     z->caching = enabled;
@@ -292,6 +303,8 @@ void *
 xnu_kalloc(std::size_t size)
 {
     charge(kKallocNs);
+    if (CIDER_FAULT_POINT("kalloc.alloc"))
+        return nullptr;
     return kallocCache().alloc(size);
 }
 
@@ -321,11 +334,124 @@ waitq_free(WaitQ *wq)
     delete wq;
 }
 
+namespace {
+
+std::atomic<std::uint64_t> blockGraceMs{100};
+
+/**
+ * Watchdog bookkeeping for parked threads. Only waits that actually
+ * block register here (the uncontended wake-up path never takes this
+ * lock), and all timestamps are host-side, so the watchdog is
+ * invisible to virtual time.
+ */
+struct BlockedEntry
+{
+    const char *site;
+    std::uint64_t virtualNs;
+    std::chrono::steady_clock::time_point since;
+};
+
+std::mutex &
+blockedMu()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::map<const void *, BlockedEntry> &
+blockedMap()
+{
+    static std::map<const void *, BlockedEntry> m;
+    return m;
+}
+
+/** RAII registration of one parked thread, keyed by stack address. */
+class BlockScope
+{
+  public:
+    explicit BlockScope(const char *who)
+    {
+        std::lock_guard<std::mutex> lock(blockedMu());
+        blockedMap()[this] = BlockedEntry{
+            who, virtualNow(), std::chrono::steady_clock::now()};
+    }
+
+    ~BlockScope()
+    {
+        std::lock_guard<std::mutex> lock(blockedMu());
+        blockedMap().erase(this);
+    }
+};
+
+} // namespace
+
 void
-waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred)
+waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred,
+           const char *who)
 {
     charge(kBlockNs);
+    if (pred())
+        return;
+    BlockScope scope(who);
     wq->cv.wait(held->mu, pred);
+}
+
+bool
+waitq_wait_deadline(WaitQ *wq, LckMtx *held,
+                    const std::function<bool()> &pred,
+                    std::uint64_t deadline_ns, const char *who)
+{
+    charge(kBlockNs);
+    if (pred())
+        return true;
+    std::uint64_t now = virtualNow();
+    if (now >= deadline_ns)
+        return false;
+    BlockScope scope(who);
+    // A parked thread's virtual clock cannot advance, so deadline
+    // expiry is decided by one host-side grace interval: if no wakeup
+    // made the predicate true within it, none is coming, and the wait
+    // times out with the caller's clock advanced exactly to the
+    // deadline — host scheduling jitter never leaks into virtual time.
+    auto grace = std::chrono::milliseconds(
+        blockGraceMs.load(std::memory_order_relaxed));
+    if (wq->cv.wait_for(held->mu, grace, pred))
+        return true;
+    charge(deadline_ns - now);
+    return false;
+}
+
+void
+waitq_set_block_grace_ms(std::uint64_t ms)
+{
+    blockGraceMs.store(ms ? ms : 1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+waitq_block_grace_ms()
+{
+    return blockGraceMs.load(std::memory_order_relaxed);
+}
+
+std::vector<BlockedWait>
+waitq_blocked_waits(double min_host_ms)
+{
+    std::vector<BlockedWait> out;
+    auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(blockedMu());
+    for (const auto &[key, e] : blockedMap()) {
+        double ms = std::chrono::duration<double, std::milli>(
+                        now - e.since)
+                        .count();
+        if (ms < min_host_ms)
+            continue;
+        BlockedWait w;
+        w.site = e.site;
+        w.virtualNs = e.virtualNs;
+        w.hostBlockedMs = ms;
+        out.push_back(w);
+    }
+    return out;
 }
 
 void

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "ducttape/zones.h"
 
@@ -92,12 +93,54 @@ void waitq_free(WaitQ *wq);
  * Block the calling (host) thread on @p wq while holding @p held,
  * until @p pred becomes true after a wakeup. The mutex is released
  * while blocked and re-held on return — XNU's
- * lck_mtx_sleep/thread_block contract.
+ * lck_mtx_sleep/thread_block contract. @p who is an optional label
+ * for the hung-wait watchdog (waitq_blocked_waits).
  */
-void waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred);
+void waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred,
+                const char *who = nullptr);
+
+/**
+ * Like waitq_wait, but give up once the caller's virtual clock would
+ * pass @p deadline_ns. Virtual time cannot advance while a thread is
+ * parked, so expiry is detected by a host-side grace interval (see
+ * waitq_set_block_grace_ms): after each grace period with the
+ * predicate still false, the wait expires, the caller's clock is
+ * advanced to the deadline, and false is returned. Returns true when
+ * the predicate became true first (the normal wakeup path).
+ */
+bool waitq_wait_deadline(WaitQ *wq, LckMtx *held,
+                         const std::function<bool()> &pred,
+                         std::uint64_t deadline_ns,
+                         const char *who = nullptr);
 
 void waitq_wakeup_all(WaitQ *wq);
 void waitq_wakeup_one(WaitQ *wq);
+
+/**
+ * Host milliseconds a deadline wait parks before concluding no wakeup
+ * is coming. The default (100 ms) is far above any same-machine
+ * wakeup latency; tests and the chaos bench lower it to keep timeout
+ * storms fast. Deterministic in virtual time either way: the grace
+ * interval only decides *when in host time* the timeout is taken, the
+ * virtual clock always lands exactly on the deadline.
+ */
+void waitq_set_block_grace_ms(std::uint64_t ms);
+std::uint64_t waitq_block_grace_ms();
+
+/** One thread currently parked in a duct-taped wait queue. */
+struct BlockedWait
+{
+    const char *site = nullptr;  ///< waitq_wait label (may be null)
+    std::uint64_t virtualNs = 0; ///< waiter's virtual time at block
+    double hostBlockedMs = 0.0;  ///< host wall time spent blocked
+};
+
+/**
+ * Hung-wait watchdog: every wait blocked longer than @p min_host_ms
+ * of host wall time. Purely host-side bookkeeping — querying it never
+ * touches any virtual clock.
+ */
+std::vector<BlockedWait> waitq_blocked_waits(double min_host_ms);
 /// @}
 
 /** XNU mach_absolute_time mapped onto the virtual clock. */

@@ -44,6 +44,7 @@ const SymbolInfo &
 SymbolRegistry::declare(const std::string &name, Zone zone)
 {
     if (findIn(zone, name))
+        // invariant-only: symbols are registered by in-tree setup.
         cider_panic("duplicate symbol '", name, "' in zone ",
                     zoneName(zone));
 

@@ -42,6 +42,7 @@ std::uint64_t
 DeviceProfile::cyclesToNs(double cycles) const
 {
     if (cpuClockGhz <= 0)
+        // invariant-only: profiles are in-tree data tables.
         cider_panic("DeviceProfile ", name, " has no CPU clock");
     return static_cast<std::uint64_t>(cycles / cpuClockGhz);
 }

@@ -52,6 +52,7 @@ void
 IORegistry::attach(IORegistryEntry *entry, IORegistryEntry *parent)
 {
     if (!entry)
+        // invariant-only: drivers attach statically built entries.
         cider_panic("attach of null registry entry");
     if (!parent)
         parent = root_;

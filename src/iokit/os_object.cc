@@ -49,6 +49,7 @@ OSObject::release()
 {
     int prev = refs_.fetch_sub(1, std::memory_order_acq_rel);
     if (prev <= 0)
+        // invariant-only: a refcount underflow is kernel-internal misuse.
         cider_panic("OSObject over-release of ", className());
     if (prev == 1)
         delete this;

@@ -5,6 +5,7 @@
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/fault_rail.h"
 #include "kernel/trap_context.h"
 
 namespace cider::kernel {
@@ -133,6 +134,8 @@ SyscallTable::slotFor(int nr, const char *sys_name)
     if (nr < base_) {
         std::size_t grow = static_cast<std::size_t>(base_ - nr);
         if (dense_.size() + grow > kMaxTableSpan)
+            // invariant-only: tables are built from static in-tree
+            // registrations, never from foreign user input.
             cider_panic("syscall table ", name_, ": registering ",
                         sys_name, " (nr ", nr,
                         ") would exceed the dense span limit");
@@ -148,6 +151,7 @@ SyscallTable::slotFor(int nr, const char *sys_name)
     auto idx = static_cast<std::size_t>(nr - base_);
     if (idx >= dense_.size()) {
         if (idx + 1 > kMaxTableSpan)
+            // invariant-only: see above.
             cider_panic("syscall table ", name_, ": registering ",
                         sys_name, " (nr ", nr,
                         ") would exceed the dense span limit");
@@ -162,6 +166,7 @@ SyscallTable::set(int nr, const char *sys_name, SyscallFn fn,
 {
     Entry &e = slotFor(nr, sys_name);
     if (!e.empty())
+        // invariant-only: duplicate registration is an in-tree bug.
         cider_panic("syscall table ", name_, ": duplicate registration "
                     "of nr ", nr, " (", e.name ? e.name : "?", " vs ",
                     sys_name, ")");
@@ -177,6 +182,7 @@ SyscallTable::set(int nr, const char *sys_name, SyscallHandler fallback)
 {
     Entry &e = slotFor(nr, sys_name);
     if (!e.empty())
+        // invariant-only: duplicate registration is an in-tree bug.
         cider_panic("syscall table ", name_, ": duplicate registration "
                     "of nr ", nr, " (", e.name ? e.name : "?", " vs ",
                     sys_name, ")");
@@ -220,6 +226,9 @@ Kernel::Kernel(const hw::DeviceProfile &profile)
     Device &dump =
         devices_.add(std::make_unique<TrapStatsDevice>(trapStats_));
     vfs_.mknod("/proc/cider/trapstats", &dump);
+    Device &faults =
+        devices_.add(std::make_unique<FaultRailDevice>(FaultRail::global()));
+    vfs_.mknod("/proc/cider/faults", &faults);
 }
 
 Kernel::~Kernel() = default;
@@ -254,6 +263,14 @@ Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
     SyscallResult r;
     try {
         r = dispatcher_->dispatch(ctx);
+    } catch (const BadSyscallArg &e) {
+        // Foreign user space controls the argument vector; a missing
+        // or mistyped argument fails the trap, it must not panic the
+        // kernel (graceful degradation, not fail-stop).
+        warn("bad syscall argument in ", trapClassName(cls), " nr ", nr,
+             ": ", e.what());
+        trapStats_.recordBadArg();
+        r = SyscallResult::failure(lnx::INVAL);
     } catch (...) {
         // exit/execve unwind through the trap; account them before
         // the exception leaves the kernel.
@@ -262,6 +279,38 @@ Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
     }
     trapStats_.recordTrap(ctx, r, t.clock().now() - ctx.enterNs);
     checkPendingSignals(t);
+
+    if (oomKillEnabled_) {
+        // Memory-pressure kill: a Linux-path trap reports ENOMEM; a
+        // Mach trap hands KERN_RESOURCE_SHORTAGE back in the return
+        // register (its "success" value carries the kern_return_t).
+        bool oom = !r.ok() && r.err == lnx::NOMEM;
+        // (6 == KERN_RESOURCE_SHORTAGE; the domestic kernel does not
+        // include the foreign headers, only the ABI value.)
+        if (!oom && cls == TrapClass::XnuMach && r.ok() && r.value == 6)
+            oom = true;
+        // Only the process main thread unwinds via ProcessExit —
+        // runProcess catches it there; service threads started with
+        // startThread have no such handler on their host thread.
+        if (oom && &t == &t.process().mainThread() &&
+            t.process().state() == Process::State::Running) {
+            int code = 128 + lsig::KILL;
+            warn("oom-killing pid ", t.process().pid(), " (",
+                 t.process().name(), ") after resource-shortage trap");
+            trapStats_.recordOomKill();
+            Process &proc = t.process();
+            proc.terminate(code, t.clock().now());
+            if (Process *parent = proc.parent()) {
+                if (parent->state() == Process::State::Running) {
+                    SigInfo info;
+                    info.signo = lsig::CHLD;
+                    info.senderPid = proc.pid();
+                    deliverSignal(parent->mainThread(), info);
+                }
+            }
+            throw ProcessExit{code};
+        }
+    }
     return r;
 }
 
@@ -269,6 +318,7 @@ void
 Kernel::setDispatcher(std::unique_ptr<TrapDispatcher> d)
 {
     if (!d)
+        // invariant-only: dispatchers are installed by in-tree setup.
         cider_panic("null dispatcher");
     dispatcher_ = std::move(d);
 }
@@ -283,6 +333,7 @@ void
 Kernel::setSignalHook(std::unique_ptr<SignalDeliveryHook> hook)
 {
     if (!hook)
+        // invariant-only: hooks are installed by in-tree setup.
         cider_panic("null signal hook");
     signalHook_ = std::move(hook);
 }
@@ -574,6 +625,10 @@ Kernel::sysKill(Thread &t, Pid pid, int linux_signo)
 void
 Kernel::deliverSignal(Thread &target, SigInfo info)
 {
+    // Fault site: a dropped signal models delivery failing under
+    // resource exhaustion (e.g. no room for the signal frame).
+    if (CIDER_FAULT_POINT("signal.deliver"))
+        return;
     charge(profile_.signalDeliverNs);
     // Persona-aware preparation: numbering, frame size, translation
     // cost for foreign receivers (paper section 4.1).

@@ -193,6 +193,18 @@ class Kernel
      *  ring (also readable from /proc/cider/trapstats). */
     TrapStats &trapStats() { return trapStats_; }
     const TrapStats &trapStats() const { return trapStats_; }
+
+    /**
+     * Graceful degradation under memory pressure: when enabled, a
+     * main-thread trap that fails for want of memory (ENOMEM, or a
+     * Mach trap reporting KERN_RESOURCE_SHORTAGE) SIGKILLs the
+     * faulting process — terminate with 128+SIGKILL, SIGCHLD to the
+     * parent, unwind via ProcessExit — instead of letting the app
+     * limp on. The rest of the system keeps running; the parent reaps
+     * the corpse with waitpid. Off by default.
+     */
+    void setOomKillEnabled(bool on) { oomKillEnabled_ = on; }
+    bool oomKillEnabled() const { return oomKillEnabled_; }
     /// @}
 
     /// @{ Extension seams.
@@ -298,6 +310,7 @@ class Kernel
     std::vector<ExecHook> execHooks_;
     std::map<Pid, std::unique_ptr<Process>> processes_;
     Pid nextPid_ = 1;
+    bool oomKillEnabled_ = false;
 };
 
 } // namespace cider::kernel

@@ -60,6 +60,7 @@ Thread &
 Process::mainThread()
 {
     if (threads_.empty())
+        // invariant-only: createProcess always creates the main thread.
         cider_panic("process ", name_, " has no threads");
     return *threads_.front();
 }

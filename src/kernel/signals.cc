@@ -9,6 +9,8 @@ SignalAction &
 SignalState::action(int linux_signo)
 {
     if (linux_signo <= 0 || linux_signo >= lsig::COUNT)
+        // invariant-only: callers validate foreign signal numbers
+        // before indexing the disposition table.
         cider_panic("bad signal number ", linux_signo);
     return actions_[static_cast<std::size_t>(linux_signo)];
 }

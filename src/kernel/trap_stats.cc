@@ -271,6 +271,8 @@ TrapStats::dump() const
     appendf(out, "unknown-syscalls: %" PRIu64 "\n", unknownSyscalls());
     appendf(out, "noreturn-traps: %" PRIu64 "\n",
             noReturnTraps_.load(std::memory_order_relaxed));
+    appendf(out, "badarg-traps: %" PRIu64 "\n", badArgTraps());
+    appendf(out, "oom-kills: %" PRIu64 "\n", oomKills());
 
     std::vector<TraceRecord> trace = tracer_.snapshot();
     appendf(out, "trace: %zu of %" PRIu64 " records\n", trace.size(),
@@ -317,6 +319,8 @@ TrapStats::reset()
     rejected_.store(0, std::memory_order_relaxed);
     unknownNr_.store(0, std::memory_order_relaxed);
     noReturnTraps_.store(0, std::memory_order_relaxed);
+    badArgTraps_.store(0, std::memory_order_relaxed);
+    oomKills_.store(0, std::memory_order_relaxed);
     tracer_.reset();
 }
 

@@ -170,6 +170,25 @@ class TrapStats
     {
         return unknownNr_.load(std::memory_order_relaxed);
     }
+    /** Traps whose handler asked for a missing/mistyped argument
+     *  (BadSyscallArg caught at the trap boundary, failed EINVAL). */
+    std::uint64_t badArgTraps() const
+    {
+        return badArgTraps_.load(std::memory_order_relaxed);
+    }
+    /** Processes SIGKILLed by the memory-pressure kill path. */
+    std::uint64_t oomKills() const
+    {
+        return oomKills_.load(std::memory_order_relaxed);
+    }
+    void recordBadArg()
+    {
+        badArgTraps_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void recordOomKill()
+    {
+        oomKills_.fetch_add(1, std::memory_order_relaxed);
+    }
     /// @}
 
     TrapTracer &tracer() { return tracer_; }
@@ -189,6 +208,8 @@ class TrapStats
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> unknownNr_{0};
     std::atomic<std::uint64_t> noReturnTraps_{0};
+    std::atomic<std::uint64_t> badArgTraps_{0};
+    std::atomic<std::uint64_t> oomKills_{0};
 };
 
 /**

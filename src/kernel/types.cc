@@ -40,11 +40,16 @@ template <typename T>
 const T &
 argAs(const std::vector<Arg> &args, std::size_t i)
 {
+    // Foreign user space controls the argument vector, so a missing
+    // or mistyped argument is a rejectable request, not an invariant
+    // violation: throw for the trap dispatcher to turn into EINVAL.
     if (i >= args.size())
-        cider_panic("syscall argument ", i, " out of range");
+        throw BadSyscallArg("syscall argument " + std::to_string(i) +
+                            " out of range");
     const T *v = std::get_if<T>(&args[i]);
     if (!v)
-        cider_panic("syscall argument ", i, " has wrong type");
+        throw BadSyscallArg("syscall argument " + std::to_string(i) +
+                            " has wrong type");
     return *v;
 }
 

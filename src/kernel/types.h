@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <variant>
 #include <vector>
@@ -79,6 +80,19 @@ using Arg = std::variant<std::monostate, std::uint64_t, std::int64_t,
                          double, std::string, Bytes *, const Bytes *,
                          void *>;
 
+/**
+ * A syscall handler asked for an argument the caller did not supply
+ * (or supplied with the wrong type). Foreign user space controls the
+ * argument vector, so this must not panic the simulator: the trap
+ * dispatcher catches it, fails the trap with EINVAL, and counts it in
+ * TrapStats as a bad-argument trap.
+ */
+class BadSyscallArg : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Argument vector handed to syscall handlers. */
 struct SyscallArgs
 {
@@ -148,6 +162,7 @@ inline constexpr int NOSYS = 38;
 inline constexpr int NOTEMPTY = 39;
 inline constexpr int NOTSOCK = 88;
 inline constexpr int ADDRINUSE = 98;
+inline constexpr int TIMEDOUT = 110;
 inline constexpr int CONNREFUSED = 111;
 inline constexpr int ALREADY = 114;
 inline constexpr int INPROGRESS = 115;

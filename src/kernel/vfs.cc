@@ -5,6 +5,7 @@
 #include "base/cost_clock.h"
 #include "base/logging.h"
 #include "hw/device_profile.h"
+#include "kernel/fault_rail.h"
 
 namespace cider::kernel {
 
@@ -165,6 +166,13 @@ Vfs::walk(std::string_view effective) const
 Lookup
 Vfs::lookup(const std::string &path) const
 {
+    // Fault site: a failed lookup models a media/metadata read error
+    // (checked before the dentry cache so hits cannot mask it).
+    if (CIDER_FAULT_POINT("vfs.lookup")) {
+        Lookup out;
+        out.err = lnx::IO;
+        return out;
+    }
     if (cacheEnabled_) {
         auto it = dentryCache_.find(path);
         if (it != dentryCache_.end() &&
@@ -236,6 +244,9 @@ Vfs::mkdir(const std::string &path)
 SyscallResult
 Vfs::create(const std::string &path, InodePtr *out)
 {
+    // Fault site: creation failing for want of space.
+    if (CIDER_FAULT_POINT("vfs.create"))
+        return SyscallResult::failure(lnx::NOSPC);
     charge(profile_.storageCreateNs / 2);
     Lookup lk = lookup(path);
     if (lk.err)

@@ -18,6 +18,8 @@ krToSys(kern_return_t kr)
 {
     if (kr == KERN_SUCCESS)
         return SyscallResult::success();
+    if (kr == KERN_OPERATION_TIMED_OUT)
+        return SyscallResult::failure(kernel::lnx::TIMEDOUT);
     return SyscallResult::failure(kernel::lnx::INVAL);
 }
 
@@ -233,9 +235,16 @@ buildXnuBsdTable(SyscallTable &tbl, PsynchSubsystem &psynch)
 
     tbl.set(xnuno::PSYNCH_CVWAIT, "psynch_cvwait",
             [](TrapContext &c, void *u) {
+                std::uint64_t tid =
+                    static_cast<std::uint64_t>(c.thread.tid());
+                // Optional 4th argument: timeout in virtual ns
+                // (pthread_cond_timedwait's kernel half).
+                if (c.args.size() > 3)
+                    return krToSys(psynchOf(u).cvWaitDeadline(
+                        c.args.u64(0), c.args.u64(1), tid,
+                        c.args.u64(3)));
                 return krToSys(psynchOf(u).cvWait(
-                    c.args.u64(0), c.args.u64(1),
-                    static_cast<std::uint64_t>(c.thread.tid())));
+                    c.args.u64(0), c.args.u64(1), tid));
             },
             &psynch);
 

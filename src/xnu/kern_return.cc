@@ -34,16 +34,22 @@ kernReturnName(kern_return_t kr)
         return "KERN_UREFS_OVERFLOW";
       case KERN_INVALID_CAPABILITY:
         return "KERN_INVALID_CAPABILITY";
+      case KERN_OPERATION_TIMED_OUT:
+        return "KERN_OPERATION_TIMED_OUT";
       case MACH_SEND_INVALID_DEST:
         return "MACH_SEND_INVALID_DEST";
       case MACH_SEND_TIMED_OUT:
         return "MACH_SEND_TIMED_OUT";
       case MACH_SEND_INVALID_RIGHT:
         return "MACH_SEND_INVALID_RIGHT";
+      case MACH_SEND_NO_BUFFER:
+        return "MACH_SEND_NO_BUFFER";
       case MACH_RCV_INVALID_NAME:
         return "MACH_RCV_INVALID_NAME";
       case MACH_RCV_TIMED_OUT:
         return "MACH_RCV_TIMED_OUT";
+      case MACH_RCV_INTERRUPTED:
+        return "MACH_RCV_INTERRUPTED";
       case MACH_RCV_PORT_DIED:
         return "MACH_RCV_PORT_DIED";
       case MACH_RCV_PORT_CHANGED:

@@ -32,12 +32,15 @@ inline constexpr kern_return_t KERN_INVALID_VALUE = 18;
 inline constexpr kern_return_t KERN_UREFS_OVERFLOW = 19;
 inline constexpr kern_return_t KERN_INVALID_CAPABILITY = 20;
 inline constexpr kern_return_t KERN_NOT_IN_SET = 12;
+inline constexpr kern_return_t KERN_OPERATION_TIMED_OUT = 49;
 
 inline constexpr kern_return_t MACH_SEND_INVALID_DEST = 0x10000003;
 inline constexpr kern_return_t MACH_SEND_TIMED_OUT = 0x10000004;
 inline constexpr kern_return_t MACH_SEND_INVALID_RIGHT = 0x10000007;
+inline constexpr kern_return_t MACH_SEND_NO_BUFFER = 0x1000000d;
 inline constexpr kern_return_t MACH_RCV_INVALID_NAME = 0x10004002;
 inline constexpr kern_return_t MACH_RCV_TIMED_OUT = 0x10004003;
+inline constexpr kern_return_t MACH_RCV_INTERRUPTED = 0x10004005;
 inline constexpr kern_return_t MACH_RCV_PORT_DIED = 0x10004008;
 inline constexpr kern_return_t MACH_RCV_PORT_CHANGED = 0x10004006;
 /// @}

@@ -4,6 +4,7 @@
 
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/fault_rail.h"
 
 namespace cider::xnu {
 
@@ -215,6 +216,8 @@ MachIpc::makePort(bool is_set)
     // zone can be armed with failure injection in tests. The deleter
     // captures the zone's shared handle so slabs stay valid however
     // long the port lives.
+    if (CIDER_FAULT_POINT("mach.port.alloc"))
+        return nullptr;
     void *mem = ducttape::zalloc(portZone_.get());
     if (!mem)
         return nullptr;
@@ -243,6 +246,8 @@ MachIpc::portAllocate(IpcSpace &space, PortRight right,
     entry.port = port;
     entry.hasReceive = (right == PortRight::Receive);
     entry.isPortSet = (right == PortRight::PortSet);
+    if (CIDER_FAULT_POINT("mach.name.alloc"))
+        return KERN_RESOURCE_SHORTAGE;
     ducttape::lck_mtx_lock(space.lock_);
     mach_port_name_t name = space.allocEntry(std::move(entry));
     ducttape::lck_mtx_unlock(space.lock_);
@@ -554,6 +559,8 @@ MachIpc::copyoutRight(IpcSpace &space, const KMsgRight &right)
 {
     if (!right.port)
         return MACH_PORT_NULL;
+    if (CIDER_FAULT_POINT("mach.right.copyout"))
+        return MACH_PORT_NULL;
 
     ducttape::lck_mtx_lock(space.lock_);
     // Send rights to the same port coalesce under one name, as in
@@ -604,13 +611,26 @@ MachIpc::copyoutRight(IpcSpace &space, const KMsgRight &right)
 }
 
 kern_return_t
-MachIpc::enqueue(const PortPtr &port, KMsg &&kmsg)
+MachIpc::enqueue(const PortPtr &port, KMsg &&kmsg, const SendOptions &opts)
 {
     ducttape::lck_mtx_lock(port->lock);
-    while (port->active && port->queue.size() >= port->qlimit) {
-        ducttape::waitq_wait(port->wq, port->lock, [&] {
-            return !port->active || port->queue.size() < port->qlimit;
-        });
+    auto room = [&] {
+        return !port->active || port->queue.size() < port->qlimit;
+    };
+    if (opts.hasTimeout) {
+        std::uint64_t deadline = virtualNow() + opts.timeoutNs;
+        if (!room() &&
+            !ducttape::waitq_wait_deadline(port->wq, port->lock, room,
+                                           deadline, "mach.send.qfull")) {
+            ducttape::lck_mtx_unlock(port->lock);
+            KMsg timed = std::move(kmsg);
+            destroyKMsgRights(timed);
+            return MACH_SEND_TIMED_OUT;
+        }
+    } else {
+        while (port->active && port->queue.size() >= port->qlimit)
+            ducttape::waitq_wait(port->wq, port->lock, room,
+                                 "mach.send.qfull");
     }
     if (!port->active) {
         ducttape::lck_mtx_unlock(port->lock);
@@ -634,18 +654,35 @@ MachIpc::enqueue(const PortPtr &port, KMsg &&kmsg)
 }
 
 kern_return_t
-MachIpc::dequeue(const PortPtr &port, bool nonblocking, KMsg *out)
+MachIpc::dequeue(const PortPtr &port, const RcvOptions &opts, KMsg *out)
 {
+    // Timed receives resolve their deadline once, against the
+    // receiver's virtual clock at entry.
+    std::uint64_t deadline =
+        opts.hasTimeout ? virtualNow() + opts.timeoutNs : 0;
+
     if (!port->isSet) {
         ducttape::lck_mtx_lock(port->lock);
-        while (port->active && port->queue.empty()) {
-            if (nonblocking) {
+        auto ready = [&] {
+            return !port->active || !port->queue.empty();
+        };
+        if (port->active && port->queue.empty()) {
+            if (opts.nonblocking) {
                 ducttape::lck_mtx_unlock(port->lock);
                 return MACH_RCV_TIMED_OUT;
             }
-            ducttape::waitq_wait(port->wq, port->lock, [&] {
-                return !port->active || !port->queue.empty();
-            });
+            if (opts.hasTimeout) {
+                if (!ducttape::waitq_wait_deadline(port->wq, port->lock,
+                                                   ready, deadline,
+                                                   "mach.rcv")) {
+                    ducttape::lck_mtx_unlock(port->lock);
+                    return MACH_RCV_TIMED_OUT;
+                }
+            } else {
+                while (port->active && port->queue.empty())
+                    ducttape::waitq_wait(port->wq, port->lock, ready,
+                                         "mach.rcv");
+            }
         }
         if (port->queue.empty()) {
             ducttape::lck_mtx_unlock(port->lock);
@@ -679,12 +716,12 @@ MachIpc::dequeue(const PortPtr &port, bool nonblocking, KMsg *out)
             }
             ducttape::lck_mtx_unlock(member->lock);
         }
-        if (nonblocking) {
+        if (opts.nonblocking) {
             ducttape::lck_mtx_unlock(port->lock);
             return MACH_RCV_TIMED_OUT;
         }
         // Park until any member (or the set itself) changes state.
-        ducttape::waitq_wait(port->wq, port->lock, [&] {
+        auto any_ready = [&] {
             if (!port->active)
                 return true;
             for (auto &weak : port->members) {
@@ -698,14 +735,28 @@ MachIpc::dequeue(const PortPtr &port, bool nonblocking, KMsg *out)
                     return true;
             }
             return false;
-        });
+        };
+        if (opts.hasTimeout) {
+            if (!ducttape::waitq_wait_deadline(port->wq, port->lock,
+                                               any_ready, deadline,
+                                               "mach.rcv.set")) {
+                ducttape::lck_mtx_unlock(port->lock);
+                return MACH_RCV_TIMED_OUT;
+            }
+        } else {
+            ducttape::waitq_wait(port->wq, port->lock, any_ready,
+                                 "mach.rcv.set");
+        }
     }
 }
 
 kern_return_t
-MachIpc::msgSend(IpcSpace &space, MachMessage &&msg)
+MachIpc::msgSend(IpcSpace &space, MachMessage &&msg,
+                 const SendOptions &opts)
 {
     charge(kMsgBaseNs + bodyCopyNs(msg.body.size()));
+    if (CIDER_FAULT_POINT("mach.msg.send"))
+        return MACH_SEND_NO_BUFFER;
 
     KMsgRight dest;
     kern_return_t kr = copyinRight(space, msg.header.remotePort,
@@ -743,7 +794,7 @@ MachIpc::msgSend(IpcSpace &space, MachMessage &&msg)
         kmsg.ool.push_back(std::move(ool));
     }
 
-    kr = enqueue(dest.port, std::move(kmsg));
+    kr = enqueue(dest.port, std::move(kmsg), opts);
     if (kr == KERN_SUCCESS) {
         ducttape::lck_mtx_lock(statsLock_);
         ++stats_.messagesSent;
@@ -766,8 +817,11 @@ MachIpc::msgReceive(IpcSpace &space, mach_port_name_t name,
     PortPtr port = entry->port;
     ducttape::lck_mtx_unlock(space.lock_);
 
+    if (CIDER_FAULT_POINT("mach.msg.receive"))
+        return MACH_RCV_INTERRUPTED;
+
     KMsg kmsg;
-    kern_return_t kr = dequeue(port, opts.nonblocking, &kmsg);
+    kern_return_t kr = dequeue(port, opts, &kmsg);
     if (kr != KERN_SUCCESS)
         return kr;
 

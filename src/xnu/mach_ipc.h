@@ -194,6 +194,19 @@ struct MachIpcStats
 struct RcvOptions
 {
     bool nonblocking = false;
+    /** MACH_RCV_TIMEOUT: give up once the receiver's virtual clock
+     *  would pass now + timeoutNs (clock lands exactly on the
+     *  deadline on expiry). */
+    bool hasTimeout = false;
+    std::uint64_t timeoutNs = 0;
+};
+
+/** Options for msgSend. */
+struct SendOptions
+{
+    /** MACH_SEND_TIMEOUT: bound the qlimit back-pressure block. */
+    bool hasTimeout = false;
+    std::uint64_t timeoutNs = 0;
 };
 
 /** The Mach IPC subsystem instance living in the domestic kernel. */
@@ -247,7 +260,8 @@ class MachIpc
     /// @}
 
     /// @{ Messaging.
-    kern_return_t msgSend(IpcSpace &space, MachMessage &&msg);
+    kern_return_t msgSend(IpcSpace &space, MachMessage &&msg,
+                          const SendOptions &opts = {});
     kern_return_t msgReceive(IpcSpace &space, mach_port_name_t name,
                              MachMessage &out,
                              const RcvOptions &opts = {});
@@ -293,8 +307,9 @@ class MachIpc
     /** Install a right into @p space, returning its name (copyout). */
     mach_port_name_t copyoutRight(IpcSpace &space, const KMsgRight &right);
 
-    kern_return_t enqueue(const PortPtr &port, KMsg &&kmsg);
-    kern_return_t dequeue(const PortPtr &port, bool nonblocking,
+    kern_return_t enqueue(const PortPtr &port, KMsg &&kmsg,
+                          const SendOptions &opts = {});
+    kern_return_t dequeue(const PortPtr &port, const RcvOptions &opts,
                           KMsg *out);
 
     void sendDeadNameNotification(const PortPtr &notify_port,

@@ -149,17 +149,35 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     static_cast<mach_port_name_t>(c.args.u64(2));
                 auto *rcv_msg =
                     static_cast<MachMessage *>(c.args.ptr(3));
+                // Optional 5th argument: timeout in virtual ns,
+                // consumed by RCV_TIMEOUT / SEND_TIMEOUT.
+                std::uint64_t timeout_ns =
+                    c.args.size() > 4 ? c.args.u64(4) : 0;
 
                 if ((options & machmsg::SEND) && send_msg) {
-                    kern_return_t code =
-                        ipc.msgSend(*task.space, std::move(*send_msg));
+                    SendOptions sopts;
+                    if ((options & machmsg::SEND_TIMEOUT) != 0) {
+                        sopts.hasTimeout = true;
+                        sopts.timeoutNs = timeout_ns;
+                    }
+                    kern_return_t code = ipc.msgSend(
+                        *task.space, std::move(*send_msg), sopts);
                     if (code != KERN_SUCCESS)
                         return kr(code);
                 }
                 if ((options & machmsg::RCV) && rcv_msg) {
                     RcvOptions opts;
-                    opts.nonblocking =
-                        (options & machmsg::RCV_TIMEOUT) != 0;
+                    if ((options & machmsg::RCV_TIMEOUT) != 0) {
+                        // A real timeout arms a bounded virtual-time
+                        // wait; zero (or no argument) keeps the
+                        // historical poll semantics.
+                        if (timeout_ns > 0) {
+                            opts.hasTimeout = true;
+                            opts.timeoutNs = timeout_ns;
+                        } else {
+                            opts.nonblocking = true;
+                        }
+                    }
                     return kr(ipc.msgReceive(*task.space, rcv_name,
                                              *rcv_msg, opts));
                 }
@@ -201,6 +219,11 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
 
     tbl.set(machno::SEMAPHORE_WAIT, "semaphore_wait",
             [](TrapContext &c, void *u) {
+                // Optional 2nd argument: timeout in virtual ns
+                // (semaphore_timedwait folded into the same trap).
+                if (c.args.size() > 1)
+                    return kr(psynchOf(u).semWaitDeadline(
+                        c.args.u64(0), c.args.u64(1)));
                 return kr(psynchOf(u).semWait(c.args.u64(0)));
             },
             &psynch);

@@ -50,7 +50,11 @@ namespace machmsg {
 
 inline constexpr std::uint64_t SEND = 0x1;
 inline constexpr std::uint64_t RCV = 0x2;
-inline constexpr std::uint64_t RCV_TIMEOUT = 0x4; ///< poll, don't block
+/** With a timeout argument > 0: bounded wait against virtual time;
+ *  with no (or zero) timeout: poll, don't block. */
+inline constexpr std::uint64_t RCV_TIMEOUT = 0x4;
+/** Bound the send-side qlimit block by the timeout argument. */
+inline constexpr std::uint64_t SEND_TIMEOUT = 0x8;
 
 } // namespace machmsg
 

@@ -1,6 +1,8 @@
 #include "xnu/psynch.h"
 
+#include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/fault_rail.h"
 
 namespace cider::xnu {
 
@@ -58,6 +60,8 @@ kern_return_t
 PsynchSubsystem::mutexWait(std::uint64_t mutex_addr,
                            std::uint64_t owner_tid)
 {
+    if (CIDER_FAULT_POINT("psynch.wait"))
+        return KERN_OPERATION_TIMED_OUT;
     KwQueue &kwq = lookup(mutex_addr);
     ducttape::lck_mtx_lock(kwq.lock);
     if (kwq.locked && kwq.ownerTid == owner_tid) {
@@ -66,7 +70,40 @@ PsynchSubsystem::mutexWait(std::uint64_t mutex_addr,
     }
     while (kwq.locked) {
         ducttape::waitq_wait(kwq.wq, kwq.lock,
-                             [&] { return !kwq.locked; });
+                             [&] { return !kwq.locked; },
+                             "psynch.mutex");
+    }
+    kwq.locked = true;
+    kwq.ownerTid = owner_tid;
+    ducttape::lck_mtx_unlock(kwq.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.mutexWaits;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::mutexWaitDeadline(std::uint64_t mutex_addr,
+                                   std::uint64_t owner_tid,
+                                   std::uint64_t timeout_ns)
+{
+    if (CIDER_FAULT_POINT("psynch.wait"))
+        return KERN_OPERATION_TIMED_OUT;
+    KwQueue &kwq = lookup(mutex_addr);
+    ducttape::lck_mtx_lock(kwq.lock);
+    if (kwq.locked && kwq.ownerTid == owner_tid) {
+        ducttape::lck_mtx_unlock(kwq.lock);
+        return KERN_INVALID_ARGUMENT; // non-recursive: self-deadlock
+    }
+    if (kwq.locked) {
+        std::uint64_t deadline = virtualNow() + timeout_ns;
+        if (!ducttape::waitq_wait_deadline(kwq.wq, kwq.lock,
+                                           [&] { return !kwq.locked; },
+                                           deadline, "psynch.mutex")) {
+            ducttape::lck_mtx_unlock(kwq.lock);
+            return KERN_OPERATION_TIMED_OUT;
+        }
     }
     kwq.locked = true;
     kwq.ownerTid = owner_tid;
@@ -103,6 +140,8 @@ kern_return_t
 PsynchSubsystem::cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
                         std::uint64_t tid)
 {
+    if (CIDER_FAULT_POINT("psynch.wait"))
+        return KERN_OPERATION_TIMED_OUT;
     KwQueue &cv = lookup(cv_addr);
 
     // Atomically: drop the mutex, then sleep on the cv.
@@ -113,7 +152,8 @@ PsynchSubsystem::cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
     ducttape::lck_mtx_lock(cv.lock);
     std::uint64_t my_seq = ++cv.cvSeq;
     ducttape::waitq_wait(cv.wq, cv.lock,
-                         [&] { return cv.cvSignalled >= my_seq; });
+                         [&] { return cv.cvSignalled >= my_seq; },
+                         "psynch.cv");
     ducttape::lck_mtx_unlock(cv.lock);
 
     ducttape::lck_mtx_lock(statsLock_);
@@ -122,6 +162,46 @@ PsynchSubsystem::cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
 
     // Reacquire the mutex before returning to user space.
     return mutexWait(mutex_addr, tid);
+}
+
+kern_return_t
+PsynchSubsystem::cvWaitDeadline(std::uint64_t cv_addr,
+                                std::uint64_t mutex_addr,
+                                std::uint64_t tid,
+                                std::uint64_t timeout_ns)
+{
+    if (CIDER_FAULT_POINT("psynch.wait"))
+        return KERN_OPERATION_TIMED_OUT;
+    KwQueue &cv = lookup(cv_addr);
+
+    kern_return_t kr = mutexDrop(mutex_addr, tid);
+    if (kr != KERN_SUCCESS)
+        return kr;
+
+    ducttape::lck_mtx_lock(cv.lock);
+    std::uint64_t my_seq = ++cv.cvSeq;
+    std::uint64_t deadline = virtualNow() + timeout_ns;
+    bool woke = ducttape::waitq_wait_deadline(
+        cv.wq, cv.lock, [&] { return cv.cvSignalled >= my_seq; },
+        deadline, "psynch.cv");
+    if (!woke) {
+        // Retire our pending generation so the signal/seq accounting
+        // stays balanced. A signal aimed at us may now wake a later
+        // waiter spuriously — legal condition-variable semantics.
+        ++cv.cvSignalled;
+        ducttape::waitq_wakeup_all(cv.wq);
+    }
+    ducttape::lck_mtx_unlock(cv.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.cvWaits;
+    ducttape::lck_mtx_unlock(statsLock_);
+
+    // Reacquire the mutex before reporting either outcome.
+    kr = mutexWait(mutex_addr, tid);
+    if (kr != KERN_SUCCESS)
+        return kr;
+    return woke ? KERN_SUCCESS : KERN_OPERATION_TIMED_OUT;
 }
 
 kern_return_t
@@ -171,10 +251,37 @@ PsynchSubsystem::semInit(std::uint64_t sem_addr, std::int32_t value)
 kern_return_t
 PsynchSubsystem::semWait(std::uint64_t sem_addr)
 {
+    if (CIDER_FAULT_POINT("psynch.wait"))
+        return KERN_OPERATION_TIMED_OUT;
     KwQueue &sem = lookup(sem_addr);
     ducttape::lck_mtx_lock(sem.lock);
     ducttape::waitq_wait(sem.wq, sem.lock,
-                         [&] { return sem.semValue > 0; });
+                         [&] { return sem.semValue > 0; },
+                         "psynch.sem");
+    --sem.semValue;
+    ducttape::lck_mtx_unlock(sem.lock);
+
+    ducttape::lck_mtx_lock(statsLock_);
+    ++stats_.semWaits;
+    ducttape::lck_mtx_unlock(statsLock_);
+    return KERN_SUCCESS;
+}
+
+kern_return_t
+PsynchSubsystem::semWaitDeadline(std::uint64_t sem_addr,
+                                 std::uint64_t timeout_ns)
+{
+    if (CIDER_FAULT_POINT("psynch.wait"))
+        return KERN_OPERATION_TIMED_OUT;
+    KwQueue &sem = lookup(sem_addr);
+    ducttape::lck_mtx_lock(sem.lock);
+    std::uint64_t deadline = virtualNow() + timeout_ns;
+    if (!ducttape::waitq_wait_deadline(sem.wq, sem.lock,
+                                       [&] { return sem.semValue > 0; },
+                                       deadline, "psynch.sem")) {
+        ducttape::lck_mtx_unlock(sem.lock);
+        return KERN_OPERATION_TIMED_OUT;
+    }
     --sem.semValue;
     ducttape::lck_mtx_unlock(sem.lock);
 

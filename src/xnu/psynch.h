@@ -48,6 +48,11 @@ class PsynchSubsystem
     /// @{ psynch_mutex*: kernel arbitration for contended mutexes.
     kern_return_t mutexWait(std::uint64_t mutex_addr,
                             std::uint64_t owner_tid);
+    /** Deadline form: KERN_OPERATION_TIMED_OUT once the waiter's
+     *  virtual clock would pass now + timeout_ns. */
+    kern_return_t mutexWaitDeadline(std::uint64_t mutex_addr,
+                                    std::uint64_t owner_tid,
+                                    std::uint64_t timeout_ns);
     kern_return_t mutexDrop(std::uint64_t mutex_addr,
                             std::uint64_t owner_tid);
     /// @}
@@ -56,6 +61,14 @@ class PsynchSubsystem
     /** Atomically drop the mutex and wait on the cv. */
     kern_return_t cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
                          std::uint64_t tid);
+    /** Deadline form. On timeout the waiter's pending generation is
+     *  retired (a later waiter may see one spurious wakeup — legal cv
+     *  semantics), the mutex is reacquired, and
+     *  KERN_OPERATION_TIMED_OUT is returned. */
+    kern_return_t cvWaitDeadline(std::uint64_t cv_addr,
+                                 std::uint64_t mutex_addr,
+                                 std::uint64_t tid,
+                                 std::uint64_t timeout_ns);
     kern_return_t cvSignal(std::uint64_t cv_addr);
     kern_return_t cvBroadcast(std::uint64_t cv_addr);
     /// @}
@@ -63,6 +76,9 @@ class PsynchSubsystem
     /// @{ Mach semaphores.
     kern_return_t semInit(std::uint64_t sem_addr, std::int32_t value);
     kern_return_t semWait(std::uint64_t sem_addr);
+    /** Deadline form: KERN_OPERATION_TIMED_OUT on expiry. */
+    kern_return_t semWaitDeadline(std::uint64_t sem_addr,
+                                  std::uint64_t timeout_ns);
     kern_return_t semSignal(std::uint64_t sem_addr);
     /// @}
 
