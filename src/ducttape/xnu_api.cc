@@ -320,6 +320,10 @@ xnu_kfree(void *p, std::size_t size)
 struct WaitQ
 {
     std::condition_variable_any cv;
+    /** Wakeup epoch: bumped on every wakeup_one/all so timed waiters
+     *  can tell an idle grace interval from one where wakeups flowed
+     *  to other waiters (see waitq_wait_deadline). */
+    std::atomic<std::uint64_t> wakeEpoch{0};
 };
 
 WaitQ *
@@ -409,14 +413,25 @@ waitq_wait_deadline(WaitQ *wq, LckMtx *held,
         return false;
     BlockScope scope(who);
     // A parked thread's virtual clock cannot advance, so deadline
-    // expiry is decided by one host-side grace interval: if no wakeup
-    // made the predicate true within it, none is coming, and the wait
-    // times out with the caller's clock advanced exactly to the
-    // deadline — host scheduling jitter never leaks into virtual time.
+    // expiry is decided by host-side grace intervals: once a full
+    // interval passes with no wakeup activity on this waitq, none is
+    // coming, and the wait times out with the caller's clock advanced
+    // exactly to the deadline — host scheduling jitter never leaks
+    // into virtual time. An interval that *did* see wakeups (consumed
+    // by other waiters, or merely slow to propagate on a loaded host)
+    // re-arms the window, so a legitimate wakeup that precedes the
+    // virtual deadline is never misreported as a timeout just because
+    // the host is busy.
     auto grace = std::chrono::milliseconds(
         blockGraceMs.load(std::memory_order_relaxed));
-    if (wq->cv.wait_for(held->mu, grace, pred))
-        return true;
+    for (;;) {
+        std::uint64_t epoch =
+            wq->wakeEpoch.load(std::memory_order_relaxed);
+        if (wq->cv.wait_for(held->mu, grace, pred))
+            return true;
+        if (wq->wakeEpoch.load(std::memory_order_relaxed) == epoch)
+            break; // a truly idle interval: expire
+    }
     charge(deadline_ns - now);
     return false;
 }
@@ -458,6 +473,7 @@ void
 waitq_wakeup_all(WaitQ *wq)
 {
     charge(kWakeupNs);
+    wq->wakeEpoch.fetch_add(1, std::memory_order_relaxed);
     wq->cv.notify_all();
 }
 
@@ -465,6 +481,7 @@ void
 waitq_wakeup_one(WaitQ *wq)
 {
     charge(kWakeupNs);
+    wq->wakeEpoch.fetch_add(1, std::memory_order_relaxed);
     wq->cv.notify_one();
 }
 

@@ -78,6 +78,9 @@ FaultRail::arm(const std::string &site_name, const FaultSpec &spec)
         --armedCount_;
     s->armed = spec.kind != FaultSpec::Kind::Never;
     s->spec = spec;
+    // Nth/EveryK count from arming (and only pid-matching hits), so
+    // every arm starts the policy stream fresh.
+    s->policyHits = 0;
     if (spec.kind == FaultSpec::Kind::Probability)
         s->rng = Rng(spec.seed);
     bumpActivity(0);
@@ -143,6 +146,7 @@ FaultRail::disarmAll()
     for (auto &s : sites_) {
         s->armed = false;
         s->spec = FaultSpec{};
+        s->policyHits = 0;
     }
     armedCount_ = 0;
     bumpActivity(0);
@@ -163,19 +167,23 @@ FaultRail::shouldFailSlow(SiteId id)
     if (id >= sites_.size())
         return false;
     Site &s = *sites_[id];
-    std::uint64_t hit =
-        s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Raw traffic counter (the hits column of /proc/cider/faults):
+    // every evaluation while the rail is active, any process.
+    s.hits.fetch_add(1, std::memory_order_relaxed);
     if (!s.armed)
         return false;
 
     // Per-process scope: an unscoped site fires for any caller; a
-    // scoped one only when the host thread simulates that pid.
+    // scoped one only when the host thread simulates that pid. The
+    // filter runs before policy counting so foreign-pid traffic never
+    // consumes an Nth/EveryK slot.
     if (s.spec.pid >= 0) {
         Thread *t = Thread::current();
         if (!t || t->process().pid() != s.spec.pid)
             return false;
     }
 
+    std::uint64_t hit = ++s.policyHits;
     bool fire = false;
     switch (s.spec.kind) {
       case FaultSpec::Kind::Never:
@@ -258,6 +266,7 @@ FaultRail::resetCounters()
     for (auto &s : sites_) {
         s->hits.store(0, std::memory_order_relaxed);
         s->trips.store(0, std::memory_order_relaxed);
+        s->policyHits = 0;
     }
 }
 

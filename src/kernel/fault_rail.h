@@ -15,15 +15,18 @@
  *
  * Trigger policies are deterministic and virtual-time aware:
  *
- *  - nth(n)      fire exactly once, on the n-th hit (1-based);
- *  - every(k)    fire on every k-th hit;
+ *  - nth(n)      fire exactly once, on the n-th hit since arming
+ *                (1-based);
+ *  - every(k)    fire on every k-th hit since arming;
  *  - prob(p,s)   seeded Bernoulli draw per hit (base::Rng SplitMix64);
  *  - window(a,b) fire while the caller's virtual time is in [a, b).
  *
  * Any policy can additionally be scoped to one process: a scoped site
  * only trips when the calling host thread is simulating a thread of
  * that pid, so a fault storm can target the app under test while
- * system services keep running clean.
+ * system services keep running clean. Policy counting happens after
+ * the scope filter: a scoped nth(n) fires on the n-th hit *by that
+ * process*, regardless of how much other traffic crosses the site.
  *
  * Injection is free when disabled: with no site armed and tracking
  * off, shouldFail() is a single relaxed load and never touches the
@@ -162,6 +165,11 @@ class FaultRail
         Rng rng{0}; ///< per-site SplitMix64 stream (Probability)
         std::atomic<std::uint64_t> hits{0};
         std::atomic<std::uint64_t> trips{0};
+        /** Hits the armed policy actually saw: counted after the pid
+         *  filter and zeroed at arm(), so Nth/EveryK fire on the n-th
+         *  *matching* hit since arming — traffic from other processes
+         *  or from before arming never consumes a policy slot. */
+        std::uint64_t policyHits = 0;
     };
 
     FaultRail() = default;

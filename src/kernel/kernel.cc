@@ -160,7 +160,7 @@ SyscallTable::slotFor(int nr, const char *sys_name)
     return dense_[idx];
 }
 
-void
+SyscallTable::Entry &
 SyscallTable::set(int nr, const char *sys_name, SyscallFn fn,
                   void *user)
 {
@@ -175,9 +175,10 @@ SyscallTable::set(int nr, const char *sys_name, SyscallFn fn,
     e.user = user;
     e.stat = std::make_unique<SyscallStat>();
     ++count_;
+    return e;
 }
 
-void
+SyscallTable::Entry &
 SyscallTable::set(int nr, const char *sys_name, SyscallHandler fallback)
 {
     Entry &e = slotFor(nr, sys_name);
@@ -190,6 +191,7 @@ SyscallTable::set(int nr, const char *sys_name, SyscallHandler fallback)
     e.fallback = std::move(fallback);
     e.stat = std::make_unique<SyscallStat>();
     ++count_;
+    return e;
 }
 
 const char *
@@ -286,8 +288,12 @@ Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
         // register (its "success" value carries the kern_return_t).
         bool oom = !r.ok() && r.err == lnx::NOMEM;
         // (6 == KERN_RESOURCE_SHORTAGE; the domestic kernel does not
-        // include the foreign headers, only the ABI value.)
-        if (!oom && cls == TrapClass::XnuMach && r.ok() && r.value == 6)
+        // include the foreign headers, only the ABI value.) Only
+        // entries tagged returnsKr carry a kern_return_t there —
+        // identity traps return plain values (a tid, a port name) in
+        // the same register, and those can legitimately be 6.
+        if (!oom && cls == TrapClass::XnuMach && ctx.entry &&
+            ctx.entry->returnsKr && r.ok() && r.value == 6)
             oom = true;
         // Only the process main thread unwinds via ProcessExit —
         // runProcess catches it there; service threads started with

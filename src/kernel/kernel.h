@@ -79,6 +79,15 @@ class SyscallTable
         SyscallHandler fallback;
         /** Per-syscall counters (stable address; see trap_stats.h). */
         std::unique_ptr<SyscallStat> stat;
+        /**
+         * True when the handler's success value is a kern_return_t
+         * (Mach convention: the code rides in the return register).
+         * Traps returning plain values there — a tid, a port name, a
+         * count — leave this false so layers interpreting the result
+         * (e.g. the OOM-kill heuristic matching
+         * KERN_RESOURCE_SHORTAGE) never misread them.
+         */
+        bool returnsKr = false;
 
         bool empty() const { return fn == nullptr && !fallback; }
 
@@ -91,11 +100,12 @@ class SyscallTable
 
     explicit SyscallTable(std::string name) : name_(std::move(name)) {}
 
-    /** Register the fast-path form. Panics on duplicate @p nr. */
-    void set(int nr, const char *sys_name, SyscallFn fn,
-             void *user = nullptr);
+    /** Register the fast-path form. Panics on duplicate @p nr.
+     *  Returns the entry so registrars can tag it (returnsKr). */
+    Entry &set(int nr, const char *sys_name, SyscallFn fn,
+               void *user = nullptr);
     /** Register the capture-heavy fallback form. Panics on duplicate. */
-    void set(int nr, const char *sys_name, SyscallHandler fallback);
+    Entry &set(int nr, const char *sys_name, SyscallHandler fallback);
 
     /** O(1) lookup; null when @p nr has no handler. */
     const Entry *

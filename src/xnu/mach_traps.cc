@@ -70,7 +70,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     static_cast<mach_port_name_t *>(c.args.ptr(1));
                 return kr(ipc.portAllocate(*task.space, right, out));
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::PORT_DESTROY, "mach_port_destroy",
             [](TrapContext &c, void *u) {
@@ -80,7 +81,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     *task.space,
                     static_cast<mach_port_name_t>(c.args.u64(0))));
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::PORT_DEALLOCATE, "mach_port_deallocate",
             [](TrapContext &c, void *u) {
@@ -90,7 +92,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     *task.space,
                     static_cast<mach_port_name_t>(c.args.u64(0))));
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::PORT_INSERT_RIGHT, "mach_port_insert_right",
             [](TrapContext &c, void *u) {
@@ -101,7 +104,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     static_cast<mach_port_name_t>(c.args.u64(0)),
                     static_cast<MsgDisposition>(c.args.u64(1))));
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::MACH_REPLY_PORT, "mach_reply_port",
             [](TrapContext &c, void *u) {
@@ -183,7 +187,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                 }
                 return kr(KERN_SUCCESS);
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::PORT_SET_INSERT, "mach_port_move_member",
             [](TrapContext &c, void *u) {
@@ -194,7 +199,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     static_cast<mach_port_name_t>(c.args.u64(0)),
                     static_cast<mach_port_name_t>(c.args.u64(1))));
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::PORT_SET_REMOVE, "mach_port_set_remove",
             [](TrapContext &c, void *u) {
@@ -204,7 +210,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     *task.space,
                     static_cast<mach_port_name_t>(c.args.u64(0))));
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::REQUEST_NOTIFY, "mach_port_request_notification",
             [](TrapContext &c, void *u) {
@@ -215,7 +222,8 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     static_cast<mach_port_name_t>(c.args.u64(0)),
                     static_cast<mach_port_name_t>(c.args.u64(1))));
             },
-            &ipc);
+            &ipc)
+        .returnsKr = true;
 
     tbl.set(machno::SEMAPHORE_WAIT, "semaphore_wait",
             [](TrapContext &c, void *u) {
@@ -226,13 +234,15 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                         c.args.u64(0), c.args.u64(1)));
                 return kr(psynchOf(u).semWait(c.args.u64(0)));
             },
-            &psynch);
+            &psynch)
+        .returnsKr = true;
 
     tbl.set(machno::SEMAPHORE_SIGNAL, "semaphore_signal",
             [](TrapContext &c, void *u) {
                 return kr(psynchOf(u).semSignal(c.args.u64(0)));
             },
-            &psynch);
+            &psynch)
+        .returnsKr = true;
 }
 
 } // namespace cider::xnu

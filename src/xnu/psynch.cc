@@ -1,10 +1,24 @@
 #include "xnu/psynch.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/cost_clock.h"
 #include "base/logging.h"
 #include "kernel/fault_rail.h"
 
 namespace cider::xnu {
+
+/**
+ * One parked condition-variable waiter. Lives on the waiting thread's
+ * stack for the duration of the wait; signallers mark it (and unlink
+ * it from the queue) under the KwQueue lock, so the pointer can never
+ * outlive the frame it points into.
+ */
+struct CvWaiter
+{
+    bool signalled = false;
+};
 
 /** Kernel wait-queue object backing one user psynch address. */
 struct PsynchSubsystem::KwQueue
@@ -25,10 +39,12 @@ struct PsynchSubsystem::KwQueue
     // Mutex state.
     std::uint64_t ownerTid = 0;
     bool locked = false;
-    // Condition-variable state: generation counting avoids lost and
-    // spurious pairings across broadcast.
-    std::uint64_t cvSeq = 0;
-    std::uint64_t cvSignalled = 0;
+    // Condition-variable state: a FIFO of parked waiters, each with
+    // its own wakeup flag. A signal marks (and unlinks) the oldest
+    // waiter, a broadcast marks all, and a timed-out waiter unlinks
+    // itself — so a timeout can never consume a wakeup that an older
+    // live waiter is watching (no lost signals, no phantom pairings).
+    std::vector<CvWaiter *> cvWaiters;
     // Semaphore state.
     std::int32_t semValue = 0;
 };
@@ -150,9 +166,10 @@ PsynchSubsystem::cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
         return kr;
 
     ducttape::lck_mtx_lock(cv.lock);
-    std::uint64_t my_seq = ++cv.cvSeq;
+    CvWaiter self;
+    cv.cvWaiters.push_back(&self);
     ducttape::waitq_wait(cv.wq, cv.lock,
-                         [&] { return cv.cvSignalled >= my_seq; },
+                         [&] { return self.signalled; },
                          "psynch.cv");
     ducttape::lck_mtx_unlock(cv.lock);
 
@@ -179,17 +196,21 @@ PsynchSubsystem::cvWaitDeadline(std::uint64_t cv_addr,
         return kr;
 
     ducttape::lck_mtx_lock(cv.lock);
-    std::uint64_t my_seq = ++cv.cvSeq;
+    CvWaiter self;
+    cv.cvWaiters.push_back(&self);
     std::uint64_t deadline = virtualNow() + timeout_ns;
     bool woke = ducttape::waitq_wait_deadline(
-        cv.wq, cv.lock, [&] { return cv.cvSignalled >= my_seq; },
+        cv.wq, cv.lock, [&] { return self.signalled; },
         deadline, "psynch.cv");
     if (!woke) {
-        // Retire our pending generation so the signal/seq accounting
-        // stays balanced. A signal aimed at us may now wake a later
-        // waiter spuriously — legal condition-variable semantics.
-        ++cv.cvSignalled;
-        ducttape::waitq_wakeup_all(cv.wq);
+        // Timed out un-signalled: unlink our own record (still queued
+        // — a signaller would have both marked and removed it). Later
+        // signals then pair with the remaining waiters exactly as if
+        // we had never waited; no slot is consumed on our behalf.
+        auto it = std::find(cv.cvWaiters.begin(), cv.cvWaiters.end(),
+                            &self);
+        if (it != cv.cvWaiters.end())
+            cv.cvWaiters.erase(it);
     }
     ducttape::lck_mtx_unlock(cv.lock);
 
@@ -209,8 +230,11 @@ PsynchSubsystem::cvSignal(std::uint64_t cv_addr)
 {
     KwQueue &cv = lookup(cv_addr);
     ducttape::lck_mtx_lock(cv.lock);
-    if (cv.cvSignalled < cv.cvSeq) {
-        ++cv.cvSignalled;
+    if (!cv.cvWaiters.empty()) {
+        // Wake the oldest parked waiter (FIFO, as XNU's psynch does).
+        CvWaiter *w = cv.cvWaiters.front();
+        cv.cvWaiters.erase(cv.cvWaiters.begin());
+        w->signalled = true;
         ducttape::waitq_wakeup_all(cv.wq);
     }
     ducttape::lck_mtx_unlock(cv.lock);
@@ -226,7 +250,9 @@ PsynchSubsystem::cvBroadcast(std::uint64_t cv_addr)
 {
     KwQueue &cv = lookup(cv_addr);
     ducttape::lck_mtx_lock(cv.lock);
-    cv.cvSignalled = cv.cvSeq;
+    for (CvWaiter *w : cv.cvWaiters)
+        w->signalled = true;
+    cv.cvWaiters.clear();
     ducttape::waitq_wakeup_all(cv.wq);
     ducttape::lck_mtx_unlock(cv.lock);
 

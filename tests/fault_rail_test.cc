@@ -82,6 +82,22 @@ TEST_F(FaultRailTest, NthFiresExactlyOnceOnTheNthHit)
     EXPECT_EQ(rail_.hits("test.nth"), 6u);
 }
 
+TEST_F(FaultRailTest, NthCountsFromArmingNotFromSiteHistory)
+{
+    FaultRail::SiteId id = rail_.site("test.rearm");
+    rail_.setTracking(true);
+    // Pre-arm traffic while only tracking is on: counted as raw hits,
+    // but it must not consume policy slots armed later.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(rail_.shouldFail(id));
+    rail_.armNth("test.rearm", 2);
+    EXPECT_FALSE(rail_.shouldFail(id)); // 1st hit since arming
+    EXPECT_TRUE(rail_.shouldFail(id));  // 2nd since arming fires
+    EXPECT_FALSE(rail_.shouldFail(id)); // one-shot stays spent
+    EXPECT_EQ(rail_.trips("test.rearm"), 1u);
+    EXPECT_EQ(rail_.hits("test.rearm"), 8u); // raw traffic: all probes
+}
+
 TEST_F(FaultRailTest, EveryKFiresPeriodically)
 {
     FaultRail::SiteId id = rail_.site("test.everyk");
@@ -299,6 +315,25 @@ TEST_F(FaultKernelTest, PidScopedSiteOnlyFiresForThatProcess)
     EXPECT_FALSE(rail_.shouldFail(id));
 }
 
+TEST_F(FaultKernelTest, ScopedNthIgnoresOtherProcessTraffic)
+{
+    rail_.armNth("test.scoped.nth", 1, ios_->pid());
+    FaultRail::SiteId id = rail_.site("test.scoped.nth");
+    {
+        // Another process burns through the site first; its traffic
+        // must not consume the scoped one-shot.
+        ThreadScope scope(android_->mainThread());
+        for (int i = 0; i < 3; ++i)
+            EXPECT_FALSE(rail_.shouldFail(id));
+    }
+    {
+        ThreadScope scope(ios_->mainThread());
+        EXPECT_TRUE(rail_.shouldFail(id)); // 1st matching hit fires
+        EXPECT_FALSE(rail_.shouldFail(id));
+    }
+    EXPECT_EQ(rail_.trips("test.scoped.nth"), 1u);
+}
+
 TEST_F(FaultKernelTest, VfsLookupFaultSurfacesAsEIO)
 {
     kernel_.vfs().writeFile("/tmp/victim", Bytes{1, 2, 3});
@@ -418,6 +453,45 @@ TEST_F(FaultKernelTest, OomKillOffByDefault)
     // Mach convention: the kern_return_t rides in the value register.
     EXPECT_EQ(r.value, 6); // KERN_RESOURCE_SHORTAGE
     EXPECT_EQ(ios_->state(), Process::State::Running);
+}
+
+TEST_F(FaultKernelTest, PlainValueMachTrapIsNotMistakenForOom)
+{
+    kernel_.setOomKillEnabled(true);
+    // Two custom Mach traps, both handing 6 back in the return
+    // register: one as a plain value (the shape of thread_self
+    // returning tid 6), one tagged as a kern_return_t.
+    mgr_.machTable().set(-50, "test_plain_six",
+                         [](TrapContext &, void *) {
+                             return SyscallResult::success(6);
+                         });
+    mgr_.machTable()
+        .set(-51, "test_kr_six",
+             [](TrapContext &, void *) {
+                 // KERN_RESOURCE_SHORTAGE by Mach convention.
+                 return SyscallResult::success(6);
+             })
+        .returnsKr = true;
+
+    Thread &t = ios_->mainThread();
+    SyscallResult r = trapAs(t, TrapClass::XnuMach, -50);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, 6);
+    EXPECT_EQ(ios_->state(), Process::State::Running);
+    EXPECT_EQ(kernel_.trapStats().oomKills(), 0u);
+
+    // The same register value from a kr-tagged trap is a real
+    // resource shortage and takes the kill path.
+    bool killed = false;
+    try {
+        trapAs(t, TrapClass::XnuMach, -51);
+    } catch (const ProcessExit &e) {
+        killed = true;
+        EXPECT_EQ(e.code, 128 + lsig::KILL);
+    }
+    ASSERT_TRUE(killed);
+    EXPECT_EQ(ios_->state(), Process::State::Zombie);
+    EXPECT_EQ(kernel_.trapStats().oomKills(), 1u);
 }
 
 TEST_F(FaultKernelTest, ProcFaultsNodeIsReadable)

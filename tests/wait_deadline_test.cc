@@ -338,6 +338,23 @@ class PsynchDeadlineTest : public WaitDeadlineTest
 {
   protected:
     PsynchSubsystem psynch_;
+
+    /** Poll the watchdog until @p n threads are parked at @p site. */
+    static void
+    waitForParked(const char *site, std::size_t n)
+    {
+        for (int i = 0; i < 4000; ++i) {
+            std::size_t parked = 0;
+            for (const ducttape::BlockedWait &w :
+                 ducttape::waitq_blocked_waits(0.0))
+                if (w.site && std::string(w.site) == site)
+                    ++parked;
+            if (parked >= n)
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        FAIL() << "never saw " << n << " waiters parked at " << site;
+    }
 };
 
 TEST_F(PsynchDeadlineTest, SemWaitDeadlineTimesOutOnVirtualDeadline)
@@ -440,6 +457,122 @@ TEST_F(PsynchDeadlineTest, CvTimeoutDoesNotLoseLaterWakeups)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     waiter.join();
+}
+
+TEST_F(PsynchDeadlineTest, CvTimeoutDoesNotStealOlderWaitersSignal)
+{
+    // Regression: mixing pthread_cond_timedwait and pthread_cond_wait
+    // on one cv. A younger waiter's timeout used to retire its
+    // generation by bumping the signalled count, which satisfied the
+    // older waiter's predicate instead: the older waiter phantom-woke,
+    // re-waited under a new generation, and the next real signal was
+    // absorbed by the departed waiter's slot — lost, leaving the older
+    // waiter parked forever. A timeout must consume nothing.
+    constexpr std::uint64_t kMutex = 0x7000;
+    constexpr std::uint64_t kCv = 0x7100;
+
+    bool go = false; // guarded by kMutex
+    std::atomic<bool> done{false};
+    std::thread older([&] {
+        CostClock clk;
+        CostScope scope(clk);
+        ASSERT_EQ(psynch_.mutexWait(kMutex, 1), KERN_SUCCESS);
+        // Classic predicate loop: a spurious wakeup alone re-waits.
+        while (!go)
+            ASSERT_EQ(psynch_.cvWait(kCv, kMutex, 1), KERN_SUCCESS);
+        ASSERT_EQ(psynch_.mutexDrop(kMutex, 1), KERN_SUCCESS);
+        done = true;
+    });
+    waitForParked("psynch.cv", 1);
+
+    // The younger waiter times out while the older one is parked.
+    {
+        CostClock clk;
+        CostScope scope(clk);
+        ASSERT_EQ(psynch_.mutexWait(kMutex, 2), KERN_SUCCESS);
+        ASSERT_EQ(psynch_.cvWaitDeadline(kCv, kMutex, 2, 30'000),
+                  KERN_OPERATION_TIMED_OUT);
+        ASSERT_EQ(psynch_.mutexDrop(kMutex, 2), KERN_SUCCESS);
+    }
+
+    // ONE signal must now wake the older waiter.
+    {
+        CostClock clk;
+        CostScope scope(clk);
+        ASSERT_EQ(psynch_.mutexWait(kMutex, 3), KERN_SUCCESS);
+        go = true;
+        ASSERT_EQ(psynch_.mutexDrop(kMutex, 3), KERN_SUCCESS);
+        ASSERT_EQ(psynch_.cvSignal(kCv), KERN_SUCCESS);
+    }
+    for (int i = 0; i < 4000 && !done; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(done) << "single signal failed to wake the older waiter";
+    if (!done)
+        psynch_.cvBroadcast(kCv); // unstick the thread on failure
+    older.join();
+}
+
+TEST_F(PsynchDeadlineTest, BusyGraceIntervalDoesNotExpireTimedWait)
+{
+    // A grace interval that saw wakeup activity on the waitq (aimed at
+    // other waiters) re-arms instead of expiring, so a slow-but-real
+    // wakeup that precedes the virtual deadline is never misreported
+    // as a timeout on a loaded host.
+    ducttape::waitq_set_block_grace_ms(150);
+    constexpr std::uint64_t kMutex = 0x8000;
+    constexpr std::uint64_t kCv = 0x8100;
+
+    bool goA = false, goB = false; // guarded by kMutex
+    std::atomic<bool> aDone{false}, bDone{false};
+    std::thread a([&] { // older untimed waiter
+        CostClock clk;
+        CostScope scope(clk);
+        ASSERT_EQ(psynch_.mutexWait(kMutex, 1), KERN_SUCCESS);
+        while (!goA)
+            ASSERT_EQ(psynch_.cvWait(kCv, kMutex, 1), KERN_SUCCESS);
+        ASSERT_EQ(psynch_.mutexDrop(kMutex, 1), KERN_SUCCESS);
+        aDone = true;
+    });
+    waitForParked("psynch.cv", 1);
+
+    std::thread b([&] { // younger timed waiter, generous deadline
+        CostClock clk;
+        CostScope scope(clk);
+        ASSERT_EQ(psynch_.mutexWait(kMutex, 2), KERN_SUCCESS);
+        while (!goB) {
+            kern_return_t kr = psynch_.cvWaitDeadline(
+                kCv, kMutex, 2, 10'000'000'000ull); // 10s virtual
+            EXPECT_EQ(kr, KERN_SUCCESS)
+                << "busy grace interval misreported as timeout";
+            if (kr != KERN_SUCCESS)
+                break;
+        }
+        ASSERT_EQ(psynch_.mutexDrop(kMutex, 2), KERN_SUCCESS);
+        bDone = true;
+    });
+    waitForParked("psynch.cv", 2);
+
+    // Wakeup traffic inside b's first grace interval, aimed at a.
+    {
+        ASSERT_EQ(psynch_.mutexWait(kMutex, 3), KERN_SUCCESS);
+        goA = true;
+        ASSERT_EQ(psynch_.mutexDrop(kMutex, 3), KERN_SUCCESS);
+        ASSERT_EQ(psynch_.cvSignal(kCv), KERN_SUCCESS);
+    }
+    a.join();
+    EXPECT_TRUE(aDone.load());
+
+    // Past b's original 150ms interval but inside the re-armed one:
+    // this wakeup must still reach b as a success, not a timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    {
+        ASSERT_EQ(psynch_.mutexWait(kMutex, 3), KERN_SUCCESS);
+        goB = true;
+        ASSERT_EQ(psynch_.mutexDrop(kMutex, 3), KERN_SUCCESS);
+        ASSERT_EQ(psynch_.cvSignal(kCv), KERN_SUCCESS);
+    }
+    b.join();
+    EXPECT_TRUE(bDone.load());
 }
 
 // ---------------------------------------------------------------------------
