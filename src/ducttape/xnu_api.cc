@@ -12,6 +12,7 @@
 #include "base/cost_clock.h"
 #include "base/logging.h"
 #include "kernel/fault_rail.h"
+#include "kernel/sched_rail.h"
 
 namespace cider::ducttape {
 
@@ -29,32 +30,121 @@ constexpr std::uint64_t kKallocNs = 90;
 constexpr std::uint64_t kWakeupNs = 60;
 constexpr std::uint64_t kBlockNs = 120;
 
+kernel::SchedRail &
+schedRail()
+{
+    return kernel::SchedRail::global();
+}
+
+/** True when the calling host thread is a guest of an armed rail. */
+bool
+onSchedRail()
+{
+    return kernel::SchedRail::global().engaged() &&
+           kernel::SchedRail::guestMarker() != nullptr;
+}
+
+/** Per-host-thread identity for logical lock ownership. Rail guests
+ *  are identified by their guest marker so ownership survives the
+ *  guest migrating across rail decisions on one host thread. */
+thread_local char t_hostLockMark;
+
+const void *
+lockOwnerMark()
+{
+    if (const void *g = kernel::SchedRail::guestMarker())
+        return g;
+    return &t_hostLockMark;
+}
+
 } // namespace
 
 struct LckMtx
 {
     std::mutex mu;
+    /** Logical owner (lockOwnerMark of the holder), for the
+     *  waitq_wait held-lock assertion and the rail's logical
+     *  acquisition path. */
+    std::atomic<const void *> owner{nullptr};
+    /** Lock-order graph label; must outlive the lock (literals). */
+    const char *label = "lck";
 };
 
+namespace {
+
+/** Logical release of @p held by a rail guest: no host mutex is
+ *  involved, contenders parked on the lock become schedulable. */
+void
+railReleaseHeld(LckMtx *held)
+{
+    held->owner.store(nullptr, std::memory_order_relaxed);
+    schedRail().wakeupChannel(held, /*all=*/true);
+}
+
+/** Logical (re-)acquisition of @p held by a rail guest; contention
+ *  is a rail-visible block. May unwind via SchedRailAbort. */
+void
+railAcquireHeld(LckMtx *held)
+{
+    kernel::SchedRail &rail = schedRail();
+    while (held->owner.load(std::memory_order_relaxed) != nullptr)
+        rail.blockOn(held, "lck.contended");
+    held->owner.store(lockOwnerMark(), std::memory_order_relaxed);
+}
+
+/** The waitq_wait held-lock contract (see xnu_api.h). */
+void
+assertHeldOwned(const LckMtx *held, const char *who)
+{
+    if (held->owner.load(std::memory_order_relaxed) != lockOwnerMark())
+        cider_panic("waitq_wait(", who ? who : "?",
+                    "): caller does not hold the wait mutex — "
+                    "predicate would be evaluated without the lock");
+}
+
+} // namespace
+
 LckMtx *
-lck_mtx_alloc_init()
+lck_mtx_alloc_init(const char *label)
 {
     charge(kKallocNs);
-    return new LckMtx();
+    auto *m = new LckMtx();
+    if (label && *label)
+        m->label = label;
+    return m;
 }
 
 void
 lck_mtx_lock(LckMtx *m)
 {
     charge(kLockNs);
-    m->mu.lock();
+    // Record the acquisition attempt (lockdep-style) before blocking:
+    // the held-before edge of an AB/BA inversion must land in the
+    // graph even when this acquire deadlocks and never succeeds.
+    kernel::LockOrderGraph &g = schedRail().lockGraph();
+    if (g.tracking())
+        g.acquired(m, m->label);
+    if (onSchedRail()) {
+        railAcquireHeld(m);
+    } else {
+        m->mu.lock();
+        m->owner.store(lockOwnerMark(), std::memory_order_relaxed);
+    }
 }
 
 void
 lck_mtx_unlock(LckMtx *m)
 {
     charge(kUnlockNs);
-    m->mu.unlock();
+    kernel::LockOrderGraph &g = schedRail().lockGraph();
+    if (g.tracking())
+        g.released(m);
+    if (onSchedRail()) {
+        railReleaseHeld(m);
+    } else {
+        m->owner.store(nullptr, std::memory_order_relaxed);
+        m->mu.unlock();
+    }
 }
 
 void
@@ -93,6 +183,34 @@ freeLink(void *elem)
     return *static_cast<void **>(elem);
 }
 
+/** Scoped lock-order note for a non-LckMtx lock (zone mutexes), so
+ *  zone locks participate in the deadlock-cycle graph. Free when
+ *  tracking is off: one relaxed load each way. */
+class LockOrderNote
+{
+  public:
+    LockOrderNote(const void *lock, const char *label) : lock_(lock)
+    {
+        kernel::LockOrderGraph &g = schedRail().lockGraph();
+        noted_ = g.tracking();
+        if (noted_)
+            g.acquired(lock, label);
+    }
+
+    ~LockOrderNote()
+    {
+        if (noted_)
+            schedRail().lockGraph().released(lock_);
+    }
+
+    LockOrderNote(const LockOrderNote &) = delete;
+    LockOrderNote &operator=(const LockOrderNote &) = delete;
+
+  private:
+    const void *lock_;
+    bool noted_;
+};
+
 } // namespace
 
 ZoneT *
@@ -125,6 +243,7 @@ zalloc(ZoneT *z)
 {
     charge(kZallocNs);
     std::lock_guard<std::mutex> lock(z->mu);
+    LockOrderNote note(&z->mu, z->name.c_str());
     // Both injection paths run before the allocs increment, so the
     // logical allocation index they key on is identical whether the
     // zone is slab-cached or in legacy one-heap-call-per-element mode.
@@ -170,6 +289,7 @@ zfree(ZoneT *z, void *elem)
         return;
     charge(kZfreeNs);
     std::lock_guard<std::mutex> lock(z->mu);
+    LockOrderNote note(&z->mu, z->name.c_str());
     ++z->stats.frees;
     if (z->stats.live == 0) // invariant-only: double-free by kernel code
         cider_panic("zfree underflow in zone ", z->name);
@@ -394,10 +514,23 @@ waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred,
            const char *who)
 {
     charge(kBlockNs);
+    assertHeldOwned(held, who);
+    if (onSchedRail()) {
+        kernel::SchedRail &rail = schedRail();
+        while (!pred()) {
+            railReleaseHeld(held);
+            rail.blockOn(wq, who ? who : "waitq");
+            railAcquireHeld(held);
+        }
+        return;
+    }
     if (pred())
         return;
     BlockScope scope(who);
     wq->cv.wait(held->mu, pred);
+    // Other threads cycled the lock while we were parked; restore the
+    // logical owner now that the condvar handed the mutex back.
+    held->owner.store(lockOwnerMark(), std::memory_order_relaxed);
 }
 
 bool
@@ -406,11 +539,34 @@ waitq_wait_deadline(WaitQ *wq, LckMtx *held,
                     std::uint64_t deadline_ns, const char *who)
 {
     charge(kBlockNs);
+    assertHeldOwned(held, who);
     if (pred())
         return true;
     std::uint64_t now = virtualNow();
     if (now >= deadline_ns)
         return false;
+    if (onSchedRail()) {
+        // Deadline expiry is an explicit rail decision: the guest
+        // stays schedulable while parked, and the scheduler choosing
+        // it IS the timeout firing. A wakeup that lands first makes
+        // the guest runnable without firing; a wakeup consumed by
+        // another waiter just re-parks us with the deadline pending —
+        // so the grace re-arm race cannot occur on the rail by
+        // construction.
+        kernel::SchedRail &rail = schedRail();
+        for (;;) {
+            railReleaseHeld(held);
+            bool fired =
+                rail.blockOnDeadline(wq, who ? who : "waitq");
+            railAcquireHeld(held);
+            if (pred())
+                return true;
+            if (fired) {
+                charge(deadline_ns - now);
+                return false;
+            }
+        }
+    }
     BlockScope scope(who);
     // A parked thread's virtual clock cannot advance, so deadline
     // expiry is decided by host-side grace intervals: once a full
@@ -427,11 +583,15 @@ waitq_wait_deadline(WaitQ *wq, LckMtx *held,
     for (;;) {
         std::uint64_t epoch =
             wq->wakeEpoch.load(std::memory_order_relaxed);
-        if (wq->cv.wait_for(held->mu, grace, pred))
+        if (wq->cv.wait_for(held->mu, grace, pred)) {
+            held->owner.store(lockOwnerMark(),
+                              std::memory_order_relaxed);
             return true;
+        }
         if (wq->wakeEpoch.load(std::memory_order_relaxed) == epoch)
             break; // a truly idle interval: expire
     }
+    held->owner.store(lockOwnerMark(), std::memory_order_relaxed);
     charge(deadline_ns - now);
     return false;
 }
@@ -474,6 +634,9 @@ waitq_wakeup_all(WaitQ *wq)
 {
     charge(kWakeupNs);
     wq->wakeEpoch.fetch_add(1, std::memory_order_relaxed);
+    kernel::SchedRail &rail = schedRail();
+    if (rail.engaged())
+        rail.wakeupChannel(wq, /*all=*/true);
     wq->cv.notify_all();
 }
 
@@ -482,6 +645,9 @@ waitq_wakeup_one(WaitQ *wq)
 {
     charge(kWakeupNs);
     wq->wakeEpoch.fetch_add(1, std::memory_order_relaxed);
+    kernel::SchedRail &rail = schedRail();
+    if (rail.engaged())
+        rail.wakeupChannel(wq, /*all=*/false);
     wq->cv.notify_one();
 }
 

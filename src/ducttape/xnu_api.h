@@ -31,9 +31,17 @@
 namespace cider::ducttape {
 
 /// @{ Locking: XNU lck_mtx_* mapped onto domestic mutexes.
+///
+/// Every lock tracks its logical owner so waitq_wait can assert the
+/// lck_mtx_sleep contract, and participates in the SchedRail
+/// lock-order graph under its @p label (see kernel/sched_rail.h).
+/// While a SchedRail episode is running, rail guests acquire the lock
+/// purely logically — serialization comes from the rail, contention
+/// becomes a scheduler-visible block, and an all-blocked state is
+/// reported as a deadlock instead of hanging the host.
 struct LckMtx;
 
-LckMtx *lck_mtx_alloc_init();
+LckMtx *lck_mtx_alloc_init(const char *label = nullptr);
 void lck_mtx_lock(LckMtx *m);
 void lck_mtx_unlock(LckMtx *m);
 void lck_mtx_free(LckMtx *m);
@@ -95,6 +103,14 @@ void waitq_free(WaitQ *wq);
  * while blocked and re-held on return — XNU's
  * lck_mtx_sleep/thread_block contract. @p who is an optional label
  * for the hung-wait watchdog (waitq_blocked_waits).
+ *
+ * Held-lock contract: the caller MUST own @p held on entry. @p pred
+ * is only ever evaluated with @p held held — at the entry check and
+ * at each wakeup — so predicates may read state guarded by @p held
+ * without further synchronisation. Calling without owning @p held is
+ * a kernel bug and panics (the entry assertion covers the entry
+ * predicate evaluation; wakeup-path evaluations hold the lock by
+ * construction of the condvar wait).
  */
 void waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred,
                 const char *who = nullptr);
@@ -106,7 +122,11 @@ void waitq_wait(WaitQ *wq, LckMtx *held, const std::function<bool()> &pred,
  * waitq_set_block_grace_ms): after each grace period with the
  * predicate still false, the wait expires, the caller's clock is
  * advanced to the deadline, and false is returned. Returns true when
- * the predicate became true first (the normal wakeup path).
+ * the predicate became true first (the normal wakeup path). Under an
+ * armed SchedRail the grace machinery is bypassed: expiry becomes an
+ * explicit scheduling decision (the rail fires the timeout), with the
+ * same virtual-time outcome. The waitq_wait held-lock contract
+ * applies identically.
  */
 bool waitq_wait_deadline(WaitQ *wq, LckMtx *held,
                          const std::function<bool()> &pred,

@@ -6,6 +6,7 @@
 #include "base/cost_clock.h"
 #include "base/logging.h"
 #include "kernel/fault_rail.h"
+#include "kernel/sched_rail.h"
 #include "kernel/trap_context.h"
 
 namespace cider::kernel {
@@ -231,6 +232,9 @@ Kernel::Kernel(const hw::DeviceProfile &profile)
     Device &faults =
         devices_.add(std::make_unique<FaultRailDevice>(FaultRail::global()));
     vfs_.mknod("/proc/cider/faults", &faults);
+    Device &lockorder = devices_.add(
+        std::make_unique<SchedRailDevice>(SchedRail::global()));
+    vfs_.mknod("/proc/cider/lockorder", &lockorder);
 }
 
 Kernel::~Kernel() = default;
@@ -257,6 +261,7 @@ Kernel::findProcess(Pid pid) const
 SyscallResult
 Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
 {
+    CIDER_SCHED_POINT("trap.enter");
     TrapContext ctx{*this,       t,
                     cls,         nr,
                     args,        t.persona(),

@@ -5,6 +5,7 @@
 #include "base/cost_clock.h"
 #include "base/logging.h"
 #include "kernel/fault_rail.h"
+#include "kernel/sched_rail.h"
 
 namespace cider::xnu {
 
@@ -89,7 +90,8 @@ class IpcPort
 {
   public:
     explicit IpcPort(bool is_set)
-        : lock(ducttape::lck_mtx_alloc_init()),
+        : lock(ducttape::lck_mtx_alloc_init(is_set ? "ipc.portset"
+                                                   : "ipc.port")),
           wq(ducttape::waitq_alloc()), isSet(is_set)
     {}
 
@@ -119,7 +121,7 @@ class IpcPort
     std::vector<std::pair<PortPtr, mach_port_name_t>> deadNameRequests;
 };
 
-IpcSpace::IpcSpace() : lock_(ducttape::lck_mtx_alloc_init()) {}
+IpcSpace::IpcSpace() : lock_(ducttape::lck_mtx_alloc_init("ipc.space")) {}
 
 IpcSpace::~IpcSpace()
 {
@@ -191,7 +193,7 @@ MachIpc::MachIpc()
     : portZone_(ducttape::zinit(256, "ipc.ports"),
                 [](ducttape::ZoneT *z) { ducttape::zdestroy(z); }),
       spaceZone_(ducttape::zinit(128, "ipc.spaces")),
-      statsLock_(ducttape::lck_mtx_alloc_init())
+      statsLock_(ducttape::lck_mtx_alloc_init("ipc.stats"))
 {}
 
 MachIpc::~MachIpc()
@@ -613,6 +615,7 @@ MachIpc::copyoutRight(IpcSpace &space, const KMsgRight &right)
 kern_return_t
 MachIpc::enqueue(const PortPtr &port, KMsg &&kmsg, const SendOptions &opts)
 {
+    CIDER_SCHED_POINT("mach.enqueue");
     ducttape::lck_mtx_lock(port->lock);
     auto room = [&] {
         return !port->active || port->queue.size() < port->qlimit;
@@ -656,6 +659,7 @@ MachIpc::enqueue(const PortPtr &port, KMsg &&kmsg, const SendOptions &opts)
 kern_return_t
 MachIpc::dequeue(const PortPtr &port, const RcvOptions &opts, KMsg *out)
 {
+    CIDER_SCHED_POINT("mach.dequeue");
     // Timed receives resolve their deadline once, against the
     // receiver's virtual clock at entry.
     std::uint64_t deadline =
@@ -754,6 +758,7 @@ kern_return_t
 MachIpc::msgSend(IpcSpace &space, MachMessage &&msg,
                  const SendOptions &opts)
 {
+    CIDER_SCHED_POINT("mach.msgSend");
     charge(kMsgBaseNs + bodyCopyNs(msg.body.size()));
     if (CIDER_FAULT_POINT("mach.msg.send"))
         return MACH_SEND_NO_BUFFER;
@@ -808,6 +813,7 @@ kern_return_t
 MachIpc::msgReceive(IpcSpace &space, mach_port_name_t name,
                     MachMessage &out, const RcvOptions &opts)
 {
+    CIDER_SCHED_POINT("mach.msgReceive");
     ducttape::lck_mtx_lock(space.lock_);
     IpcEntry *entry = space.lookupEntry(name);
     if (!entry || (!entry->hasReceive && !entry->isPortSet)) {

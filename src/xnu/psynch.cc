@@ -6,6 +6,7 @@
 #include "base/cost_clock.h"
 #include "base/logging.h"
 #include "kernel/fault_rail.h"
+#include "kernel/sched_rail.h"
 
 namespace cider::xnu {
 
@@ -24,7 +25,7 @@ struct CvWaiter
 struct PsynchSubsystem::KwQueue
 {
     KwQueue()
-        : lock(ducttape::lck_mtx_alloc_init()),
+        : lock(ducttape::lck_mtx_alloc_init("psynch.kwq")),
           wq(ducttape::waitq_alloc())
     {}
 
@@ -50,8 +51,8 @@ struct PsynchSubsystem::KwQueue
 };
 
 PsynchSubsystem::PsynchSubsystem()
-    : tableLock_(ducttape::lck_mtx_alloc_init()),
-      statsLock_(ducttape::lck_mtx_alloc_init())
+    : tableLock_(ducttape::lck_mtx_alloc_init("psynch.table")),
+      statsLock_(ducttape::lck_mtx_alloc_init("psynch.stats"))
 {}
 
 PsynchSubsystem::~PsynchSubsystem()
@@ -76,6 +77,7 @@ kern_return_t
 PsynchSubsystem::mutexWait(std::uint64_t mutex_addr,
                            std::uint64_t owner_tid)
 {
+    CIDER_SCHED_POINT("psynch.mutexWait");
     if (CIDER_FAULT_POINT("psynch.wait"))
         return KERN_OPERATION_TIMED_OUT;
     KwQueue &kwq = lookup(mutex_addr);
@@ -104,6 +106,7 @@ PsynchSubsystem::mutexWaitDeadline(std::uint64_t mutex_addr,
                                    std::uint64_t owner_tid,
                                    std::uint64_t timeout_ns)
 {
+    CIDER_SCHED_POINT("psynch.mutexWaitDeadline");
     if (CIDER_FAULT_POINT("psynch.wait"))
         return KERN_OPERATION_TIMED_OUT;
     KwQueue &kwq = lookup(mutex_addr);
@@ -135,6 +138,7 @@ kern_return_t
 PsynchSubsystem::mutexDrop(std::uint64_t mutex_addr,
                            std::uint64_t owner_tid)
 {
+    CIDER_SCHED_POINT("psynch.mutexDrop");
     KwQueue &kwq = lookup(mutex_addr);
     ducttape::lck_mtx_lock(kwq.lock);
     if (!kwq.locked || kwq.ownerTid != owner_tid) {
@@ -156,6 +160,7 @@ kern_return_t
 PsynchSubsystem::cvWait(std::uint64_t cv_addr, std::uint64_t mutex_addr,
                         std::uint64_t tid)
 {
+    CIDER_SCHED_POINT("psynch.cvWait");
     if (CIDER_FAULT_POINT("psynch.wait"))
         return KERN_OPERATION_TIMED_OUT;
     KwQueue &cv = lookup(cv_addr);
@@ -187,6 +192,7 @@ PsynchSubsystem::cvWaitDeadline(std::uint64_t cv_addr,
                                 std::uint64_t tid,
                                 std::uint64_t timeout_ns)
 {
+    CIDER_SCHED_POINT("psynch.cvWaitDeadline");
     if (CIDER_FAULT_POINT("psynch.wait"))
         return KERN_OPERATION_TIMED_OUT;
     KwQueue &cv = lookup(cv_addr);
@@ -228,6 +234,7 @@ PsynchSubsystem::cvWaitDeadline(std::uint64_t cv_addr,
 kern_return_t
 PsynchSubsystem::cvSignal(std::uint64_t cv_addr)
 {
+    CIDER_SCHED_POINT("psynch.cvSignal");
     KwQueue &cv = lookup(cv_addr);
     ducttape::lck_mtx_lock(cv.lock);
     if (!cv.cvWaiters.empty()) {
@@ -248,6 +255,7 @@ PsynchSubsystem::cvSignal(std::uint64_t cv_addr)
 kern_return_t
 PsynchSubsystem::cvBroadcast(std::uint64_t cv_addr)
 {
+    CIDER_SCHED_POINT("psynch.cvBroadcast");
     KwQueue &cv = lookup(cv_addr);
     ducttape::lck_mtx_lock(cv.lock);
     for (CvWaiter *w : cv.cvWaiters)
@@ -277,6 +285,7 @@ PsynchSubsystem::semInit(std::uint64_t sem_addr, std::int32_t value)
 kern_return_t
 PsynchSubsystem::semWait(std::uint64_t sem_addr)
 {
+    CIDER_SCHED_POINT("psynch.semWait");
     if (CIDER_FAULT_POINT("psynch.wait"))
         return KERN_OPERATION_TIMED_OUT;
     KwQueue &sem = lookup(sem_addr);
@@ -297,6 +306,7 @@ kern_return_t
 PsynchSubsystem::semWaitDeadline(std::uint64_t sem_addr,
                                  std::uint64_t timeout_ns)
 {
+    CIDER_SCHED_POINT("psynch.semWaitDeadline");
     if (CIDER_FAULT_POINT("psynch.wait"))
         return KERN_OPERATION_TIMED_OUT;
     KwQueue &sem = lookup(sem_addr);
@@ -320,6 +330,7 @@ PsynchSubsystem::semWaitDeadline(std::uint64_t sem_addr,
 kern_return_t
 PsynchSubsystem::semSignal(std::uint64_t sem_addr)
 {
+    CIDER_SCHED_POINT("psynch.semSignal");
     KwQueue &sem = lookup(sem_addr);
     ducttape::lck_mtx_lock(sem.lock);
     ++sem.semValue;
@@ -339,6 +350,16 @@ PsynchSubsystem::stats() const
     PsynchStats s = stats_;
     ducttape::lck_mtx_unlock(statsLock_);
     return s;
+}
+
+std::size_t
+PsynchSubsystem::cvWaiterCount(std::uint64_t cv_addr)
+{
+    KwQueue &cv = lookup(cv_addr);
+    ducttape::lck_mtx_lock(cv.lock);
+    std::size_t n = cv.cvWaiters.size();
+    ducttape::lck_mtx_unlock(cv.lock);
+    return n;
 }
 
 } // namespace cider::xnu

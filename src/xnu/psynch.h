@@ -84,6 +84,12 @@ class PsynchSubsystem
 
     PsynchStats stats() const;
 
+    /** Parked waiters currently queued on @p cv_addr (0 for an
+     *  unknown address). Test introspection: lets deterministic
+     *  schedules sequence "wait until N waiters are parked" without
+     *  racing on host timing. */
+    std::size_t cvWaiterCount(std::uint64_t cv_addr);
+
   private:
     struct KwQueue; // kernel wait queue object ("kwq" in XNU)
 

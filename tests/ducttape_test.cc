@@ -248,6 +248,22 @@ TEST(XnuApi, LockAndWaitqBlockUntilPredicate)
     lck_mtx_free(mtx);
 }
 
+// The waitq_wait contract: the caller must own the wait mutex when
+// the predicate is evaluated. Violating it is a kernel bug — the
+// predicate would run without the lock it is supposed to be
+// protected by — and panics instead of silently racing.
+TEST(XnuApiDeathTest, WaitqWaitWithoutHeldMutexPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    LckMtx *mtx = lck_mtx_alloc_init();
+    WaitQ *wq = waitq_alloc();
+    EXPECT_DEATH(
+        waitq_wait(wq, mtx, [] { return true; }, "contract-check"),
+        "does not hold the wait mutex");
+    waitq_free(wq);
+    lck_mtx_free(mtx);
+}
+
 TEST(XnuApi, PrimitivesChargeVirtualTime)
 {
     CostClock clock;

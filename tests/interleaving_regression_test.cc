@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Interleaving regression corpus: deterministic SchedRail schedules
+ * pinning the two concurrency bugs fixed in the robustness PR.
+ *
+ *  1. Lost cv signal with mixed cvWait / cvWaitDeadline waiters: a
+ *     younger timed waiter that expires must not consume the signal
+ *     an older untimed waiter is watching (psynch FIFO + self-unlink
+ *     on timeout).
+ *
+ *  2. The waitq grace re-arm race: wakeup traffic aimed at one
+ *     deadline waiter must neither make another waiter misreport a
+ *     timeout nor let a fired timeout masquerade as a wakeup.
+ *
+ * Each scenario is checked three ways: a seeded Random sweep, a
+ * bounded-preemption exploration, and a record/replay round-trip that
+ * proves the failing-schedule artifact format can pin these exact
+ * interleavings forever.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "kernel/sched_rail.h"
+#include "xnu/kern_return.h"
+#include "xnu/psynch.h"
+
+namespace cider::kernel {
+namespace {
+
+using xnu::kern_return_t;
+using xnu::KERN_OPERATION_TIMED_OUT;
+using xnu::KERN_SUCCESS;
+
+constexpr std::uint64_t kMutex = 0x100;
+constexpr std::uint64_t kCv = 0x200;
+
+/** Did guest @p id finish a wait by firing its timeout in @p r? */
+bool
+timeoutFiredFor(const SchedResult &r, std::uint32_t id)
+{
+    for (const SchedEvent &ev : r.trace)
+        if (ev.timeoutFired && ev.chosen == id)
+            return true;
+    return false;
+}
+
+class InterleavingRegressionTest : public ::testing::Test
+{
+  protected:
+    InterleavingRegressionTest() { SchedRail::global().disarm(); }
+    ~InterleavingRegressionTest() override { SchedRail::global().disarm(); }
+
+    SchedRail &rail_ = SchedRail::global();
+};
+
+// ---------------------------------------------------------------------------
+// Scenario 1: lost cv signal (mixed cvWait / cvWaitDeadline waiters).
+
+struct LostSignalOutcome
+{
+    SchedResult result;
+    kern_return_t driverKr = KERN_SUCCESS;
+    bool olderDone = false;
+    std::uint64_t signals = 0;
+    bool ok = false;
+};
+
+/** Spawns the scenario on an armed rail; caller runs and disarms. */
+struct LostSignalScenario
+{
+    xnu::PsynchSubsystem ps;
+    // go is protected by the psynch mutex; the flags are read by the
+    // sibling guest without a lock, so keep them atomic.
+    bool go = false;
+    std::atomic<bool> olderDone{false};
+    kern_return_t driverKr = KERN_SUCCESS;
+
+    void
+    spawn(SchedRail &sr)
+    {
+        // Guest 0: the older, untimed waiter. Its signal must never
+        // be consumed by the younger waiter's expired timed wait.
+        sr.spawn("older", [this] {
+            ps.mutexWait(kMutex, 1);
+            while (!go)
+                ps.cvWait(kCv, kMutex, 1);
+            ps.mutexDrop(kMutex, 1);
+            olderDone.store(true, std::memory_order_relaxed);
+        });
+        // Guest 1: parks a timed wait *behind* the older waiter, must
+        // time out (no signal exists yet), then posts the only signal.
+        sr.spawn("driver", [this] {
+            SchedRail &sr = SchedRail::global();
+            while (ps.cvWaiterCount(kCv) < 1)
+                sr.pass("test.awaitOlderParked");
+            ps.mutexWait(kMutex, 2);
+            driverKr = ps.cvWaitDeadline(kCv, kMutex, 2, 5000);
+            go = true;
+            ps.mutexDrop(kMutex, 2);
+            ps.cvSignal(kCv);
+            while (!olderDone.load(std::memory_order_relaxed))
+                sr.pass("test.awaitOlderDone");
+        });
+    }
+};
+
+LostSignalOutcome
+runLostSignal(SchedPolicy policy, std::uint64_t seed,
+              std::vector<std::uint32_t> schedule = {})
+{
+    SchedRail &sr = SchedRail::global();
+    SchedOptions opt;
+    opt.policy = policy;
+    opt.seed = seed;
+    opt.schedule = std::move(schedule);
+    sr.arm(opt);
+
+    LostSignalScenario sc;
+    sc.spawn(sr);
+
+    LostSignalOutcome out;
+    out.result = sr.run();
+    sr.disarm();
+    out.driverKr = sc.driverKr;
+    out.olderDone = sc.olderDone.load(std::memory_order_relaxed);
+    out.signals = sc.ps.stats().cvSignals;
+    // The single signal reached the older waiter even though the
+    // younger timed waiter expired first: the historical bug ate the
+    // signal on exactly this shape and left "older" parked forever
+    // (which the rail now reports as a deadlock).
+    out.ok = out.result.completed && !out.result.deadlocked &&
+             out.driverKr == KERN_OPERATION_TIMED_OUT && out.olderDone &&
+             out.signals == 1;
+    return out;
+}
+
+TEST_F(InterleavingRegressionTest, LostCvSignalHoldsUnderSeededSweep)
+{
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        LostSignalOutcome o = runLostSignal(SchedPolicy::Random, seed);
+        EXPECT_TRUE(o.ok) << "seed " << seed << " kr=" << o.driverKr
+                          << " olderDone=" << o.olderDone << "\n"
+                          << o.result.traceText();
+    }
+}
+
+TEST_F(InterleavingRegressionTest, LostCvSignalHoldsUnderExploration)
+{
+    LostSignalScenario *sc = nullptr;
+    std::vector<std::unique_ptr<LostSignalScenario>> keep;
+    auto setup = [this, &sc, &keep] {
+        keep.push_back(std::make_unique<LostSignalScenario>());
+        sc = keep.back().get();
+        sc->spawn(rail_);
+    };
+    auto ok = [&sc] {
+        return sc->driverKr == KERN_OPERATION_TIMED_OUT &&
+               sc->olderDone.load(std::memory_order_relaxed);
+    };
+    ExploreOptions eo;
+    eo.maxPreemptions = 1;
+    eo.maxSchedules = 1500;
+    ExploreResult r = exploreSchedules(rail_, setup, ok, eo);
+    EXPECT_FALSE(r.bugFound)
+        << r.failing.traceText() << "\nschedulesRun=" << r.schedulesRun;
+    EXPECT_GT(r.schedulesRun, 1u);
+}
+
+TEST_F(InterleavingRegressionTest, LostCvSignalScheduleIsPinnable)
+{
+    LostSignalOutcome rec = runLostSignal(SchedPolicy::Random, 12345);
+    ASSERT_TRUE(rec.ok) << rec.result.traceText();
+
+    // Round-trip the schedule through the on-disk trace format, then
+    // replay it: byte-identical trace, same verdict.
+    std::vector<std::uint32_t> pinned =
+        SchedResult::parseSchedule(rec.result.traceText());
+    ASSERT_EQ(pinned, rec.result.schedule());
+    LostSignalOutcome rep = runLostSignal(SchedPolicy::Replay, 0, pinned);
+    EXPECT_FALSE(rep.result.diverged);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_EQ(rep.result.traceText(), rec.result.traceText());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: the waitq grace re-arm race. Two deadline waiters share
+// a cv; signal traffic aimed at one must not corrupt the other's
+// timeout verdict. On the rail the historical race window (wakeup
+// landing between the grace re-check and the re-arm) is forced open
+// by every schedule that wakes a waiter without its predicate set.
+
+struct GraceOutcome
+{
+    SchedResult result;
+    kern_return_t krA = KERN_SUCCESS;
+    kern_return_t krB = KERN_SUCCESS;
+    bool ok = false;
+};
+
+struct GraceScenario
+{
+    xnu::PsynchSubsystem ps;
+    std::atomic<bool> doneA{false};
+    std::atomic<bool> doneB{false};
+    kern_return_t krA = KERN_SUCCESS;
+    kern_return_t krB = KERN_SUCCESS;
+
+    void
+    spawn(SchedRail &sr)
+    {
+        sr.spawn("waiterA", [this] { // guest 0
+            ps.mutexWait(kMutex, 1);
+            krA = ps.cvWaitDeadline(kCv, kMutex, 1, 1000000);
+            ps.mutexDrop(kMutex, 1);
+            doneA.store(true, std::memory_order_relaxed);
+        });
+        sr.spawn("waiterB", [this] { // guest 1
+            ps.mutexWait(kMutex, 2);
+            krB = ps.cvWaitDeadline(kCv, kMutex, 2, 1000000);
+            ps.mutexDrop(kMutex, 2);
+            doneB.store(true, std::memory_order_relaxed);
+        });
+        sr.spawn("driver", [this] { // guest 2
+            SchedRail &sr = SchedRail::global();
+            auto done = [this](std::atomic<bool> &f) {
+                return f.load(std::memory_order_relaxed);
+            };
+            // Wait for both waiters unless timeouts beat them to it.
+            while (ps.cvWaiterCount(kCv) < 2 &&
+                   !(done(doneA) || done(doneB)))
+                sr.pass("test.awaitWaiters");
+            ps.cvSignal(kCv);
+            while (!done(doneA) && !done(doneB))
+                sr.pass("test.awaitFirst");
+            ps.cvSignal(kCv);
+        });
+    }
+};
+
+GraceOutcome
+runGrace(SchedPolicy policy, std::uint64_t seed,
+         std::vector<std::uint32_t> schedule = {})
+{
+    SchedRail &sr = SchedRail::global();
+    SchedOptions opt;
+    opt.policy = policy;
+    opt.seed = seed;
+    opt.schedule = std::move(schedule);
+    sr.arm(opt);
+
+    GraceScenario sc;
+    sc.spawn(sr);
+
+    GraceOutcome out;
+    out.result = sr.run();
+    sr.disarm();
+    out.krA = sc.krA;
+    out.krB = sc.krB;
+    // Exactness: a waiter reports KERN_OPERATION_TIMED_OUT iff the
+    // trace shows its timeout firing, KERN_SUCCESS otherwise. The
+    // historical race produced TIMED_OUT with no fired timeout (the
+    // wakeup landed in the re-arm window and was dropped).
+    const bool aMatches =
+        (out.krA == KERN_OPERATION_TIMED_OUT) ==
+        timeoutFiredFor(out.result, 0);
+    const bool bMatches =
+        (out.krB == KERN_OPERATION_TIMED_OUT) ==
+        timeoutFiredFor(out.result, 1);
+    const bool krsLegal =
+        (out.krA == KERN_SUCCESS || out.krA == KERN_OPERATION_TIMED_OUT) &&
+        (out.krB == KERN_SUCCESS || out.krB == KERN_OPERATION_TIMED_OUT);
+    out.ok = out.result.completed && !out.result.deadlocked && krsLegal &&
+             aMatches && bMatches;
+    return out;
+}
+
+TEST_F(InterleavingRegressionTest, GraceRearmHoldsUnderSeededSweep)
+{
+    bool sawSuccess = false;
+    bool sawTimeout = false;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        GraceOutcome o = runGrace(SchedPolicy::Random, seed);
+        EXPECT_TRUE(o.ok) << "seed " << seed << " krA=" << o.krA
+                          << " krB=" << o.krB << "\n"
+                          << o.result.traceText();
+        sawSuccess = sawSuccess || o.krA == KERN_SUCCESS ||
+                     o.krB == KERN_SUCCESS;
+        sawTimeout = sawTimeout || o.krA == KERN_OPERATION_TIMED_OUT ||
+                     o.krB == KERN_OPERATION_TIMED_OUT;
+    }
+    // The sweep only means something if it covers both outcomes.
+    EXPECT_TRUE(sawSuccess);
+    EXPECT_TRUE(sawTimeout);
+}
+
+TEST_F(InterleavingRegressionTest, GraceRearmHoldsUnderExploration)
+{
+    GraceScenario *sc = nullptr;
+    std::vector<std::unique_ptr<GraceScenario>> keep;
+    auto setup = [this, &sc, &keep] {
+        keep.push_back(std::make_unique<GraceScenario>());
+        sc = keep.back().get();
+        sc->spawn(rail_);
+    };
+    auto ok = [this, &sc] {
+        const SchedResult &r = rail_.lastResult();
+        return (sc->krA == KERN_OPERATION_TIMED_OUT) ==
+                   timeoutFiredFor(r, 0) &&
+               (sc->krB == KERN_OPERATION_TIMED_OUT) ==
+                   timeoutFiredFor(r, 1);
+    };
+    ExploreOptions eo;
+    eo.maxPreemptions = 1;
+    eo.maxSchedules = 1500;
+    ExploreResult r = exploreSchedules(rail_, setup, ok, eo);
+    EXPECT_FALSE(r.bugFound)
+        << r.failing.traceText() << "\nschedulesRun=" << r.schedulesRun;
+    EXPECT_GT(r.schedulesRun, 1u);
+}
+
+TEST_F(InterleavingRegressionTest, GraceRearmScheduleIsPinnable)
+{
+    GraceOutcome rec = runGrace(SchedPolicy::Random, 987);
+    ASSERT_TRUE(rec.ok) << rec.result.traceText();
+
+    GraceOutcome rep =
+        runGrace(SchedPolicy::Replay, 0, rec.result.schedule());
+    EXPECT_FALSE(rep.result.diverged);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_EQ(rep.result.traceText(), rec.result.traceText());
+    EXPECT_EQ(rep.krA, rec.krA);
+    EXPECT_EQ(rep.krB, rec.krB);
+}
+
+} // namespace
+} // namespace cider::kernel
