@@ -20,14 +20,23 @@
  * steady_clock over the same loop, best of kReps runs — this is the
  * number the optimisation exists to shrink. Results land in
  * BENCH_hotpath.json for CI artifact upload.
+ *
+ * A fourth section sweeps the SMP executor (kernel/percpu.h) over
+ * 1/2/4/8 host threads running hotpath-shaped jobs, asserting the
+ * merged virtual time is bit-identical at every size and reporting
+ * host-side scaling in BENCH_smp.json. The >= 2.5x 4-thread speedup
+ * gate only arms on machines with >= 4 host cores.
  */
 
 #include <chrono>
+#include <cstdlib>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "bench/legacy_mach_ipc.h"
 #include "ducttape/xnu_api.h"
 #include "hw/device_profile.h"
+#include "kernel/percpu.h"
 #include "kernel/vfs.h"
 #include "xnu/mach_ipc.h"
 
@@ -159,6 +168,60 @@ double
 improvementPct(double legacy, double optimised)
 {
     return legacy > 0 ? (legacy - optimised) / legacy * 100.0 : 0;
+}
+
+// --------------------------------------------------------------------
+// SMP sweep: the same hot-path shapes, run as ExecutorPool jobs over
+// sharded per-CPU run queues at 1/2/4/8 host threads. Virtual time
+// must be bit-identical at every size (the epoch-merge determinism
+// gate); host time is the scaling result, reported in BENCH_smp.json.
+
+constexpr unsigned kSmpVcpus = 4;
+constexpr unsigned kSmpJobs = 16;
+constexpr int kSmpRounds = 300;
+
+/** One hotpath-shaped guest job: zalloc/kalloc churn on a private
+ *  zone and clock. Cost depends only on the job index. */
+std::uint64_t
+smpJob(unsigned index)
+{
+    CostClock clock;
+    CostScope scope(clock);
+    ducttape::ZoneT *zone = ducttape::zinit(192, "smp.zone");
+    void *ptrs[kZallocBatch];
+    // Deliberately imbalanced (index-scaled) so the sweep exercises
+    // work stealing, which must not perturb virtual attribution.
+    int rounds = kSmpRounds + static_cast<int>(index) * 20;
+    for (int round = 0; round < rounds; ++round) {
+        for (int i = 0; i < kZallocBatch; ++i)
+            ptrs[i] = ducttape::zalloc(zone);
+        for (int i = 0; i < kZallocBatch; ++i)
+            ducttape::zfree(zone, ptrs[i]);
+        void *k = ducttape::xnu_kalloc(64 + (round % 4) * 32);
+        ducttape::xnu_kfree(k, 64 + (round % 4) * 32);
+    }
+    ducttape::zone_drain_cpu_caches(zone);
+    ducttape::zdestroy(zone);
+    return clock.now();
+}
+
+/** Best-of-kReps host ns + the merged virtual epoch for one pool size. */
+std::pair<double, std::uint64_t>
+runSmpSize(kernel::PerCpu &cpus, unsigned hosts)
+{
+    double best_host = 0;
+    std::uint64_t merged = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        kernel::ExecutorPool pool(cpus, hosts);
+        for (unsigned j = 0; j < kSmpJobs; ++j)
+            pool.submit([j] { return smpJob(j); }, "smp.hotpath");
+        kernel::SmpEpoch epoch;
+        double h = hostNs([&] { epoch = pool.runAll(); });
+        if (rep == 0 || h < best_host)
+            best_host = h;
+        merged = epoch.mergedNs;
+    }
+    return {best_host, merged};
 }
 
 } // namespace
@@ -301,5 +364,66 @@ main(int argc, char **argv)
         exit_code = 1;
 
     json.write();
+
+    // ---- SMP executor sweep (separate BENCH_smp.json artifact) -----
+    {
+        BenchJson smp("smp");
+        kernel::PerCpu cpus(kSmpVcpus);
+        const unsigned sizes[] = {1, 2, 4, 8};
+        double host[4];
+        std::uint64_t virt[4];
+        std::printf("\n=== SMP sweep (%u jobs over %u simulated cpus, "
+                    "best of %d) ===\n",
+                    kSmpJobs, kSmpVcpus, kReps);
+        for (int i = 0; i < 4; ++i) {
+            auto [h, v] = runSmpSize(cpus, sizes[i]);
+            host[i] = h;
+            virt[i] = v;
+            smp.add("smp.hosts" + std::to_string(sizes[i]),
+                    static_cast<double>(v), h);
+            smp.metric("speedup_vs_1", host[0] > 0 ? host[0] / h : 0);
+            std::printf("hosts=%u  host %12.0f ns  virtual %llu ns  "
+                        "speedup %.2fx%s\n",
+                        sizes[i], h,
+                        static_cast<unsigned long long>(v),
+                        host[0] > 0 ? host[0] / h : 0.0,
+                        v == virt[0] ? "" : "  (VIRTUAL MISMATCH)");
+        }
+        // Determinism gate: the merged virtual time is a pure function
+        // of the submitted work — any host-thread-count dependence is
+        // a bug, on every machine.
+        for (int i = 1; i < 4; ++i)
+            if (virt[i] != virt[0]) {
+                std::printf("FAIL: virtual time differs at hosts=%u "
+                            "(%llu vs %llu)\n",
+                            sizes[i],
+                            static_cast<unsigned long long>(virt[i]),
+                            static_cast<unsigned long long>(virt[0]));
+                exit_code = 1;
+            }
+        // Scaling gate: only meaningful when the host machine really
+        // has >= 4 cores to run the 4 workers on. CIDER_SMP_GATE=0
+        // disables it (sanitizer jobs: TSan's instrumentation
+        // serializes enough to make wall-clock scaling meaningless,
+        // while the virtual-time gate above stays armed everywhere).
+        double speedup4 = host[2] > 0 ? host[0] / host[2] : 0;
+        unsigned hw = std::thread::hardware_concurrency();
+        const char *gate_env = std::getenv("CIDER_SMP_GATE");
+        if (gate_env && gate_env[0] == '0')
+            hw = 0;
+        if (hw >= 4) {
+            std::printf("target: 4-host speedup >= 2.5x -> %s "
+                        "(%.2fx on %u host cores)\n",
+                        speedup4 >= 2.5 ? "PASS" : "FAIL", speedup4,
+                        hw);
+            if (speedup4 < 2.5)
+                exit_code = 1;
+        } else {
+            std::printf("target: 4-host speedup skipped (%u host "
+                        "cores; measured %.2fx)\n",
+                        hw, speedup4);
+        }
+        smp.write();
+    }
     return exit_code;
 }

@@ -1,6 +1,7 @@
 #include "ducttape/xnu_api.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -12,6 +13,7 @@
 #include "base/cost_clock.h"
 #include "base/logging.h"
 #include "kernel/fault_rail.h"
+#include "kernel/percpu.h"
 #include "kernel/sched_rail.h"
 
 namespace cider::ducttape {
@@ -157,8 +159,18 @@ lck_mtx_free(LckMtx *m)
  * A zalloc zone. Elements are carved out of slab chunks and recycled
  * through an intrusive singly-linked free-list (the link lives in the
  * first word of each free element), so only the refill path touches
- * the domestic heap. The mutex is mutable so const accessors such as
- * zone_stats can lock without casting away constness.
+ * the domestic heap.
+ *
+ * SMP decomposition (XNU's zone CPU caching): the global free-list is
+ * now the *depot*; each simulated CPU owns a magazine — a private
+ * free-list with its own small lock — that fills from and drains to
+ * the depot in kMagazineBatch-sized transfers. A host thread bound to
+ * a CPU (kernel::CpuScope) touches only its magazine lock in steady
+ * state; unbound callers use the depot directly, which is the
+ * original single-lock behaviour. Accounting counters are relaxed
+ * atomics so the magazine fast path never takes the depot lock. The
+ * mutexes are mutable so const accessors (zone_stats) can lock
+ * without casting away constness.
  */
 struct ZoneT
 {
@@ -166,12 +178,34 @@ struct ZoneT
     std::size_t elemSize = 0;
     std::size_t slotSize = 0;   ///< elemSize rounded up for the link
     std::size_t chunkElems = 0; ///< elements per slab refill
+
+    /// @{ Accounting (relaxed atomics; exact under any interleaving).
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> frees{0};
+    std::atomic<std::uint64_t> live{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> magHits{0};
+    std::atomic<std::uint64_t> magFills{0};
+    std::atomic<std::uint64_t> magDrains{0};
+    /// @}
+    std::atomic<std::int64_t> failAfter{-1};
+    std::atomic<bool> caching{true};
+
+    /** Depot: the global free-list plus its backing slabs. */
     mutable std::mutex mu;
-    ZoneStats stats;
-    std::int64_t failAfter = -1;
-    bool caching = true;
     void *freeList = nullptr;
     std::vector<void *> slabs;
+
+    /** One magazine per simulated CPU. Lock order: magazine before
+     *  depot (fill/drain take the depot lock while holding the
+     *  magazine lock, never the reverse). */
+    struct Magazine
+    {
+        std::mutex mu;
+        void *freeList = nullptr;
+        std::size_t depth = 0;
+    };
+    mutable std::array<Magazine, kernel::kMaxCpus> mags;
 };
 
 namespace {
@@ -219,7 +253,6 @@ zinit(std::size_t elem_size, const char *zone_name)
     auto *z = new ZoneT();
     z->name = zone_name ? zone_name : "?";
     z->elemSize = elem_size;
-    z->stats.elemSize = elem_size;
     // Slots must hold the free-list link and keep every element
     // max-aligned within the slab.
     std::size_t slot = std::max(elem_size, sizeof(void *));
@@ -238,37 +271,22 @@ zdestroy(ZoneT *z)
     delete z;
 }
 
+namespace {
+
+/** Elements moved per depot<->magazine transfer (XNU magazine size
+ *  order of magnitude; small enough that depot accounting tests can
+ *  exercise multiple fills). */
+constexpr std::size_t kMagazineBatch = 32;
+
+/** Pop one element from the depot free-list, carving a fresh slab
+ *  when dry. Requires z->mu held. Null only on host-heap exhaustion. */
 void *
-zalloc(ZoneT *z)
+depotPopLocked(ZoneT *z)
 {
-    charge(kZallocNs);
-    std::lock_guard<std::mutex> lock(z->mu);
-    LockOrderNote note(&z->mu, z->name.c_str());
-    // Both injection paths run before the allocs increment, so the
-    // logical allocation index they key on is identical whether the
-    // zone is slab-cached or in legacy one-heap-call-per-element mode.
-    if (z->failAfter >= 0 &&
-        static_cast<std::int64_t>(z->stats.allocs) >= z->failAfter) {
-        ++z->stats.failed;
-        return nullptr;
-    }
-    if (CIDER_FAULT_POINT("zone.alloc")) {
-        ++z->stats.failed;
-        return nullptr;
-    }
-    ++z->stats.allocs;
-    ++z->stats.live;
-    if (!z->caching)
-        return std::malloc(z->elemSize);
     if (!z->freeList) {
-        // Refill: carve a fresh slab into free elements.
         void *slab = std::malloc(z->slotSize * z->chunkElems);
-        if (!slab) {
-            --z->stats.allocs;
-            --z->stats.live;
-            ++z->stats.failed;
+        if (!slab)
             return nullptr;
-        }
         z->slabs.push_back(slab);
         char *base = static_cast<char *>(slab);
         for (std::size_t i = z->chunkElems; i-- > 0;) {
@@ -282,22 +300,124 @@ zalloc(ZoneT *z)
     return elem;
 }
 
+} // namespace
+
+void *
+zalloc(ZoneT *z)
+{
+    charge(kZallocNs);
+    // Both injection paths run before the allocs increment, so the
+    // logical allocation index they key on is identical whether the
+    // zone is slab-cached or in legacy one-heap-call-per-element mode.
+    std::int64_t fail_after = z->failAfter.load(std::memory_order_relaxed);
+    if (fail_after >= 0 &&
+        static_cast<std::int64_t>(
+            z->allocs.load(std::memory_order_relaxed)) >= fail_after) {
+        z->failed.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    if (CIDER_FAULT_POINT("zone.alloc")) {
+        z->failed.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    if (!z->caching.load(std::memory_order_relaxed)) {
+        void *elem = std::malloc(z->elemSize);
+        if (!elem) {
+            z->failed.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        z->allocs.fetch_add(1, std::memory_order_relaxed);
+        z->live.fetch_add(1, std::memory_order_relaxed);
+        return elem;
+    }
+    int cpu = kernel::PerCpu::currentCpu();
+    if (cpu >= 0) {
+        // CPU-bound fast path: this CPU's magazine, refilled from the
+        // depot in batches.
+        ZoneT::Magazine &mag = z->mags[static_cast<std::size_t>(cpu)];
+        std::lock_guard<std::mutex> lock(mag.mu);
+        LockOrderNote note(&mag.mu, z->name.c_str());
+        if (mag.freeList) {
+            z->magHits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            std::lock_guard<std::mutex> depot(z->mu);
+            LockOrderNote depot_note(&z->mu, z->name.c_str());
+            for (std::size_t i = 0; i < kMagazineBatch; ++i) {
+                void *elem = depotPopLocked(z);
+                if (!elem)
+                    break;
+                freeLink(elem) = mag.freeList;
+                mag.freeList = elem;
+                ++mag.depth;
+            }
+            if (mag.freeList)
+                z->magFills.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!mag.freeList) {
+            z->failed.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        void *elem = mag.freeList;
+        mag.freeList = freeLink(elem);
+        --mag.depth;
+        z->allocs.fetch_add(1, std::memory_order_relaxed);
+        z->live.fetch_add(1, std::memory_order_relaxed);
+        return elem;
+    }
+    // Unbound: the depot directly (the original single-lock path).
+    std::lock_guard<std::mutex> lock(z->mu);
+    LockOrderNote note(&z->mu, z->name.c_str());
+    void *elem = depotPopLocked(z);
+    if (!elem) {
+        z->failed.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    z->allocs.fetch_add(1, std::memory_order_relaxed);
+    z->live.fetch_add(1, std::memory_order_relaxed);
+    return elem;
+}
+
 void
 zfree(ZoneT *z, void *elem)
 {
     if (!elem)
         return;
     charge(kZfreeNs);
-    std::lock_guard<std::mutex> lock(z->mu);
-    LockOrderNote note(&z->mu, z->name.c_str());
-    ++z->stats.frees;
-    if (z->stats.live == 0) // invariant-only: double-free by kernel code
+    if (z->live.load(std::memory_order_relaxed) == 0)
+        // invariant-only: double-free by kernel code
         cider_panic("zfree underflow in zone ", z->name);
-    --z->stats.live;
-    if (!z->caching) {
+    z->frees.fetch_add(1, std::memory_order_relaxed);
+    z->live.fetch_sub(1, std::memory_order_relaxed);
+    if (!z->caching.load(std::memory_order_relaxed)) {
         std::free(elem);
         return;
     }
+    int cpu = kernel::PerCpu::currentCpu();
+    if (cpu >= 0) {
+        ZoneT::Magazine &mag = z->mags[static_cast<std::size_t>(cpu)];
+        std::lock_guard<std::mutex> lock(mag.mu);
+        LockOrderNote note(&mag.mu, z->name.c_str());
+        freeLink(elem) = mag.freeList;
+        mag.freeList = elem;
+        ++mag.depth;
+        if (mag.depth >= 2 * kMagazineBatch) {
+            // Overflow: drain a batch back to the depot so one CPU
+            // freeing what another allocates cannot strand memory.
+            std::lock_guard<std::mutex> depot(z->mu);
+            LockOrderNote depot_note(&z->mu, z->name.c_str());
+            for (std::size_t i = 0; i < kMagazineBatch; ++i) {
+                void *e = mag.freeList;
+                mag.freeList = freeLink(e);
+                --mag.depth;
+                freeLink(e) = z->freeList;
+                z->freeList = e;
+            }
+            z->magDrains.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+    }
+    std::lock_guard<std::mutex> lock(z->mu);
+    LockOrderNote note(&z->mu, z->name.c_str());
     freeLink(elem) = z->freeList;
     z->freeList = elem;
 }
@@ -305,27 +425,64 @@ zfree(ZoneT *z, void *elem)
 ZoneStats
 zone_stats(const ZoneT *z)
 {
-    std::lock_guard<std::mutex> lock(z->mu);
-    return z->stats;
+    ZoneStats st;
+    st.allocs = z->allocs.load(std::memory_order_relaxed);
+    st.frees = z->frees.load(std::memory_order_relaxed);
+    st.live = z->live.load(std::memory_order_relaxed);
+    st.failed = z->failed.load(std::memory_order_relaxed);
+    st.elemSize = z->elemSize;
+    st.magazineHits = z->magHits.load(std::memory_order_relaxed);
+    st.magazineFills = z->magFills.load(std::memory_order_relaxed);
+    st.magazineDrains = z->magDrains.load(std::memory_order_relaxed);
+    std::uint64_t cached = 0;
+    for (ZoneT::Magazine &mag : z->mags) {
+        std::lock_guard<std::mutex> lock(mag.mu);
+        cached += mag.depth;
+    }
+    st.magazineCached = cached;
+    return st;
 }
 
 void
 zone_set_fail_after(ZoneT *z, std::int64_t n)
 {
-    std::lock_guard<std::mutex> lock(z->mu);
-    z->failAfter = n;
+    z->failAfter.store(n, std::memory_order_relaxed);
 }
 
 void
 zone_set_caching(ZoneT *z, bool enabled)
 {
-    std::lock_guard<std::mutex> lock(z->mu);
-    if (z->caching == enabled)
+    if (z->caching.load(std::memory_order_relaxed) == enabled)
         return;
-    if (z->stats.live != 0) // invariant-only: kernel-internal misuse
+    if (z->live.load(std::memory_order_relaxed) != 0)
+        // invariant-only: kernel-internal misuse
         cider_panic("zone_set_caching with live elements in zone ",
                     z->name);
-    z->caching = enabled;
+    // Return magazine contents to the depot so the toggle leaves no
+    // cached elements behind in per-CPU state.
+    zone_drain_cpu_caches(z);
+    z->caching.store(enabled, std::memory_order_relaxed);
+}
+
+void
+zone_drain_cpu_caches(ZoneT *z)
+{
+    for (ZoneT::Magazine &mag : z->mags) {
+        std::lock_guard<std::mutex> lock(mag.mu);
+        if (!mag.freeList)
+            continue;
+        LockOrderNote note(&mag.mu, z->name.c_str());
+        std::lock_guard<std::mutex> depot(z->mu);
+        LockOrderNote depot_note(&z->mu, z->name.c_str());
+        while (mag.freeList) {
+            void *e = mag.freeList;
+            mag.freeList = freeLink(e);
+            freeLink(e) = z->freeList;
+            z->freeList = e;
+        }
+        mag.depth = 0;
+        z->magDrains.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 namespace {
@@ -336,6 +493,12 @@ namespace {
  * with an intrusive free-list of recycled blocks. Larger requests
  * fall through to the domestic heap. Per-class depth is capped so a
  * burst cannot pin unbounded memory.
+ *
+ * SMP decomposition: the single cache-wide mutex became one lock per
+ * size class in the global tier, plus a small per-simulated-CPU front
+ * cache (used when the host thread is CPU-bound via kernel::CpuScope)
+ * so the steady-state kalloc/kfree cycle of concurrent host threads
+ * touches no shared lock at all.
  */
 class KallocCache
 {
@@ -343,13 +506,22 @@ class KallocCache
     ~KallocCache()
     {
         for (std::size_t c = 0; c < kClasses; ++c) {
-            void *p = heads_[c];
+            void *p = global_[c].head;
             while (p) {
                 void *next = freeLink(p);
                 std::free(p);
                 p = next;
             }
         }
+        for (CpuCache &cc : cpus_)
+            for (std::size_t c = 0; c < kClasses; ++c) {
+                void *p = cc.heads[c];
+                while (p) {
+                    void *next = freeLink(p);
+                    std::free(p);
+                    p = next;
+                }
+            }
     }
 
     void *
@@ -358,10 +530,22 @@ class KallocCache
         int c = classIndex(size);
         if (c < 0)
             return std::malloc(size);
-        std::lock_guard<std::mutex> lock(mu_);
-        if (void *p = heads_[static_cast<std::size_t>(c)]) {
-            heads_[static_cast<std::size_t>(c)] = freeLink(p);
-            --depth_[static_cast<std::size_t>(c)];
+        auto uc = static_cast<std::size_t>(c);
+        int cpu = kernel::PerCpu::currentCpu();
+        if (cpu >= 0) {
+            CpuCache &cc = cpus_[static_cast<std::size_t>(cpu)];
+            std::lock_guard<std::mutex> lock(cc.mu);
+            if (void *p = cc.heads[uc]) {
+                cc.heads[uc] = freeLink(p);
+                --cc.depth[uc];
+                return p;
+            }
+        }
+        GlobalClass &g = global_[uc];
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (void *p = g.head) {
+            g.head = freeLink(p);
+            --g.depth;
             return p;
         }
         return std::malloc(classSize(c));
@@ -375,19 +559,33 @@ class KallocCache
             std::free(p);
             return;
         }
-        std::lock_guard<std::mutex> lock(mu_);
-        if (depth_[static_cast<std::size_t>(c)] >= kMaxDepth) {
+        auto uc = static_cast<std::size_t>(c);
+        int cpu = kernel::PerCpu::currentCpu();
+        if (cpu >= 0) {
+            CpuCache &cc = cpus_[static_cast<std::size_t>(cpu)];
+            std::lock_guard<std::mutex> lock(cc.mu);
+            if (cc.depth[uc] < kCpuDepth) {
+                freeLink(p) = cc.heads[uc];
+                cc.heads[uc] = p;
+                ++cc.depth[uc];
+                return;
+            }
+        }
+        GlobalClass &g = global_[uc];
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (g.depth >= kMaxDepth) {
             std::free(p);
             return;
         }
-        freeLink(p) = heads_[static_cast<std::size_t>(c)];
-        heads_[static_cast<std::size_t>(c)] = p;
-        ++depth_[static_cast<std::size_t>(c)];
+        freeLink(p) = g.head;
+        g.head = p;
+        ++g.depth;
     }
 
   private:
     static constexpr std::size_t kClasses = 9; // 16 .. 4096
-    static constexpr std::size_t kMaxDepth = 1024;
+    static constexpr std::size_t kMaxDepth = 1024; ///< per class, global
+    static constexpr std::size_t kCpuDepth = 64;   ///< per class, per CPU
 
     static std::size_t classSize(int c)
     {
@@ -405,9 +603,22 @@ class KallocCache
         return c;
     }
 
-    std::mutex mu_;
-    void *heads_[kClasses] = {};
-    std::size_t depth_[kClasses] = {};
+    struct GlobalClass
+    {
+        std::mutex mu;
+        void *head = nullptr;
+        std::size_t depth = 0;
+    };
+
+    struct CpuCache
+    {
+        std::mutex mu;
+        void *heads[kClasses] = {};
+        std::size_t depth[kClasses] = {};
+    };
+
+    GlobalClass global_[kClasses];
+    std::array<CpuCache, kernel::kMaxCpus> cpus_;
 };
 
 KallocCache &
@@ -475,18 +686,34 @@ struct BlockedEntry
     std::chrono::steady_clock::time_point since;
 };
 
-std::mutex &
-blockedMu()
+/**
+ * The watchdog registry is hash-sharded (decomposed from one global
+ * mutex) so N host threads parking/unparking concurrently contend
+ * only within a bucket, waitq-hash style.
+ */
+struct BlockedShard
 {
-    static std::mutex mu;
-    return mu;
+    std::mutex mu;
+    std::map<const void *, BlockedEntry> map;
+};
+
+constexpr std::size_t kBlockedShards = 16;
+
+std::array<BlockedShard, kBlockedShards> &
+blockedShards()
+{
+    static std::array<BlockedShard, kBlockedShards> shards;
+    return shards;
 }
 
-std::map<const void *, BlockedEntry> &
-blockedMap()
+BlockedShard &
+blockedShardFor(const void *key)
 {
-    static std::map<const void *, BlockedEntry> m;
-    return m;
+    auto h = reinterpret_cast<std::uintptr_t>(key);
+    // Stack addresses share their low (alignment) and high bits; fold
+    // the middle into the bucket index.
+    h ^= h >> 9;
+    return blockedShards()[(h >> 4) & (kBlockedShards - 1)];
 }
 
 /** RAII registration of one parked thread, keyed by stack address. */
@@ -495,15 +722,17 @@ class BlockScope
   public:
     explicit BlockScope(const char *who)
     {
-        std::lock_guard<std::mutex> lock(blockedMu());
-        blockedMap()[this] = BlockedEntry{
+        BlockedShard &shard = blockedShardFor(this);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map[this] = BlockedEntry{
             who, virtualNow(), std::chrono::steady_clock::now()};
     }
 
     ~BlockScope()
     {
-        std::lock_guard<std::mutex> lock(blockedMu());
-        blockedMap().erase(this);
+        BlockedShard &shard = blockedShardFor(this);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map.erase(this);
     }
 };
 
@@ -613,18 +842,20 @@ waitq_blocked_waits(double min_host_ms)
 {
     std::vector<BlockedWait> out;
     auto now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(blockedMu());
-    for (const auto &[key, e] : blockedMap()) {
-        double ms = std::chrono::duration<double, std::milli>(
-                        now - e.since)
-                        .count();
-        if (ms < min_host_ms)
-            continue;
-        BlockedWait w;
-        w.site = e.site;
-        w.virtualNs = e.virtualNs;
-        w.hostBlockedMs = ms;
-        out.push_back(w);
+    for (BlockedShard &shard : blockedShards()) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[key, e] : shard.map) {
+            double ms = std::chrono::duration<double, std::milli>(
+                            now - e.since)
+                            .count();
+            if (ms < min_host_ms)
+                continue;
+            BlockedWait w;
+            w.site = e.site;
+            w.virtualNs = e.virtualNs;
+            w.hostBlockedMs = ms;
+            out.push_back(w);
+        }
     }
     return out;
 }

@@ -53,6 +53,14 @@ void lck_mtx_free(LckMtx *m);
 /// zone keeps an intrusive free-list of fixed-size elements and
 /// refills it in page-sized slab chunks, so the steady-state
 /// zalloc/zfree cycle never touches the heap.
+///
+/// SMP structure (XNU-style CPU caching): when the calling host
+/// thread is bound to a simulated CPU (kernel::CpuScope), zalloc and
+/// zfree run against that CPU's private magazine — a small free-list
+/// with its own lock — and only drain/refill against the global
+/// depot free-list in batches. Unbound callers (every pre-SMP code
+/// path) use the depot directly, preserving the original behaviour
+/// bit for bit.
 struct ZoneT;
 
 /** Create an allocation zone for fixed-size elements. */
@@ -71,6 +79,12 @@ struct ZoneStats
     std::uint64_t live = 0;
     std::uint64_t failed = 0;
     std::size_t elemSize = 0;
+    /// @{ Per-CPU magazine traffic (zero while unbound).
+    std::uint64_t magazineHits = 0;   ///< allocs served from a magazine
+    std::uint64_t magazineFills = 0;  ///< depot -> magazine batches
+    std::uint64_t magazineDrains = 0; ///< magazine -> depot batches
+    std::uint64_t magazineCached = 0; ///< free elements parked in mags
+    /// @}
 };
 
 ZoneStats zone_stats(const ZoneT *z);
@@ -86,6 +100,13 @@ void zone_set_fail_after(ZoneT *z, std::int64_t n);
  * legal while the zone has no live elements.
  */
 void zone_set_caching(ZoneT *z, bool enabled);
+
+/**
+ * Push every per-CPU magazine's elements back to the depot free-list
+ * (XNU's zone_gc over one zone). Used by tests asserting depot
+ * accounting and by memory-pressure paths.
+ */
+void zone_drain_cpu_caches(ZoneT *z);
 
 void *xnu_kalloc(std::size_t size);
 void xnu_kfree(void *p, std::size_t size);

@@ -214,7 +214,8 @@ SyscallTable::registeredNumbers() const
 }
 
 Kernel::Kernel(const hw::DeviceProfile &profile)
-    : profile_(profile), vfs_(profile), linuxTable_("linux")
+    : profile_(profile), percpu_(profile.cpuCores), vfs_(profile),
+      linuxTable_("linux")
 {
     dispatcher_ = std::make_unique<VanillaDispatcher>();
     signalHook_ = std::make_unique<SignalDeliveryHook>();
@@ -235,6 +236,9 @@ Kernel::Kernel(const hw::DeviceProfile &profile)
     Device &lockorder = devices_.add(
         std::make_unique<SchedRailDevice>(SchedRail::global()));
     vfs_.mknod("/proc/cider/lockorder", &lockorder);
+    Device &percpu =
+        devices_.add(std::make_unique<PerCpuDevice>(percpu_));
+    vfs_.mknod("/proc/cider/percpu", &percpu);
 }
 
 Kernel::~Kernel() = default;
@@ -243,6 +247,7 @@ Process &
 Kernel::createProcess(const std::string &name, Persona persona,
                       Process *parent)
 {
+    std::lock_guard<std::mutex> lock(procMu_);
     Pid pid = nextPid_++;
     auto proc = std::make_unique<Process>(pid, name, parent);
     proc->createThread(persona);
@@ -254,8 +259,16 @@ Kernel::createProcess(const std::string &name, Persona persona,
 Process *
 Kernel::findProcess(Pid pid) const
 {
+    std::lock_guard<std::mutex> lock(procMu_);
     auto it = processes_.find(pid);
     return it == processes_.end() ? nullptr : it->second.get();
+}
+
+std::size_t
+Kernel::processCount() const
+{
+    std::lock_guard<std::mutex> lock(procMu_);
+    return processes_.size();
 }
 
 SyscallResult
@@ -285,6 +298,10 @@ Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
         throw;
     }
     trapStats_.recordTrap(ctx, r, t.clock().now() - ctx.enterNs);
+    // SMP epoch merge: when the calling host thread is bound to a
+    // simulated CPU, fold this thread's clock into the CPU's live
+    // epoch at the trap boundary (DESIGN.md §11).
+    PerCpu::noteTrapBoundary(t);
     checkPendingSignals(t);
 
     if (oomKillEnabled_) {
@@ -657,7 +674,7 @@ Kernel::deliverSignal(Thread &target, SigInfo info)
             charge(info.frameSize / 16); // frame copy at ~16 B/ns
             act.fn(info.signo, info);
         } else {
-            target.pendingSignals().push_back(info);
+            target.queueSignal(info);
         }
         return;
       case SignalAction::Kind::Default:
@@ -672,9 +689,8 @@ Kernel::deliverSignal(Thread &target, SigInfo info)
 void
 Kernel::checkPendingSignals(Thread &t)
 {
-    while (!t.pendingSignals().empty()) {
-        SigInfo info = t.pendingSignals().front();
-        t.pendingSignals().pop_front();
+    SigInfo info;
+    while (t.takePendingSignal(&info)) {
         // signo was already translated for this receiver at queue
         // time; tableSigno remembers the Linux number for lookup.
         charge(info.frameSize / 16);

@@ -22,12 +22,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hw/device_profile.h"
 #include "kernel/device.h"
+#include "kernel/percpu.h"
 #include "kernel/process.h"
 #include "kernel/trap_stats.h"
 #include "kernel/types.h"
@@ -179,13 +181,19 @@ class Kernel
     DeviceRegistry &devices() { return devices_; }
     UnixSocketRegistry &unixSockets() { return unixRegistry_; }
 
-    /// @{ Process management.
+    /// @{ Process management. The table has its own lock (procMu_) so
+    /// concurrent host threads can fork/look up without serializing
+    /// through the rest of the kernel.
     Process &createProcess(const std::string &name,
                            Persona persona = Persona::Android,
                            Process *parent = nullptr);
     Process *findProcess(Pid pid) const;
-    std::size_t processCount() const { return processes_.size(); }
+    std::size_t processCount() const;
     /// @}
+
+    /** The simulated machine's CPU array (profile.cpuCores slots). */
+    PerCpu &percpu() { return percpu_; }
+    const PerCpu &percpu() const { return percpu_; }
 
     /// @{ Trap path.
     /**
@@ -308,6 +316,7 @@ class Kernel
 
   private:
     const hw::DeviceProfile &profile_;
+    PerCpu percpu_;
     Vfs vfs_;
     DeviceRegistry devices_;
     UnixSocketRegistry unixRegistry_;
@@ -318,6 +327,9 @@ class Kernel
     std::vector<std::unique_ptr<BinaryLoader>> loaders_;
     std::vector<ProcessHook> forkHooks_;
     std::vector<ExecHook> execHooks_;
+    /** Guards processes_ and nextPid_ only; Process objects carry
+     *  their own synchronisation (Process::mu_). */
+    mutable std::mutex procMu_;
     std::map<Pid, std::unique_ptr<Process>> processes_;
     Pid nextPid_ = 1;
     bool oomKillEnabled_ = false;

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The per-CPU layer: simulated CPU slots and the SMP executor pool.
+ *
+ * Until this layer existed, every guest thread was serialized through
+ * one implicit kernel context — the calling host thread — so the
+ * simulation could never exceed one host core. The per-CPU structure
+ * decomposes that single serialization point the way a real SMP
+ * kernel does:
+ *
+ *  - PerCpu: an array of CpuSlot records sized from the device
+ *    profile's core count (the simulated machine's CPUs, not the
+ *    host's). Each slot tracks the thread it is currently simulating,
+ *    a local virtual-time epoch, and executor counters. A host thread
+ *    *binds* to a slot with CpuScope; percpu-aware subsystems (the
+ *    zalloc magazine layer, the trap path's epoch merge) key off
+ *    PerCpu::currentCpu().
+ *
+ *  - ExecutorPool: runs a batch of guest jobs on N host threads over
+ *    sharded per-CPU run queues with work stealing. *Virtual* CPU
+ *    placement is deterministic — job k lands on simulated CPU
+ *    (k mod ncpus) at submit time, and its virtual-time cost is
+ *    charged to that CPU's epoch no matter which host thread executes
+ *    it. Work stealing moves only host execution, never virtual
+ *    attribution, so the pool's merged virtual time is a pure
+ *    function of the submitted work.
+ *
+ * Epoch-merge rules (DESIGN.md §11): each simulated CPU's epoch
+ * advances by the sum of the virtual nanoseconds of the jobs assigned
+ * to it (commutative — any execution order yields the same sum), and
+ * the machine's merged virtual time at a barrier is the max over CPU
+ * epochs (also commutative). Both folds are order-insensitive, so a
+ * run on 1 host thread and a run on 8 report bit-identical virtual
+ * time. At trap boundaries a running guest additionally max-merges
+ * its thread clock into its slot's live epoch
+ * (PerCpu::noteTrapBoundary), keeping /proc/cider/percpu a monotone
+ * lower bound of the final merged time while the batch is running.
+ *
+ * When SchedRail is armed, the pool collapses onto the rail's
+ * cooperative schedule: jobs run sequentially in submit order on the
+ * calling host thread, so every yield point inside them remains a
+ * rail decision and Replay/Explore traces are unchanged by the pool's
+ * existence.
+ */
+
+#ifndef CIDER_KERNEL_PERCPU_H
+#define CIDER_KERNEL_PERCPU_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kernel/device.h"
+
+namespace cider::kernel {
+
+class Thread;
+
+/** Hard ceiling on simulated CPUs (magazine arrays are sized by it). */
+inline constexpr unsigned kMaxCpus = 64;
+
+/** One simulated CPU's private state. */
+struct CpuSlot
+{
+    std::uint32_t id = 0;
+    /** Thread this CPU is currently simulating (observability). */
+    std::atomic<Thread *> current{nullptr};
+    /** Local virtual-time epoch in ns (see epoch-merge rules). */
+    std::atomic<std::uint64_t> epochNs{0};
+    /** Trap boundaries that merged into this epoch. */
+    std::atomic<std::uint64_t> trapMerges{0};
+    /** Jobs this virtual CPU was assigned / that were stolen away. */
+    std::atomic<std::uint64_t> jobsRun{0};
+    std::atomic<std::uint64_t> jobsStolen{0};
+
+    /** Lock-free max-merge of @p ns into epochNs. */
+    void
+    mergeEpoch(std::uint64_t ns)
+    {
+        std::uint64_t seen = epochNs.load(std::memory_order_relaxed);
+        while (ns > seen &&
+               !epochNs.compare_exchange_weak(seen, ns,
+                                              std::memory_order_relaxed))
+            ;
+    }
+};
+
+/**
+ * The simulated machine's CPU array. One per Kernel, sized from the
+ * device profile core count (clamped to [1, kMaxCpus]).
+ */
+class PerCpu
+{
+  public:
+    explicit PerCpu(unsigned ncpus);
+
+    unsigned count() const { return static_cast<unsigned>(slots_.size()); }
+
+    CpuSlot &slot(unsigned cpu) { return *slots_[cpu]; }
+    const CpuSlot &slot(unsigned cpu) const { return *slots_[cpu]; }
+
+    /** Slot the calling host thread is bound to (null when unbound). */
+    static CpuSlot *currentSlot();
+
+    /** Bound simulated CPU id of the calling host thread, or -1. */
+    static int currentCpu();
+
+    /**
+     * Trap-boundary epoch merge: when the calling host thread is
+     * bound to a CPU slot, fold @p t's virtual clock into the slot's
+     * live epoch (max-merge). One thread_local read when unbound.
+     */
+    static void noteTrapBoundary(Thread &t);
+
+    /** Max over CPU epochs — the machine's merged virtual time. */
+    std::uint64_t mergedEpochNs() const;
+
+    /** Zero every slot's epoch and counters (benchmark warm-up). */
+    void resetEpochs();
+
+    /** The /proc/cider/percpu text. */
+    std::string dump() const;
+
+  private:
+    // Slots are stable-address (unique_ptr) so bound host threads and
+    // magazine caches can hold CpuSlot* across vector growth — not
+    // that it grows, but the invariant costs nothing to keep.
+    std::vector<std::unique_ptr<CpuSlot>> slots_;
+};
+
+/**
+ * RAII binding of the calling host thread to a simulated CPU slot.
+ * Nests; the innermost binding wins (matching CostScope/ThreadScope).
+ */
+class CpuScope
+{
+  public:
+    CpuScope(PerCpu &cpus, unsigned cpu);
+    ~CpuScope();
+
+    CpuScope(const CpuScope &) = delete;
+    CpuScope &operator=(const CpuScope &) = delete;
+
+  private:
+    CpuSlot *prev_;
+};
+
+/** Merged result of one ExecutorPool batch. */
+struct SmpEpoch
+{
+    /** Max over per-CPU epochs: the batch's virtual elapsed time. */
+    std::uint64_t mergedNs = 0;
+    /** Per-simulated-CPU virtual ns (sum over that CPU's jobs). */
+    std::vector<std::uint64_t> perCpuNs;
+    std::uint64_t jobs = 0;
+    /** Jobs executed by a host worker other than their virtual CPU's
+     *  primary worker (host-side only; never affects virtual time). */
+    std::uint64_t steals = 0;
+};
+
+/**
+ * Runs guest jobs on N host threads over sharded per-CPU run queues
+ * with work stealing. See the file comment for the determinism
+ * contract. A pool is a batch engine, not a daemon: submit jobs, call
+ * runAll(), read the epoch; reuse freely.
+ */
+class ExecutorPool
+{
+  public:
+    /**
+     * @p host_threads caps the host parallelism (clamped to
+     * [1, cpus.count()] workers are *not* required; more workers than
+     * simulated CPUs just share slots).
+     */
+    ExecutorPool(PerCpu &cpus, unsigned host_threads);
+
+    /**
+     * Queue a job. Virtual placement is deterministic: the k-th
+     * submitted job runs as simulated CPU (k mod ncpus) work. The job
+     * returns the virtual nanoseconds it consumed, which the pool
+     * charges to that CPU's epoch.
+     */
+    void submit(std::function<std::uint64_t()> fn,
+                const char *label = "job");
+
+    /** Pin a job to simulated CPU @p cpu instead of round-robin. */
+    void submitOn(unsigned cpu, std::function<std::uint64_t()> fn,
+                  const char *label = "job");
+
+    /**
+     * Run every queued job to completion and return the merged epoch.
+     * Under an armed SchedRail the jobs run sequentially in submit
+     * order on the calling host thread (the rail's cooperative
+     * schedule stays in charge). The job list is consumed.
+     */
+    SmpEpoch runAll();
+
+    unsigned hostThreads() const { return hostThreads_; }
+
+  private:
+    struct Job
+    {
+        std::function<std::uint64_t()> fn;
+        const char *label;
+        std::uint32_t vcpu;
+        /** Global submit sequence — the rail-collapse drain order. */
+        std::uint64_t seq;
+    };
+
+    /** Pop a job for worker @p worker; steal when its shard is dry.
+     *  Returns false when every shard is empty. */
+    bool popJob(unsigned worker, Job *out, bool *stolen);
+    void runJob(const Job &job, bool stolen,
+                std::vector<std::atomic<std::uint64_t>> &percpu_ns,
+                std::atomic<std::uint64_t> &steals);
+
+    PerCpu &cpus_;
+    unsigned hostThreads_;
+    std::uint64_t submitSeq_ = 0;
+
+    /** One run-queue shard per simulated CPU. */
+    struct Shard
+    {
+        std::mutex mu;
+        std::vector<Job> jobs;
+        std::size_t head = 0; ///< FIFO pop index
+    };
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::uint64_t queued_ = 0;
+};
+
+/**
+ * Kernel device node exposing the per-CPU state at
+ * /proc/cider/percpu. Reads are single-shot, like the other
+ * /proc/cider nodes.
+ */
+class PerCpuDevice : public Device
+{
+  public:
+    explicit PerCpuDevice(const PerCpu &cpus)
+        : Device("percpu", "proc"), cpus_(cpus)
+    {}
+
+    SyscallResult read(Thread &t, Bytes &out, std::size_t n) override;
+
+  private:
+    const PerCpu &cpus_;
+};
+
+} // namespace cider::kernel
+
+#endif // CIDER_KERNEL_PERCPU_H

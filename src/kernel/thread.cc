@@ -1,10 +1,15 @@
 #include "kernel/thread.h"
 
+#include "base/logging.h"
+
 namespace cider::kernel {
 
 namespace {
 
 thread_local Thread *t_current = nullptr;
+
+/** Stable per-host-thread identity for the ext() owner check. */
+thread_local char t_hostMarker = 0;
 
 } // namespace
 
@@ -14,14 +19,57 @@ Thread::current()
     return t_current;
 }
 
+void
+Thread::queueSignal(const SigInfo &info)
+{
+    std::lock_guard<std::mutex> lock(sigMu_);
+    pending_.push_back(info);
+}
+
+bool
+Thread::takePendingSignal(SigInfo *out)
+{
+    std::lock_guard<std::mutex> lock(sigMu_);
+    if (pending_.empty())
+        return false;
+    *out = pending_.front();
+    pending_.pop_front();
+    return true;
+}
+
+std::size_t
+Thread::pendingSignalCount() const
+{
+    std::lock_guard<std::mutex> lock(sigMu_);
+    return pending_.size();
+}
+
+ExtMap &
+Thread::ext()
+{
+    const void *owner = activeHost_.load(std::memory_order_acquire);
+    if (owner != nullptr && owner != &t_hostMarker)
+        cider_panic(
+            "Thread::ext: cross-host access to thread ", tid_,
+            " while another host thread simulates it (single-owner "
+            "contract; see thread.h)");
+    return ext_;
+}
+
 ThreadScope::ThreadScope(Thread &thread)
     : prev_(t_current), cost_(thread.clock())
 {
     t_current = &thread;
+    thread.activeHost_.store(&t_hostMarker, std::memory_order_release);
 }
 
 ThreadScope::~ThreadScope()
 {
+    // Release the ext() ownership only when leaving the outermost
+    // scope for this thread on this host (nested rescoping of the
+    // same thread keeps the binding).
+    if (prev_ != t_current)
+        t_current->activeHost_.store(nullptr, std::memory_order_release);
     t_current = prev_;
 }
 

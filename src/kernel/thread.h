@@ -13,9 +13,11 @@
 #ifndef CIDER_KERNEL_THREAD_H
 #define CIDER_KERNEL_THREAD_H
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "base/cost_clock.h"
@@ -26,7 +28,18 @@ namespace cider::kernel {
 
 class Process;
 
-/** Extension-state map modules use to hang per-object state. */
+/**
+ * Extension-state map modules use to hang per-object state.
+ *
+ * The map *structure* is internally locked, so lazy first-use
+ * population (get) is safe when several host threads race to create
+ * the same slot under SMP — both resolve to one shared value. The
+ * returned values themselves are NOT locked: each value follows its
+ * owner's serialization (per-thread state is only touched by the host
+ * thread simulating that thread — see Thread::ext(); per-process
+ * state is shared and must carry its own synchronisation if mutated
+ * concurrently).
+ */
 class ExtMap
 {
   public:
@@ -35,6 +48,7 @@ class ExtMap
     T &
     get(const std::string &key)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = slots_.find(key);
         if (it == slots_.end())
             it = slots_.emplace(key, std::make_shared<T>()).first;
@@ -46,16 +60,29 @@ class ExtMap
     T *
     find(const std::string &key) const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = slots_.find(key);
         if (it == slots_.end())
             return nullptr;
         return std::static_pointer_cast<T>(it->second).get();
     }
 
-    void erase(const std::string &key) { slots_.erase(key); }
-    void clear() { slots_.clear(); }
+    void
+    erase(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        slots_.erase(key);
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        slots_.clear();
+    }
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, std::shared_ptr<void>> slots_;
 };
 
@@ -75,11 +102,30 @@ class Thread
 
     CostClock &clock() { return clock_; }
 
-    /** Pending asynchronous signals awaiting the next trap boundary. */
-    std::deque<SigInfo> &pendingSignals() { return pending_; }
+    /// @{
+    /**
+     * Signal delivery. Queue/drain are separately locked so any host
+     * thread (a concurrently running sender under SMP) can deliver
+     * while the target drains at its own trap boundary. The old
+     * pattern — peek front, act, pop — was a two-step race; the
+     * single-step take keeps drain atomic.
+     */
+    void queueSignal(const SigInfo &info);
+    /** Pop the oldest pending signal; false when none pending. */
+    bool takePendingSignal(SigInfo *out);
+    std::size_t pendingSignalCount() const;
+    /// @}
 
-    /** Per-thread module extension state (TLS areas, Mach self port). */
-    ExtMap &ext() { return ext_; }
+    /**
+     * Per-thread module extension state (TLS areas, Mach self port).
+     *
+     * Single-owner contract: while a host thread holds a ThreadScope
+     * binding this thread, only that host thread may touch ext().
+     * Violations panic (and are pinned by a death test) — per-thread
+     * extension values are deliberately unlocked, so a cross-host
+     * access would be a silent data race.
+     */
+    ExtMap &ext();
 
     /** The thread the calling host thread is currently simulating. */
     static Thread *current();
@@ -89,8 +135,12 @@ class Thread
     Process *proc_;
     Persona persona_;
     CostClock clock_;
+    mutable std::mutex sigMu_;
     std::deque<SigInfo> pending_;
     ExtMap ext_;
+    /** Host-thread marker of the ThreadScope currently simulating
+     *  this thread (null when not being simulated). */
+    std::atomic<const void *> activeHost_{nullptr};
 
     friend class ThreadScope;
 };

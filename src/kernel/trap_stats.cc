@@ -50,35 +50,67 @@ TrapTracer::TrapTracer(std::size_t capacity)
     std::size_t cap = 1;
     while (cap < capacity)
         cap <<= 1;
-    ring_.resize(cap);
+    slots_ = std::make_unique<Slot[]>(cap);
+    cap_ = cap;
     mask_ = cap - 1;
 }
 
 void
 TrapTracer::record(TraceRecord rec)
 {
-    std::uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
-    rec.seq = slot;
-    ring_[static_cast<std::size_t>(slot) & mask_] = rec;
+    std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    rec.seq = ticket;
+    Slot &slot = slots_[static_cast<std::size_t>(ticket) & mask_];
+    std::uint64_t claim = slot.seq.load(std::memory_order_relaxed);
+    // Claim even -> odd; a peer holding the slot (writer lapping us,
+    // or a snapshot mid-copy) makes us drop rather than tear.
+    if ((claim & 1) ||
+        !slot.seq.compare_exchange_strong(claim, claim + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    slot.rec = rec;
+    slot.seq.store(claim + 2, std::memory_order_release);
 }
 
 std::vector<TraceRecord>
 TrapTracer::snapshot() const
 {
     std::uint64_t head = head_.load(std::memory_order_relaxed);
-    std::uint64_t count = std::min<std::uint64_t>(head, ring_.size());
+    std::uint64_t count = std::min<std::uint64_t>(head, cap_);
     std::vector<TraceRecord> out;
     out.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = head - count; i < head; ++i)
-        out.push_back(ring_[static_cast<std::size_t>(i) & mask_]);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+        Slot &slot = slots_[static_cast<std::size_t>(i) & mask_];
+        std::uint64_t claim = slot.seq.load(std::memory_order_relaxed);
+        if ((claim & 1) ||
+            !slot.seq.compare_exchange_strong(claim, claim + 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed))
+            continue; // a writer holds it; skip, never tear
+        TraceRecord rec = slot.rec;
+        slot.seq.store(claim, std::memory_order_release);
+        // With drops the slot may hold a record from a different lap;
+        // the embedded sequence keeps the copy honest.
+        if (rec.seq == i)
+            out.push_back(rec);
+    }
     return out;
 }
 
 void
 TrapTracer::reset()
 {
+    // Benchmark warm-up only — not safe against concurrent writers,
+    // like every other reset() in the stats subsystem.
     head_.store(0, std::memory_order_relaxed);
-    std::fill(ring_.begin(), ring_.end(), TraceRecord{});
+    dropped_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < cap_; ++i) {
+        slots_[i].seq.store(0, std::memory_order_relaxed);
+        slots_[i].rec = TraceRecord{};
+    }
 }
 
 TrapStats::TrapStats() = default;

@@ -23,6 +23,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,20 +85,29 @@ struct TraceRecord
 };
 
 /**
- * Fixed-size lock-free ring of recent trap records. Writers claim a
- * slot with one relaxed fetch_add and overwrite the oldest record;
- * readers snapshot without stopping writers (a record being written
- * concurrently may read torn, which a flight recorder tolerates).
+ * Fixed-size lock-free ring of recent trap records, safe for
+ * concurrent writers (SMP host threads trap in parallel).
+ *
+ * The original single-kernel-thread design took a global ticket and
+ * wrote `ring_[slot & mask]` non-atomically — two host threads
+ * lapping each other could interleave field stores and tear a record.
+ * Each slot now carries a seqlock-style claim word: a writer (or the
+ * snapshot reader) CAS-claims the slot (even -> odd), touches the
+ * record only while holding the claim, and releases (back to even).
+ * Contenders never wait: a writer that loses the claim drops its
+ * record and bumps dropped() — flight-recorder semantics, wait-free
+ * on the trap path, and no torn entry can ever be observed.
  */
 class TrapTracer
 {
   public:
     explicit TrapTracer(std::size_t capacity = 256);
 
-    /** Append one record (lock-free, wait-free). */
+    /** Append one record (wait-free; may drop under slot contention). */
     void record(TraceRecord rec);
 
-    /** Oldest-to-newest copy of the current ring contents. */
+    /** Oldest-to-newest copy of the current ring contents. Slots a
+     *  writer holds claimed at read time are skipped, never torn. */
     std::vector<TraceRecord> snapshot() const;
 
     /** Total records ever written (>= capacity means wrapped). */
@@ -106,14 +116,30 @@ class TrapTracer
         return head_.load(std::memory_order_relaxed);
     }
 
-    std::size_t capacity() const { return ring_.size(); }
+    /** Records dropped because their slot was claimed by a peer. */
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return cap_; }
 
     void reset();
 
   private:
-    std::vector<TraceRecord> ring_;
+    struct Slot
+    {
+        /** Claim word: even = stable, odd = claimed (being written or
+         *  snapshotted). rec is only touched while holding the claim. */
+        std::atomic<std::uint64_t> seq{0};
+        TraceRecord rec;
+    };
+
+    std::unique_ptr<Slot[]> slots_;
+    std::size_t cap_;
     std::size_t mask_;
     std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 /**

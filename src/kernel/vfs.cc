@@ -53,6 +53,7 @@ Vfs::Vfs(const hw::DeviceProfile &profile) : profile_(profile)
 void
 Vfs::addOverlay(const std::string &prefix, const std::string &target)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     overlays_.emplace_back(prefix, target);
     // Longest prefix first so nested overlays behave like stacked
     // mounts.
@@ -67,6 +68,7 @@ Vfs::addOverlay(const std::string &prefix, const std::string &target)
 void
 Vfs::setDentryCacheEnabled(bool enabled)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     cacheEnabled_ = enabled;
     if (!enabled)
         dentryCache_.clear();
@@ -75,6 +77,7 @@ Vfs::setDentryCacheEnabled(bool enabled)
 DentryCacheStats
 Vfs::dentryCacheStats() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     DentryCacheStats st;
     st.hits = cacheHits_;
     st.misses = cacheMisses_;
@@ -85,6 +88,13 @@ Vfs::dentryCacheStats() const
 
 std::string
 Vfs::rewrite(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rewriteImpl(path);
+}
+
+std::string
+Vfs::rewriteImpl(const std::string &path) const
 {
     for (const auto &[prefix, target] : overlays_) {
         if (path.size() >= prefix.size() &&
@@ -166,6 +176,13 @@ Vfs::walk(std::string_view effective) const
 Lookup
 Vfs::lookup(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lookupImpl(path);
+}
+
+Lookup
+Vfs::lookupImpl(const std::string &path) const
+{
     // Fault site: a failed lookup models a media/metadata read error
     // (checked before the dentry cache so hits cannot mask it).
     if (CIDER_FAULT_POINT("vfs.lookup")) {
@@ -182,7 +199,7 @@ Vfs::lookup(const std::string &path) const
         }
         ++cacheMisses_;
     }
-    Lookup out = walk(rewrite(path));
+    Lookup out = walk(rewriteImpl(path));
     if (cacheEnabled_ && out.err == 0) {
         if (dentryCache_.size() >= kDentryCacheCap)
             dentryCache_.clear();
@@ -196,7 +213,8 @@ Vfs::lookup(const std::string &path) const
 SyscallResult
 Vfs::mkdirAll(const std::string &path)
 {
-    std::string effective = rewrite(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string effective = rewriteImpl(path);
     std::vector<InodePtr> stack;
     PathComponents components(effective);
     std::string_view c;
@@ -229,7 +247,8 @@ Vfs::mkdirAll(const std::string &path)
 SyscallResult
 Vfs::mkdir(const std::string &path)
 {
-    Lookup lk = lookup(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    Lookup lk = lookupImpl(path);
     if (lk.err)
         return SyscallResult::failure(lk.err);
     if (lk.inode)
@@ -244,11 +263,18 @@ Vfs::mkdir(const std::string &path)
 SyscallResult
 Vfs::create(const std::string &path, InodePtr *out)
 {
+    std::lock_guard<std::mutex> lock(mu_);
+    return createImpl(path, out);
+}
+
+SyscallResult
+Vfs::createImpl(const std::string &path, InodePtr *out)
+{
     // Fault site: creation failing for want of space.
     if (CIDER_FAULT_POINT("vfs.create"))
         return SyscallResult::failure(lnx::NOSPC);
     charge(profile_.storageCreateNs / 2);
-    Lookup lk = lookup(path);
+    Lookup lk = lookupImpl(path);
     if (lk.err)
         return SyscallResult::failure(lk.err);
     if (lk.leaf.empty())
@@ -273,8 +299,9 @@ Vfs::create(const std::string &path, InodePtr *out)
 SyscallResult
 Vfs::unlink(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     charge(profile_.storageCreateNs / 2);
-    Lookup lk = lookup(path);
+    Lookup lk = lookupImpl(path);
     if (lk.err)
         return SyscallResult::failure(lk.err);
     if (!lk.inode)
@@ -289,13 +316,14 @@ Vfs::unlink(const std::string &path)
 SyscallResult
 Vfs::rename(const std::string &from, const std::string &to)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     charge(profile_.storageCreateNs / 4);
-    Lookup src = lookup(from);
+    Lookup src = lookupImpl(from);
     if (src.err)
         return SyscallResult::failure(src.err);
     if (!src.inode)
         return SyscallResult::failure(lnx::NOENT);
-    Lookup dst = lookup(to);
+    Lookup dst = lookupImpl(to);
     if (dst.err)
         return SyscallResult::failure(dst.err);
     if (dst.leaf.empty())
@@ -313,7 +341,8 @@ Vfs::rename(const std::string &from, const std::string &to)
 SyscallResult
 Vfs::rmdir(const std::string &path)
 {
-    Lookup lk = lookup(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    Lookup lk = lookupImpl(path);
     if (lk.err)
         return SyscallResult::failure(lk.err);
     if (!lk.inode)
@@ -330,7 +359,8 @@ Vfs::rmdir(const std::string &path)
 SyscallResult
 Vfs::readdir(const std::string &path, std::vector<std::string> &out) const
 {
-    Lookup lk = lookup(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    Lookup lk = lookupImpl(path);
     if (lk.err)
         return SyscallResult::failure(lk.err);
     if (!lk.inode)
@@ -346,7 +376,8 @@ Vfs::readdir(const std::string &path, std::vector<std::string> &out) const
 SyscallResult
 Vfs::mknod(const std::string &path, Device *dev)
 {
-    Lookup lk = lookup(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    Lookup lk = lookupImpl(path);
     if (lk.err)
         return SyscallResult::failure(lk.err);
     if (lk.inode)
@@ -362,8 +393,9 @@ Vfs::mknod(const std::string &path, Device *dev)
 SyscallResult
 Vfs::writeFile(const std::string &path, const Bytes &data)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     InodePtr node;
-    SyscallResult r = create(path, &node);
+    SyscallResult r = createImpl(path, &node);
     if (!r.ok())
         return r;
     charge(data.size() * profile_.storageWriteBytePs / 1000);
@@ -374,7 +406,8 @@ Vfs::writeFile(const std::string &path, const Bytes &data)
 SyscallResult
 Vfs::readFile(const std::string &path, Bytes &out) const
 {
-    Lookup lk = lookup(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    Lookup lk = lookupImpl(path);
     if (lk.err)
         return SyscallResult::failure(lk.err);
     if (!lk.inode)
@@ -389,7 +422,8 @@ Vfs::readFile(const std::string &path, Bytes &out) const
 bool
 Vfs::exists(const std::string &path) const
 {
-    Lookup lk = lookup(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    Lookup lk = lookupImpl(path);
     return lk.err == 0 && lk.inode != nullptr;
 }
 

@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -158,6 +159,14 @@ class Vfs
         Lookup result;
     };
 
+    /// @{ Unlocked bodies; public entry points take mu_ once and call
+    /// these, so internal composition (writeFile → create → lookup)
+    /// never re-enters the lock.
+    std::string rewriteImpl(const std::string &path) const;
+    Lookup lookupImpl(const std::string &path) const;
+    SyscallResult createImpl(const std::string &path, InodePtr *out);
+    /// @}
+
     /** Resolve an overlay-rewritten path by walking components. */
     Lookup walk(std::string_view effective) const;
 
@@ -165,15 +174,24 @@ class Vfs
     void bumpNamespaceGen() { ++namespaceGen_; }
 
     const hw::DeviceProfile &profile_;
+
+    /**
+     * One lock for the *namespace*: inode tree structure, overlay
+     * table, dentry cache, and generation counter (decomposed from
+     * the old whole-kernel serialization — SMP host threads resolving
+     * disjoint paths contend only here, not on the kernel). Inode
+     * *contents* (Inode::data) are not covered: file data follows the
+     * owning process's fd-level serialization, like page-cache pages
+     * vs. the dcache in a real kernel.
+     */
+    mutable std::mutex mu_;
     InodePtr root_;
     std::vector<std::pair<std::string, std::string>> overlays_;
 
     /**
      * Dentry cache: original (pre-rewrite) path -> resolved Lookup,
      * valid only while its generation matches namespaceGen_. Mutable
-     * because lookup() is logically const; the Vfs carries no locks,
-     * so the cache inherits the class's existing single-threaded
-     * contract.
+     * because lookup() is logically const; mu_ covers it.
      */
     mutable std::unordered_map<std::string, DentryEntry> dentryCache_;
     mutable std::uint64_t cacheHits_ = 0;

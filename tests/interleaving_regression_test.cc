@@ -24,7 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "hw/device_profile.h"
+#include "kernel/kernel.h"
 #include "kernel/sched_rail.h"
+#include "kernel/signals.h"
 #include "xnu/kern_return.h"
 #include "xnu/psynch.h"
 
@@ -320,6 +323,150 @@ TEST_F(InterleavingRegressionTest, GraceRearmHoldsUnderExploration)
     EXPECT_FALSE(r.bugFound)
         << r.failing.traceText() << "\nschedulesRun=" << r.schedulesRun;
     EXPECT_GT(r.schedulesRun, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: the signal-queue drain race (SMP lock decomposition).
+// The pre-SMP API handed callers the raw pending deque; the drain was
+// a two-step peek-front / act / pop-front with sender pushes able to
+// land in between. Two senders and one drainer exercise the
+// decomposed per-thread signal lock: every queued signal must be
+// taken exactly once, in order, with nothing lost or duplicated.
+
+struct SignalDrainOutcome
+{
+    SchedResult result;
+    std::vector<std::int64_t> taken;
+    std::size_t leftover = 0;
+    bool ok = false;
+};
+
+struct SignalDrainScenario
+{
+    static constexpr int kPerSender = 6;
+
+    Kernel kernel{hw::DeviceProfile::nexus7()};
+    Thread *target = nullptr;
+    std::vector<std::int64_t> taken;
+    std::atomic<int> sendersDone{0};
+
+    SignalDrainScenario()
+    {
+        target = &kernel.createProcess("sigdrain").mainThread();
+    }
+
+    void
+    spawn(SchedRail &sr)
+    {
+        for (std::uint32_t s = 0; s < 2; ++s)
+            sr.spawn(s == 0 ? "senderA" : "senderB", [this, s] {
+                SchedRail &sr = SchedRail::global();
+                for (int i = 0; i < kPerSender; ++i) {
+                    SigInfo info;
+                    info.signo = 10;
+                    info.tableSigno = 10;
+                    // Distinct, sender-ordered payloads.
+                    info.value = static_cast<std::int64_t>(s) * 100 + i;
+                    target->queueSignal(info);
+                    sr.pass("test.sigQueued");
+                }
+                sendersDone.fetch_add(1, std::memory_order_relaxed);
+            });
+        sr.spawn("drainer", [this] {
+            SchedRail &sr = SchedRail::global();
+            SigInfo info;
+            while (taken.size() < 2 * kPerSender) {
+                while (target->takePendingSignal(&info))
+                    taken.push_back(info.value);
+                sr.pass("test.sigDrained");
+            }
+        });
+    }
+};
+
+/** Exactly-once, per-sender-FIFO delivery of every queued payload. */
+bool
+signalDrainExact(const SignalDrainScenario &sc)
+{
+    constexpr int kPer = SignalDrainScenario::kPerSender;
+    if (sc.taken.size() != 2 * kPer)
+        return false;
+    // Per-sender order: payload s*100+i must arrive with i ascending.
+    int next[2] = {0, 0};
+    for (std::int64_t v : sc.taken) {
+        int s = static_cast<int>(v / 100);
+        int i = static_cast<int>(v % 100);
+        if (s < 0 || s > 1 || i != next[s]++)
+            return false;
+    }
+    return next[0] == kPer && next[1] == kPer;
+}
+
+SignalDrainOutcome
+runSignalDrain(SchedPolicy policy, std::uint64_t seed,
+               std::vector<std::uint32_t> schedule = {})
+{
+    SchedRail &sr = SchedRail::global();
+    SchedOptions opt;
+    opt.policy = policy;
+    opt.seed = seed;
+    opt.schedule = std::move(schedule);
+    sr.arm(opt);
+
+    SignalDrainScenario sc;
+    sc.spawn(sr);
+
+    SignalDrainOutcome out;
+    out.result = sr.run();
+    sr.disarm();
+    out.taken = sc.taken;
+    out.leftover = sc.target->pendingSignalCount();
+    out.ok = signalDrainExact(sc) && out.result.completed &&
+             !out.result.deadlocked && out.leftover == 0;
+    return out;
+}
+
+TEST_F(InterleavingRegressionTest, SignalDrainHoldsUnderSeededSweep)
+{
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        SignalDrainOutcome o = runSignalDrain(SchedPolicy::Random, seed);
+        EXPECT_TRUE(o.ok)
+            << "seed " << seed << " taken=" << o.taken.size()
+            << " leftover=" << o.leftover << "\n"
+            << o.result.traceText();
+    }
+}
+
+TEST_F(InterleavingRegressionTest, SignalDrainHoldsUnderExploration)
+{
+    SignalDrainScenario *sc = nullptr;
+    std::vector<std::unique_ptr<SignalDrainScenario>> keep;
+    auto setup = [this, &sc, &keep] {
+        keep.push_back(std::make_unique<SignalDrainScenario>());
+        sc = keep.back().get();
+        sc->spawn(rail_);
+    };
+    auto ok = [&sc] { return signalDrainExact(*sc); };
+    ExploreOptions eo;
+    eo.maxPreemptions = 1;
+    eo.maxSchedules = 1500;
+    ExploreResult r = exploreSchedules(rail_, setup, ok, eo);
+    EXPECT_FALSE(r.bugFound)
+        << r.failing.traceText() << "\nschedulesRun=" << r.schedulesRun;
+    EXPECT_GT(r.schedulesRun, 1u);
+}
+
+TEST_F(InterleavingRegressionTest, SignalDrainScheduleIsPinnable)
+{
+    SignalDrainOutcome rec = runSignalDrain(SchedPolicy::Random, 4242);
+    ASSERT_TRUE(rec.ok) << rec.result.traceText();
+
+    SignalDrainOutcome rep =
+        runSignalDrain(SchedPolicy::Replay, 0, rec.result.schedule());
+    EXPECT_FALSE(rep.result.diverged);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_EQ(rep.taken, rec.taken);
+    EXPECT_EQ(rep.result.traceText(), rec.result.traceText());
 }
 
 TEST_F(InterleavingRegressionTest, GraceRearmScheduleIsPinnable)

@@ -107,7 +107,7 @@ TEST_F(SignalsTest, CrossThreadSignalQueuedUntilTrapBoundary)
 
     kernel_.sysKill(*thread_, other.pid(), lsig::USR1);
     EXPECT_EQ(seen, 0); // queued, not yet delivered
-    ASSERT_EQ(other_main.pendingSignals().size(), 1u);
+    ASSERT_EQ(other_main.pendingSignalCount(), 1u);
 
     // The target's next trap delivers it.
     ThreadScope other_scope(other_main);
