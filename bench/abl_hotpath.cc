@@ -205,14 +205,17 @@ smpJob(unsigned index)
     return clock.now();
 }
 
-/** Best-of-kReps host ns + the merged virtual epoch for one pool size. */
+/** Best-of-kReps host ns + the merged virtual epoch for one pool size.
+ *  One pool serves every rep — the workers spawn on the first batch
+ *  and are merely woken for the rest, so the sweep measures the
+ *  persistent-pool steady state, not thread-spawn latency. */
 std::pair<double, std::uint64_t>
 runSmpSize(kernel::PerCpu &cpus, unsigned hosts)
 {
     double best_host = 0;
     std::uint64_t merged = 0;
+    kernel::ExecutorPool pool(cpus, hosts);
     for (int rep = 0; rep < kReps; ++rep) {
-        kernel::ExecutorPool pool(cpus, hosts);
         for (unsigned j = 0; j < kSmpJobs; ++j)
             pool.submit([j] { return smpJob(j); }, "smp.hotpath");
         kernel::SmpEpoch epoch;

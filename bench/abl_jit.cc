@@ -1,0 +1,238 @@
+/**
+ * @file
+ * DexJit A/B ablation: interpreter vs. translation cache.
+ *
+ * Two DalvikVm instances run the identical Figure 6 PassMark dex
+ * kernels: one bare interpreter (no cache attached — the classic
+ * per-instruction switch dispatch with std::map native lookups), one
+ * with a TranslationCache attached and warmed so every measured run
+ * executes DexJit threaded code.
+ *
+ * Each row reports BOTH clocks. Virtual ns is the simulation's
+ * deterministic cost — the JIT must not change it by a single
+ * nanosecond, and the bench exits nonzero if it does, or if the
+ * per-run DalvikStats.instructions deltas or the DexVal results
+ * differ. Host ns is the real wall-clock the translation exists to
+ * shrink; the CPU rows carry a >= 5x speedup gate (CIDER_JIT_GATE=0
+ * disables the host-time gate for sanitizer CI, where instrumentation
+ * skews relative cost; the equivalence gates stay armed everywhere).
+ *
+ * Results land in BENCH_jit.json with per-row speedups and the
+ * cache's hit/miss/translation counters for CI artifact upload.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "android/dalvik.h"
+#include "android/dexjit.h"
+#include "bench/bench_util.h"
+#include "bench/passmark.h"
+#include "hw/device_profile.h"
+
+namespace cider::bench {
+namespace {
+
+constexpr int kReps = 5;
+constexpr std::uint64_t kIters = 20000;
+
+template <typename Fn>
+double
+hostNs(Fn &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+/** One engine's measurement of one kernel: best-of-kReps host ns,
+ *  plus the (identical every rep) virtual ns, per-run instruction
+ *  count, and result. */
+struct Run
+{
+    double hostNs = 0;
+    std::uint64_t virtNs = 0;
+    std::uint64_t instructions = 0;
+    std::int64_t result = 0;
+    bool steady = true; ///< per-rep instruction deltas all equal
+};
+
+Run
+measure(android::DalvikVm &vm, const binfmt::DexFile &suite,
+        const std::string &method, std::uint64_t iters)
+{
+    Run run;
+    // The bench runs outside any simulated process, so install a
+    // thread clock for charge() to land on.
+    CostClock clock;
+    CostScope scope(clock);
+    for (int rep = 0; rep < kReps; ++rep) {
+        std::uint64_t before = vm.stats().instructions;
+        android::DexVal result;
+        std::uint64_t v = 0;
+        double h = hostNs([&] {
+            v = measureVirtual([&] {
+                result = vm.run(suite, method,
+                                {std::int64_t(iters)});
+            });
+        });
+        std::uint64_t insns = vm.stats().instructions - before;
+        if (rep == 0) {
+            run.hostNs = h;
+            run.virtNs = v;
+            run.instructions = insns;
+            run.result = android::dexI(result);
+        } else {
+            if (h < run.hostNs)
+                run.hostNs = h;
+            if (v != run.virtNs || insns != run.instructions)
+                run.steady = false;
+        }
+    }
+    return run;
+}
+
+} // namespace
+} // namespace cider::bench
+
+int
+main(int argc, char **argv)
+{
+    using namespace cider;
+    using namespace cider::bench;
+    (void)argc;
+    (void)argv;
+    setLogQuiet(true);
+
+    const hw::DeviceProfile &profile = hw::DeviceProfile::nexus7();
+    binfmt::DexFile suite = passmark::buildDexSuite();
+
+    // A side: the bare interpreter — no cache, so every native call
+    // is a std::map lookup and every instruction a switch dispatch.
+    android::DalvikVm interp(profile);
+    passmark::registerMemoryNatives(interp, profile);
+
+    // B side: translation cache attached, zero warm-up so the first
+    // (unmeasured) warming run already translates.
+    android::DalvikVm jit(profile);
+    passmark::registerMemoryNatives(jit, profile);
+    android::TranslationCache cache;
+    jit.setTranslationCache(&cache);
+    jit.setJitEnabled(true);
+    jit.setJitWarmup(0);
+
+    struct Row
+    {
+        const char *name;
+        std::uint64_t iters;
+        bool cpu; ///< carries the >= 5x host-speedup gate
+    };
+    const std::vector<Row> rows = {
+        {"integer", kIters, true},     {"fp", kIters, true},
+        {"primes", kIters, true},      {"sort", kIters / 60, true},
+        {"encrypt", kIters, true},     {"compress", kIters, true},
+        {"memwrite", kIters, false},   {"memread", kIters, false},
+    };
+
+    bool gate_on = true;
+    const char *gate_env = std::getenv("CIDER_JIT_GATE");
+    if (gate_env && gate_env[0] == '0')
+        gate_on = false;
+
+    BenchJson json("jit");
+    int exit_code = 0;
+    double worst_cpu_speedup = 0;
+    bool first_cpu = true;
+
+    std::printf("=== DexJit A/B (host wall-clock, best of %d) ===\n",
+                kReps);
+    for (const Row &row : rows) {
+        // Warm the cache outside the measurement so every measured
+        // rep runs translated code (decode + translate are one-time
+        // costs a real app pays once per hot method).
+        jit.run(suite, row.name, {std::int64_t(row.iters)});
+
+        Run a = measure(interp, suite, row.name, row.iters);
+        Run b = measure(jit, suite, row.name, row.iters);
+
+        double speedup = b.hostNs > 0 ? a.hostNs / b.hostNs : 0;
+        bool virt_ok = a.virtNs == b.virtNs && a.steady && b.steady;
+        bool insn_ok = a.instructions == b.instructions;
+        bool result_ok = a.result == b.result;
+        std::printf("%-9s interp %12.0f ns  jit %12.0f ns  "
+                    "speedup %5.2fx  virtual %llu vs %llu (%s)  "
+                    "insns %llu vs %llu (%s)%s\n",
+                    row.name, a.hostNs, b.hostNs, speedup,
+                    static_cast<unsigned long long>(a.virtNs),
+                    static_cast<unsigned long long>(b.virtNs),
+                    virt_ok ? "identical" : "MISMATCH",
+                    static_cast<unsigned long long>(a.instructions),
+                    static_cast<unsigned long long>(b.instructions),
+                    insn_ok ? "identical" : "MISMATCH",
+                    result_ok ? "" : "  (RESULT MISMATCH)");
+        if (!virt_ok || !insn_ok || !result_ok)
+            exit_code = 1;
+
+        if (row.cpu) {
+            if (first_cpu || speedup < worst_cpu_speedup)
+                worst_cpu_speedup = speedup;
+            first_cpu = false;
+        }
+
+        json.add(std::string("jit.") + row.name,
+                 static_cast<double>(b.virtNs), b.hostNs);
+        json.metric("interp_host_ns", a.hostNs);
+        json.metric("speedup", speedup);
+        json.metric("instructions",
+                    static_cast<double>(b.instructions));
+        json.metric("cpu_gated", row.cpu ? 1 : 0);
+    }
+
+    // Every CPU row must clear 5x; the memory rows are dominated by
+    // the block-copy natives and reported ungated.
+    if (gate_on) {
+        bool pass = worst_cpu_speedup >= 5.0;
+        std::printf("target: cpu speedup >= 5.0x -> %s "
+                    "(worst row %.2fx)\n",
+                    pass ? "PASS" : "FAIL", worst_cpu_speedup);
+        if (!pass)
+            exit_code = 1;
+    } else {
+        std::printf("target: cpu speedup gate disabled "
+                    "(CIDER_JIT_GATE=0; worst row %.2fx)\n",
+                    worst_cpu_speedup);
+    }
+
+    android::TranslationCache::Stats stats = cache.statsSnapshot();
+    std::printf("cache: %llu hits  %llu misses  %llu translations  "
+                "%llu invalidations  %llu fallbacks\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.translations),
+                static_cast<unsigned long long>(stats.invalidations),
+                static_cast<unsigned long long>(stats.fallbacks));
+    // The cache must actually be doing the work the speedup claims:
+    // one miss+translation per kernel, hits for every later run.
+    if (stats.translations != rows.size() ||
+        stats.fallbacks != 0) {
+        std::printf("FAIL: expected %zu translations, 0 fallbacks\n",
+                    rows.size());
+        exit_code = 1;
+    }
+
+    json.add("jit.cache", 0, 0);
+    json.metric("hits", static_cast<double>(stats.hits));
+    json.metric("misses", static_cast<double>(stats.misses));
+    json.metric("translations",
+                static_cast<double>(stats.translations));
+    json.metric("invalidations",
+                static_cast<double>(stats.invalidations));
+    json.metric("fallbacks", static_cast<double>(stats.fallbacks));
+    json.write();
+
+    return exit_code;
+}

@@ -31,10 +31,15 @@
 #include <string>
 #include <vector>
 
+#include "android/dalvik.h"
+#include "android/dexjit.h"
+#include "base/cost_clock.h"
 #include "base/logging.h"
+#include "binfmt/dex.h"
 #include "core/app_package.h"
 #include "core/cider_system.h"
 #include "ducttape/xnu_api.h"
+#include "hw/device_profile.h"
 #include "kernel/fault_rail.h"
 #include "kernel/file.h"
 #include "xnu/mach_traps.h"
@@ -60,7 +65,7 @@ const char *const kSiteCatalog[] = {
     "vfs.create",      "mach.port.alloc",  "mach.name.alloc",
     "mach.right.copyout", "mach.msg.send", "mach.msg.receive",
     "binfmt.elf",      "binfmt.macho",     "psynch.wait",
-    "signal.deliver",
+    "signal.deliver",  "dexjit.translate",
 };
 
 int g_failures = 0;
@@ -176,6 +181,75 @@ ipaAppMain(binfmt::UserEnv &env)
     return 0;
 }
 
+/** @p count copies of a sum-1..n loop method, "sum0".."sumN-1". */
+void
+buildJitMethods(binfmt::DexFile &file, int count)
+{
+    for (int m = 0; m < count; ++m) {
+        binfmt::DexAssembler as(file, "sum" + std::to_string(m), 2);
+        as.constI(0).store(1);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.load(1).load(0).op(binfmt::DexOp::Add).store(1);
+        as.load(0).constI(1).op(binfmt::DexOp::Sub).store(0);
+        as.op(binfmt::DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.load(1).ret();
+        as.finish();
+    }
+}
+
+/**
+ * Dalvik/JIT storm segment. Warm-up 0 means every fresh method run
+ * attempts a translation, so the "dexjit.translate" site sees real
+ * traffic while the storm is armed. The contract under fire: a
+ * failed translation pins the method to the interpreter -- results
+ * stay correct and nothing aborts. Returns per-run (virtual-ns,
+ * result) pairs so the determinism phase can reuse it disarmed.
+ */
+std::vector<std::uint64_t>
+jitWorkload(std::uint64_t seed)
+{
+    binfmt::DexFile file;
+    constexpr int kMethods = 6;
+    buildJitMethods(file, kMethods);
+
+    android::DalvikVm vm(hw::DeviceProfile::nexus7());
+    android::TranslationCache cache;
+    vm.setTranslationCache(&cache);
+    vm.setJitEnabled(true);
+    vm.setJitWarmup(0);
+
+    std::vector<std::uint64_t> series;
+    CostClock clock;
+    CostScope scope(clock);
+    for (int round = 0; round < 2; ++round) {
+        for (int m = 0; m < kMethods; ++m) {
+            android::DexVal r;
+            std::uint64_t ns = measureVirtual([&] {
+                r = vm.run(file, "sum" + std::to_string(m),
+                           {std::int64_t{100}});
+            });
+            check(android::dexI(r) == 5050,
+                  "jit workload wrong result under storm (seed " +
+                      std::to_string(seed) + ")");
+            series.push_back(ns);
+        }
+        // Round 2 re-translates everything: more site traffic, and
+        // it proves invalidation survives an armed rail too.
+        if (round == 0)
+            cache.invalidateAll("chaos-storm");
+    }
+    android::TranslationCache::Stats stats = cache.statsSnapshot();
+    check(stats.translations + stats.fallbacks >= kMethods,
+          "jit workload attempted no translations (seed " +
+              std::to_string(seed) + ")");
+    series.push_back(stats.translations);
+    series.push_back(stats.fallbacks);
+    return series;
+}
+
 /** Boot a system with the workload binaries installed. */
 struct Soak
 {
@@ -242,6 +316,11 @@ virtualSeries()
         series.push_back(soak.sys.runProgramTimed(app, {}, &rc));
         series.push_back(static_cast<std::uint64_t>(rc));
     }
+    // The Dalvik/JIT series rides along: registered-but-disarmed
+    // "dexjit.translate" must not perturb translation or virtual
+    // time either.
+    std::vector<std::uint64_t> jit = jitWorkload(0);
+    series.insert(series.end(), jit.begin(), jit.end());
     return series;
 }
 
@@ -266,6 +345,10 @@ stormRun(std::uint64_t seed)
     std::uint64_t idx = 0;
     for (const char *site : kSiteCatalog)
         rail.armProbability(site, 0.02, seed * 1000 + idx++);
+    // The JIT segment only attempts a dozen translations per storm;
+    // at the catalog-wide 2% it would rarely trip. Every-3rd makes
+    // each storm provably exercise the translate-fault fallback.
+    rail.armEveryK("dexjit.translate", 3);
 
     std::map<int, int> exitCodes;
     for (int run = 0; run < 6; ++run) {
@@ -280,6 +363,9 @@ stormRun(std::uint64_t seed)
         int rc = app.empty() ? -2 : soak.sys.runProgram(app);
         ++exitCodes[rc];
     }
+    // Dalvik under fire: translations that fault must fall back to
+    // the interpreter with correct results.
+    jitWorkload(seed);
 
     // Storm over: disarm and prove the system is still whole.
     rail.disarmAll();

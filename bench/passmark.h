@@ -187,6 +187,7 @@ buildDexSuite()
         as.constI(0).ret();
         as.finish();
         file.methods[name].code[3].a = 1; // callNative arg count
+        file.touch(); // direct method mutation: new content version
     }
 
     return file;

@@ -1,7 +1,10 @@
 #include "android/dalvik.h"
 
+#include "android/dexjit.h"
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "kernel/sched_rail.h"
+#include "kernel/thread.h"
 
 namespace cider::android {
 
@@ -34,6 +37,17 @@ void
 DalvikVm::registerNative(const std::string &name, NativeFn fn)
 {
     natives_[name] = std::move(fn);
+    // Any cached decode that resolved (or failed to resolve) this
+    // name is now stale; the generation bump invalidates lazily at
+    // the next acquire.
+    ++nativesGen_;
+}
+
+const DalvikVm::NativeFn *
+DalvikVm::findNative(const std::string &name) const
+{
+    auto it = natives_.find(name);
+    return it == natives_.end() ? nullptr : &it->second;
 }
 
 DexVal
@@ -45,12 +59,59 @@ DalvikVm::run(const DexFile &file, const std::string &method,
         // invariant-only: entry methods are in-tree workload names;
         // foreign images are validated by parseDex before they run.
         cider_panic("dalvik: no method ", method, " in ", file.name);
-    return execute(file, *m, args, 0);
+    return invoke(file, *m, args, 0);
+}
+
+DexVal
+DalvikVm::invoke(const DexFile &file, const DexMethod &method,
+                 std::vector<DexVal> &args, int depth)
+{
+    if (depth > 64)
+        // invariant-only: bounds in-tree workload recursion.
+        cider_panic("dalvik: call depth exceeded in ", method.name);
+
+    // Method entry is a scheduling decision point for BOTH engines —
+    // the one yield point translated code must keep (SchedRail traces
+    // are bit-identical with the JIT on or off).
+    CIDER_SCHED_POINT("dalvik.method");
+
+    if (cache_) {
+        kernel::Thread *t = kernel::Thread::current();
+        kernel::Persona persona =
+            t ? t->persona() : kernel::Persona::Android;
+        std::shared_ptr<MethodEntry> hold =
+            cache_->acquire(*this, file, method, persona);
+        if (hold) {
+            MethodEntry &e = *hold;
+            ++e.runs;
+            if (jitEnabled_) {
+                if (!e.code && !e.translationFailed &&
+                    e.runs > jitWarmup_) {
+                    auto jm = DexJit::translate(*e.method, profile_);
+                    if (jm) {
+                        e.code = std::move(jm);
+                        cache_->noteTranslation();
+                    } else {
+                        e.translationFailed = true;
+                        cache_->noteFallback();
+                    }
+                }
+                if (e.code) {
+                    ++e.jitRuns;
+                    return DexJit::execute(*this, file, e, args, depth);
+                }
+            }
+            ++e.interpRuns;
+            return execute(file, method, args, depth, &e);
+        }
+    }
+    return execute(file, method, args, depth, nullptr);
 }
 
 DexVal
 DalvikVm::execute(const DexFile &file, const DexMethod &method,
-                  std::vector<DexVal> &args, int depth)
+                  std::vector<DexVal> &args, int depth,
+                  const MethodEntry *entry)
 {
     if (depth > 64)
         // invariant-only: bounds in-tree workload recursion.
@@ -196,24 +257,31 @@ DalvikVm::execute(const DexFile &file, const DexMethod &method,
               break;
           }
           case DexOp::CallNative: {
-              const std::string &name = file.string(insn.sidx);
-              auto it = natives_.find(name);
-              if (it == natives_.end())
+              // Memoized resolution: a cached entry carries natives
+              // resolved once per decode instead of a std::map lookup
+              // per call (host-side only; virtual cost is unchanged).
+              const NativeFn *fn =
+                  entry ? entry->decoded.natives[pc - 1]
+                        : findNative(file.string(insn.sidx));
+              if (!fn)
                   // invariant-only: natives are registered by in-tree setup.
-                  cider_panic("dalvik: unknown native ", name);
+                  cider_panic("dalvik: unknown native ",
+                              file.string(insn.sidx));
               std::vector<DexVal> nargs;
               for (std::int64_t i = 0; i < insn.a; ++i)
                   nargs.insert(nargs.begin(), pop());
               ++stats_.nativeCalls;
-              stack.push_back(it->second(nargs));
+              stack.push_back((*fn)(nargs));
               break;
           }
           case DexOp::CallMethod: {
-              const std::string &name = file.string(insn.sidx);
-              const DexMethod *callee = file.method(name);
+              const DexMethod *callee =
+                  entry ? entry->decoded.callees[pc - 1]
+                        : file.method(file.string(insn.sidx));
               if (!callee)
                   // invariant-only: parseDex validated the callee string index.
-                  cider_panic("dalvik: unknown method ", name);
+                  cider_panic("dalvik: unknown method ",
+                              file.string(insn.sidx));
               std::vector<DexVal> cargs;
               for (std::int64_t i = 0; i < insn.a; ++i)
                   cargs.insert(cargs.begin(), pop());
@@ -223,7 +291,10 @@ DalvikVm::execute(const DexFile &file, const DexMethod &method,
               charge(dispatch_ns_acc + ps_acc / 1000);
               dispatch_ns_acc = 0;
               ps_acc = 0;
-              stack.push_back(execute(file, *callee, cargs, depth + 1));
+              // Recurse through invoke(): the callee gets its own
+              // cache entry / yield point whichever engine ran the
+              // caller.
+              stack.push_back(invoke(file, *callee, cargs, depth + 1));
               break;
           }
           case DexOp::Ret:

@@ -1,10 +1,22 @@
 #include "binfmt/dex.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "base/logging.h"
 
 namespace cider::binfmt {
+
+std::uint64_t
+DexFile::nextStamp()
+{
+    // Process-wide, monotone, never reused: (identity, version) pairs
+    // are unique across every DexFile ever built in this process, so
+    // a translation cached against one content snapshot can never be
+    // revived by a different file or a mutated copy.
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::uint32_t
 DexFile::intern(const std::string &s)
@@ -13,6 +25,7 @@ DexFile::intern(const std::string &s)
         if (strings[i] == s)
             return i;
     strings.push_back(s);
+    touch();
     return static_cast<std::uint32_t>(strings.size()) - 1;
 }
 
@@ -103,6 +116,7 @@ parseDex(const Bytes &blob)
                  insn.op == DexOp::CallMethod) &&
                 insn.sidx >= file.strings.size())
                 return std::nullopt;
+    file.touch();
     return file;
 }
 
@@ -123,6 +137,7 @@ DexAssembler::finish()
         cider_panic("DexAssembler::finish called twice for ", method_.name);
     finished_ = true;
     file_.methods[method_.name] = std::move(method_);
+    file_.touch();
 }
 
 DexAssembler &

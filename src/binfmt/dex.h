@@ -81,10 +81,29 @@ struct DexFile
     std::vector<std::string> strings;
     std::map<std::string, DexMethod> methods;
 
+    /**
+     * Stable identity for translation-cache keys. `identity` is
+     * assigned once per DexFile object (copies share it — they really
+     * are the same logical file); `version` is re-stamped from the
+     * same global counter on every mutation that can change code or
+     * the string table, so a cache entry keyed on (identity, version)
+     * can never observe two different method bodies. Code that
+     * mutates `methods` directly (rather than through intern/
+     * DexAssembler/parseDex) must call touch() afterwards.
+     */
+    std::uint64_t identity = nextStamp();
+    std::uint64_t version = identity;
+
+    /** Re-stamp `version`; call after any mutation. */
+    void touch() { version = nextStamp(); }
+
     /** Intern @p s, returning its table index. */
     std::uint32_t intern(const std::string &s);
     const std::string &string(std::uint32_t idx) const;
     const DexMethod *method(const std::string &name) const;
+
+  private:
+    static std::uint64_t nextStamp();
 };
 
 inline constexpr std::uint32_t kDexMagic = 0x0a786564; // "dex\n"

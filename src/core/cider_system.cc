@@ -200,6 +200,21 @@ CiderSystem::setupAndroidUserSpace()
         std::make_unique<android::SurfaceFlinger>(*gpu_, *fbDevice_);
     dalvik_ = std::make_unique<android::DalvikVm>(profile_);
 
+    // DexJit: system-wide translation cache, observable at
+    // /proc/cider/jit, flushed whenever a process image goes away —
+    // exec replaces it or the process exits (unload).
+    jitCache_ = std::make_unique<android::TranslationCache>();
+    dalvik_->setTranslationCache(jitCache_.get());
+    kernel::Device &jitDev = kernel_->devices().add(
+        std::make_unique<android::JitStatsDevice>(*jitCache_));
+    kernel_->vfs().mknod("/proc/cider/jit", &jitDev);
+    kernel_->addExecHook([this](kernel::Process &) {
+        jitCache_->invalidateAll("exec");
+    });
+    kernel_->addUnloadHook([this](kernel::Process &) {
+        jitCache_->invalidateAll("unload");
+    });
+
     androidLibs_.add(android::makeGrallocLibrary(gpu_->buffers()));
     androidLibs_.add(android::makeGlesLibrary());
     androidLibs_.add(android::makeEglLibrary(*flinger_));

@@ -20,6 +20,7 @@
 
 #include "android/ciderpress.h"
 #include "android/dalvik.h"
+#include "android/dexjit.h"
 #include "android/input.h"
 #include "android/launcher.h"
 #include "android/surfaceflinger.h"
@@ -105,6 +106,8 @@ class CiderSystem
     android::InputSubsystem &input() { return input_; }
     android::Launcher &launcher() { return launcher_; }
     android::DalvikVm &dalvik() { return *dalvik_; }
+    /** System-wide DexJit translation cache (valid when dalvik() is). */
+    android::TranslationCache &translationCache() { return *jitCache_; }
     android::CiderPress &ciderPress() { return *ciderPress_; }
     ios::Dyld &dyld() { return *dyld_; }
     ios::Launchd *launchd() { return launchd_.get(); }
@@ -198,6 +201,7 @@ class CiderSystem
     android::InputSubsystem input_;
     android::Launcher launcher_;
     std::unique_ptr<android::DalvikVm> dalvik_;
+    std::unique_ptr<android::TranslationCache> jitCache_;
     std::unique_ptr<android::CiderPress> ciderPress_;
 
     std::unique_ptr<ios::Dyld> dyld_;

@@ -760,6 +760,9 @@ Kernel::sysExecve(Thread &t, const std::string &path,
         return SyscallResult::failure(lnx::NOEXEC);
 
     Process &proc = t.process();
+    // The old image is gone from this point on; let modules drop
+    // anything derived from it (translation caches and the like).
+    notifyUnload(proc);
     proc.fds().closeCloexec();
     proc.signals().reset();
     proc.mem().reset();
@@ -782,9 +785,17 @@ Kernel::sysExecve(Thread &t, const std::string &path,
 }
 
 void
+Kernel::notifyUnload(Process &proc)
+{
+    for (const auto &hook : unloadHooks_)
+        hook(proc);
+}
+
+void
 Kernel::sysExit(Thread &t, int code)
 {
     Process &proc = t.process();
+    notifyUnload(proc);
     proc.terminate(code, t.clock().now());
     if (Process *parent = proc.parent()) {
         if (parent->state() == Process::State::Running) {
@@ -824,6 +835,11 @@ Kernel::runProcess(Process &proc)
     } catch (const ProcessExit &e) {
         rc = e.code;
     }
+    // sysExit already unloaded on the ProcessExit path (the process
+    // is a zombie by now); entry functions that plain-return still
+    // owe the image teardown.
+    if (proc.state() == Process::State::Running)
+        notifyUnload(proc);
     proc.terminate(rc, main.clock().now());
     return rc;
 }

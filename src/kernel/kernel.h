@@ -236,6 +236,12 @@ class Kernel
     void addForkHook(ProcessHook hook) { forkHooks_.push_back(hook); }
     /** Called when exec replaces a process image (before load). */
     void addExecHook(ExecHook hook) { execHooks_.push_back(hook); }
+    /**
+     * Called when a process image is unloaded: on exec teardown of
+     * the old image and on process termination. Modules drop state
+     * derived from the image (e.g. the Dalvik translation cache).
+     */
+    void addUnloadHook(ExecHook hook) { unloadHooks_.push_back(hook); }
     /// @}
 
     /// @{ Typed syscall implementations (the "Linux" bodies).
@@ -315,6 +321,9 @@ class Kernel
     void checkPendingSignals(Thread &t);
 
   private:
+    /** Fire the unload hooks for @p proc's current image. */
+    void notifyUnload(Process &proc);
+
     const hw::DeviceProfile &profile_;
     PerCpu percpu_;
     Vfs vfs_;
@@ -327,6 +336,7 @@ class Kernel
     std::vector<std::unique_ptr<BinaryLoader>> loaders_;
     std::vector<ProcessHook> forkHooks_;
     std::vector<ExecHook> execHooks_;
+    std::vector<ExecHook> unloadHooks_;
     /** Guards processes_ and nextPid_ only; Process objects carry
      *  their own synchronisation (Process::mu_). */
     mutable std::mutex procMu_;

@@ -122,6 +122,52 @@ ExecutorPool::ExecutorPool(PerCpu &cpus, unsigned host_threads)
         shards_.push_back(std::make_unique<Shard>());
 }
 
+ExecutorPool::~ExecutorPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMu_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ExecutorPool::startWorkers()
+{
+    if (!workers_.empty())
+        return;
+    workers_.reserve(hostThreads_);
+    for (unsigned w = 0; w < hostThreads_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+ExecutorPool::workerLoop(unsigned w)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(poolMu_);
+    for (;;) {
+        workCv_.wait(lock, [&] {
+            return shutdown_ || batchSeq_ != seen;
+        });
+        if (shutdown_)
+            return;
+        seen = batchSeq_;
+        std::vector<std::atomic<std::uint64_t>> *percpu = batchPercpu_;
+        std::atomic<std::uint64_t> *steals = batchSteals_;
+        lock.unlock();
+        Job job;
+        bool stolen = false;
+        while (popJob(w, &job, &stolen))
+            runJob(job, stolen, *percpu, *steals);
+        lock.lock();
+        if (++doneCount_ == workers_.size())
+            doneCv_.notify_all();
+    }
+}
+
 void
 ExecutorPool::submit(std::function<std::uint64_t()> fn,
                      const char *label)
@@ -216,26 +262,34 @@ ExecutorPool::runAll()
             bool stolen = false;
             runJob(job, stolen, percpu_ns, steals);
         }
+    } else if (hostThreads_ <= 1 || queued_ <= 1) {
+        // Nothing to parallelize: drain on the calling thread, no
+        // workers (and none spawned for single-threaded pools).
+        Job job;
+        bool stolen = false;
+        while (popJob(0, &job, &stolen))
+            runJob(job, stolen, percpu_ns, steals);
     } else {
-        unsigned workers =
-            std::min<std::uint64_t>(hostThreads_,
-                                    std::max<std::uint64_t>(queued_, 1));
-        auto worker_body = [this, &percpu_ns, &steals](unsigned w) {
-            Job job;
-            bool stolen = false;
-            while (popJob(w, &job, &stolen))
-                runJob(job, stolen, percpu_ns, steals);
-        };
-        if (workers <= 1) {
-            worker_body(0);
-        } else {
-            std::vector<std::thread> hosts;
-            hosts.reserve(workers);
-            for (unsigned w = 0; w < workers; ++w)
-                hosts.emplace_back(worker_body, w);
-            for (std::thread &h : hosts)
-                h.join();
+        // Hand the batch to the persistent workers: publish the
+        // batch's accumulators under the lock, bump the sequence, and
+        // wait for every worker to report its drain complete. The
+        // workers stay parked across episodes — repeated runAll()
+        // calls pay a condition-variable wakeup, not thread spawns.
+        startWorkers();
+        {
+            std::lock_guard<std::mutex> lock(poolMu_);
+            batchPercpu_ = &percpu_ns;
+            batchSteals_ = &steals;
+            doneCount_ = 0;
+            ++batchSeq_;
         }
+        workCv_.notify_all();
+        std::unique_lock<std::mutex> lock(poolMu_);
+        doneCv_.wait(lock, [&] {
+            return doneCount_ == workers_.size();
+        });
+        batchPercpu_ = nullptr;
+        batchSteals_ = nullptr;
     }
 
     // Batch consumed; reset the shards for reuse.

@@ -47,11 +47,13 @@
 #define CIDER_KERNEL_PERCPU_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kernel/device.h"
@@ -167,6 +169,12 @@ struct SmpEpoch
  * with work stealing. See the file comment for the determinism
  * contract. A pool is a batch engine, not a daemon: submit jobs, call
  * runAll(), read the epoch; reuse freely.
+ *
+ * Worker host threads are *long-lived*: they are spawned lazily on
+ * the first multi-threaded runAll() and then parked on a condition
+ * variable between batches, so repeated episodes pay a wakeup instead
+ * of a thread create/join per call. Single-threaded pools and
+ * rail-collapsed batches never spawn workers at all.
  */
 class ExecutorPool
 {
@@ -177,6 +185,10 @@ class ExecutorPool
      * simulated CPUs just share slots).
      */
     ExecutorPool(PerCpu &cpus, unsigned host_threads);
+    ~ExecutorPool();
+
+    ExecutorPool(const ExecutorPool &) = delete;
+    ExecutorPool &operator=(const ExecutorPool &) = delete;
 
     /**
      * Queue a job. Virtual placement is deterministic: the k-th
@@ -218,9 +230,25 @@ class ExecutorPool
                 std::vector<std::atomic<std::uint64_t>> &percpu_ns,
                 std::atomic<std::uint64_t> &steals);
 
+    /** Spawn the persistent workers (idempotent). */
+    void startWorkers();
+    void workerLoop(unsigned w);
+
     PerCpu &cpus_;
     unsigned hostThreads_;
     std::uint64_t submitSeq_ = 0;
+
+    /// @{ Persistent worker pool: parked between batches.
+    std::vector<std::thread> workers_;
+    std::mutex poolMu_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::uint64_t batchSeq_ = 0;
+    unsigned doneCount_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::atomic<std::uint64_t>> *batchPercpu_ = nullptr;
+    std::atomic<std::uint64_t> *batchSteals_ = nullptr;
+    /// @}
 
     /** One run-queue shard per simulated CPU. */
     struct Shard

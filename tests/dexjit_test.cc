@@ -1,0 +1,770 @@
+/**
+ * @file
+ * DexJit tests: the JIT-vs-interpreter equivalence property (random
+ * programs must produce identical results, instruction counts, and
+ * bit-identical virtual time), warm-up gating, the cache-invalidation
+ * rules (registerNative rebinding, persona isolation, exec/unload),
+ * FaultRail-injected translation failure, the /proc/cider/jit node,
+ * and SchedRail trace parity: a schedule recorded with the JIT off
+ * must replay without divergence with the JIT on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/dalvik.h"
+#include "android/dexjit.h"
+#include "base/cost_clock.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "binfmt/dex.h"
+#include "core/cider_system.h"
+#include "hw/device_profile.h"
+#include "kernel/fault_rail.h"
+#include "kernel/file.h"
+#include "kernel/kernel.h"
+#include "kernel/sched_rail.h"
+#include "kernel/thread.h"
+
+namespace cider::android {
+namespace {
+
+using binfmt::DexAssembler;
+using binfmt::DexFile;
+using binfmt::DexOp;
+
+class DexJitTest : public ::testing::Test
+{
+  protected:
+    DexJitTest() : profile_(hw::DeviceProfile::nexus7())
+    {
+        kernel::SchedRail::global().disarm();
+        kernel::FaultRail::global().disarmAll();
+    }
+    ~DexJitTest() override
+    {
+        kernel::SchedRail::global().disarm();
+        kernel::FaultRail::global().disarmAll();
+    }
+
+    /** sum 1..n, written with a Load/Jz/Jmp loop. */
+    static void
+    buildSum(DexFile &file)
+    {
+        DexAssembler as(file, "sum", 2);
+        as.constI(0).store(1);
+        std::int64_t top = as.here();
+        as.load(0);
+        std::size_t done = as.jz();
+        as.load(1).load(0).op(DexOp::Add).store(1);
+        as.load(0).constI(1).op(DexOp::Sub).store(0);
+        as.op(DexOp::Jmp, top);
+        as.patch(done, as.here());
+        as.load(1).ret();
+        as.finish();
+    }
+
+    const hw::DeviceProfile &profile_;
+};
+
+// ---------------------------------------------------------------------------
+// Random-program parity property.
+//
+// The generator emits arbitrary but well-formed DexLite: tracked
+// operand-stack depth, bounded loops, forward branches with balanced
+// arms, Dup/Drop/Swap traffic, array blocks, native and method calls.
+// Every integer product is clamped with `% 100003` and every float
+// result squashed with `/ 1e6` so no intermediate can overflow (the
+// interpreter computes with plain int64/double, and signed overflow
+// or an out-of-range double->int cast would be UB in *both* engines).
+
+// Slots 0..3 are scalars (the argument arrives in 0), slot 4 holds
+// the array block's array, slot 5 the loop counter.
+constexpr std::int64_t kScalarSlots = 4;
+constexpr std::int64_t kArrSlot = 4;
+constexpr std::int64_t kCtrSlot = 5;
+constexpr std::uint32_t kNlocals = 6;
+constexpr int kStackCap = 8;
+
+/** Push a random constant or scalar local. Depth +1. */
+void
+pushRand(DexAssembler &as, Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0:
+        as.constI(static_cast<std::int64_t>(rng.range(0, 200)) - 100);
+        break;
+      case 1:
+        as.constF(
+            (static_cast<double>(rng.range(0, 100)) - 50.0) / 2.0);
+        break;
+      default:
+        as.load(static_cast<std::int64_t>(rng.below(kScalarSlots)));
+        break;
+    }
+}
+
+/** One random stack op legal at depth @p d; returns the new depth. */
+int
+stackOp(DexAssembler &as, Rng &rng, int d)
+{
+    for (;;) {
+        std::uint64_t k = rng.below(10);
+        if (k < 3) {
+            if (d >= kStackCap)
+                continue;
+            pushRand(as, rng);
+            return d + 1;
+        }
+        if (k == 3) {
+            if (d < 1)
+                continue;
+            as.store(static_cast<std::int64_t>(rng.below(kScalarSlots)));
+            return d - 1;
+        }
+        if (k == 4) {
+            if (d < 1 || d >= kStackCap)
+                continue;
+            as.op(DexOp::Dup);
+            return d + 1;
+        }
+        if (k == 5) {
+            if (d < 1)
+                continue;
+            as.op(DexOp::Drop);
+            return d - 1;
+        }
+        if (k == 6) {
+            if (d < 2)
+                continue;
+            as.op(DexOp::Swap);
+            return d;
+        }
+        if (d < 2)
+            continue;
+        static const DexOp kBins[] = {
+            DexOp::Add,   DexOp::Sub,   DexOp::Mul,  DexOp::Div,
+            DexOp::Mod,   DexOp::FAdd,  DexOp::FSub, DexOp::FMul,
+            DexOp::FDiv,  DexOp::CmpLt, DexOp::CmpLe, DexOp::CmpEq,
+        };
+        DexOp op = kBins[rng.below(12)];
+        as.op(op);
+        if (op == DexOp::Add || op == DexOp::Sub || op == DexOp::Mul)
+            as.constI(100003).op(DexOp::Mod); // overflow clamp
+        if (op == DexOp::FAdd || op == DexOp::FSub ||
+            op == DexOp::FMul)
+            as.constF(1e6).op(DexOp::FDiv); // magnitude squash
+        return d - 1;
+    }
+}
+
+/** Net-zero-effect body for loop/if arms (may record call-argc
+ *  patch indices in @p nat / @p meth). */
+void
+bodyOp(DexAssembler &as, Rng &rng, std::vector<std::size_t> &nat,
+       std::vector<std::size_t> &meth)
+{
+    std::int64_t s = static_cast<std::int64_t>(rng.below(kScalarSlots));
+    switch (rng.below(5)) {
+      case 0: // scalar update with a constant operand (K-form food)
+        as.load(s)
+            .constI(static_cast<std::int64_t>(rng.range(1, 9)))
+            .op(rng.chance(0.5) ? DexOp::Add : DexOp::Mul)
+            .constI(100003)
+            .op(DexOp::Mod)
+            .store(s);
+        break;
+      case 1: { // array round-trip through the dedicated slot
+          std::int64_t len =
+              static_cast<std::int64_t>(rng.range(1, 6));
+          std::int64_t idx =
+              static_cast<std::int64_t>(rng.below(
+                  static_cast<std::uint64_t>(len)));
+          as.constI(len).op(DexOp::ArrNew).store(kArrSlot);
+          as.load(kArrSlot).constI(idx).load(s).op(DexOp::ArrSet);
+          as.load(kArrSlot).constI(idx).op(DexOp::ArrGet);
+          as.load(kArrSlot).op(DexOp::ArrLen).op(DexOp::Add).store(s);
+          break;
+      }
+      case 2: // native call (argc 2, patched after finish)
+        pushRand(as, rng);
+        pushRand(as, rng);
+        nat.push_back(static_cast<std::size_t>(as.here()));
+        as.callNative("nat");
+        as.store(s);
+        break;
+      case 3: // method call (argc 1, patched after finish)
+        as.load(s);
+        meth.push_back(static_cast<std::size_t>(as.here()));
+        as.callMethod("leaf");
+        as.store(s);
+        break;
+      default: // compare into a local
+        as.load(s)
+            .constI(static_cast<std::int64_t>(rng.range(0, 50)))
+            .op(rng.chance(0.5) ? DexOp::CmpLt : DexOp::CmpEq)
+            .store(static_cast<std::int64_t>(
+                rng.below(kScalarSlots)));
+        break;
+    }
+}
+
+/** Generate method @p name into @p file. */
+void
+genProgram(DexFile &file, const std::string &name, std::uint64_t seed)
+{
+    Rng rng(seed);
+    DexAssembler as(file, name, kNlocals);
+    std::vector<std::size_t> nat, meth;
+
+    int depth = 0;
+    int chunks = static_cast<int>(rng.range(3, 8));
+    for (int c = 0; c < chunks; ++c) {
+        switch (rng.below(5)) {
+          case 0: { // straight-line stack traffic
+              int ops = static_cast<int>(rng.range(2, 6));
+              for (int i = 0; i < ops; ++i)
+                  depth = stackOp(as, rng, depth);
+              break;
+          }
+          case 1: { // bounded counted loop
+              as.constI(static_cast<std::int64_t>(rng.range(1, 4)))
+                  .store(kCtrSlot);
+              std::int64_t top = as.here();
+              as.load(kCtrSlot);
+              std::size_t exit = as.jz();
+              int ops = static_cast<int>(rng.range(1, 2));
+              for (int i = 0; i < ops; ++i)
+                  bodyOp(as, rng, nat, meth);
+              as.load(kCtrSlot).constI(1).op(DexOp::Sub).store(
+                  kCtrSlot);
+              as.op(DexOp::Jmp, top);
+              as.patch(exit, as.here());
+              break;
+          }
+          case 2: { // compare-guarded arm (fused-branch food)
+              pushRand(as, rng);
+              pushRand(as, rng);
+              static const DexOp kCmps[] = {DexOp::CmpLt,
+                                            DexOp::CmpLe,
+                                            DexOp::CmpEq};
+              as.op(kCmps[rng.below(3)]);
+              std::size_t els = as.jz();
+              if (rng.chance(0.15)) {
+                  // Early return on the taken arm.
+                  pushRand(as, rng);
+                  as.ret();
+              } else {
+                  bodyOp(as, rng, nat, meth);
+              }
+              as.patch(els, as.here());
+              break;
+          }
+          case 3: // array block leaving one int on the stack
+            if (depth >= kStackCap) {
+                depth = stackOp(as, rng, depth);
+                break;
+            }
+            as.constI(static_cast<std::int64_t>(rng.range(2, 6)))
+                .op(DexOp::ArrNew)
+                .store(kArrSlot);
+            as.load(kArrSlot)
+                .constI(1)
+                .constI(static_cast<std::int64_t>(rng.range(0, 99)))
+                .op(DexOp::ArrSet);
+            as.load(kArrSlot).constI(1).op(DexOp::ArrGet);
+            ++depth;
+            break;
+          default: // call leaving one value on the stack
+            if (depth + 2 > kStackCap) {
+                depth = stackOp(as, rng, depth);
+                break;
+            }
+            pushRand(as, rng);
+            pushRand(as, rng);
+            nat.push_back(static_cast<std::size_t>(as.here()));
+            as.callNative("nat");
+            ++depth;
+            break;
+        }
+    }
+    if (depth == 0) {
+        pushRand(as, rng);
+        ++depth;
+    }
+    while (depth > 1) {
+        as.op(DexOp::Add).constI(100003).op(DexOp::Mod);
+        --depth;
+    }
+    as.ret();
+    as.finish();
+
+    for (std::size_t at : nat)
+        file.methods[name].code[at].a = 2;
+    for (std::size_t at : meth)
+        file.methods[name].code[at].a = 1;
+}
+
+/** The shared callee: (3x + 7) % 100003, result bounded. */
+void
+buildLeaf(DexFile &file)
+{
+    DexAssembler as(file, "leaf", 1);
+    as.load(0).constI(3).op(DexOp::Mul).constI(7).op(DexOp::Add);
+    as.constI(100003).op(DexOp::Mod).ret();
+    as.finish();
+}
+
+void
+registerNat(DalvikVm &vm)
+{
+    vm.registerNative("nat", [](std::vector<DexVal> &args) {
+        std::int64_t a = args.size() > 0 ? dexI(args[0]) : 0;
+        std::int64_t b = args.size() > 1 ? dexI(args[1]) : 0;
+        return DexVal{(a - b + 11) % 99991};
+    });
+}
+
+/** One observed run: result plus every equivalence dimension. */
+struct Obs
+{
+    std::int64_t resI = 0;
+    double resF = 0;
+    std::uint64_t virtNs = 0;
+    std::uint64_t insns = 0;
+    std::uint64_t natives = 0;
+    std::uint64_t methods = 0;
+};
+
+Obs
+observe(DalvikVm &vm, const DexFile &file, const std::string &name,
+        std::int64_t arg)
+{
+    CostClock clock;
+    CostScope scope(clock);
+    DalvikStats before = vm.stats();
+    DexVal r;
+    Obs o;
+    o.virtNs = measureVirtual(
+        [&] { r = vm.run(file, name, {arg}); });
+    o.resI = dexI(r);
+    o.resF = dexF(r);
+    o.insns = vm.stats().instructions - before.instructions;
+    o.natives = vm.stats().nativeCalls - before.nativeCalls;
+    o.methods = vm.stats().methodCalls - before.methodCalls;
+    return o;
+}
+
+TEST_F(DexJitTest, RandomProgramParityProperty)
+{
+    constexpr int kPrograms = 150;
+
+    DexFile file;
+    buildLeaf(file);
+    std::vector<std::string> names;
+    for (int i = 0; i < kPrograms; ++i) {
+        names.push_back("p" + std::to_string(i));
+        genProgram(file, names.back(), 0xC1DE0000u + i);
+    }
+    file.touch(); // call-argc operands were patched directly
+
+    DalvikVm interp(profile_);
+    registerNat(interp); // no cache: always interprets
+
+    DalvikVm jit(profile_);
+    registerNat(jit);
+    TranslationCache cache;
+    jit.setTranslationCache(&cache);
+    jit.setJitEnabled(true);
+    jit.setJitWarmup(0);
+
+    Rng args(0xA46);
+    for (int i = 0; i < kPrograms; ++i) {
+        // Two runs per program: the first translates and executes
+        // threaded code, the second is a pure cache hit.
+        for (int r = 0; r < 2; ++r) {
+            std::int64_t arg =
+                static_cast<std::int64_t>(args.range(0, 60)) - 30;
+            Obs a = observe(interp, file, names[i], arg);
+            Obs b = observe(jit, file, names[i], arg);
+            ASSERT_EQ(a.resI, b.resI) << names[i] << " arg " << arg;
+            ASSERT_EQ(a.resF, b.resF) << names[i] << " arg " << arg;
+            ASSERT_EQ(a.virtNs, b.virtNs)
+                << names[i] << " arg " << arg << " run " << r;
+            ASSERT_EQ(a.insns, b.insns) << names[i] << " arg " << arg;
+            ASSERT_EQ(a.natives, b.natives) << names[i];
+            ASSERT_EQ(a.methods, b.methods) << names[i];
+        }
+    }
+
+    // Every generated program must actually have gone through the
+    // translator — a silent fallback would make the parity sweep
+    // compare the interpreter against itself.
+    TranslationCache::Stats stats = cache.statsSnapshot();
+    EXPECT_EQ(stats.fallbacks, 0u);
+    EXPECT_GE(cache.translatedCount(),
+              static_cast<std::size_t>(kPrograms));
+    EXPECT_GT(stats.hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-up and invalidation rules.
+
+TEST_F(DexJitTest, WarmupCounterGatesTranslation)
+{
+    DexFile file;
+    buildSum(file);
+
+    DalvikVm vm(profile_);
+    TranslationCache cache;
+    vm.setTranslationCache(&cache);
+    ASSERT_EQ(vm.jitWarmup(), 2u); // default: interpret twice first
+
+    EXPECT_EQ(dexI(vm.run(file, "sum", {std::int64_t{10}})), 55);
+    EXPECT_EQ(cache.translatedCount(), 0u);
+    EXPECT_EQ(dexI(vm.run(file, "sum", {std::int64_t{10}})), 55);
+    EXPECT_EQ(cache.translatedCount(), 0u);
+    EXPECT_EQ(dexI(vm.run(file, "sum", {std::int64_t{10}})), 55);
+    EXPECT_EQ(cache.translatedCount(), 1u);
+
+    TranslationCache::Stats stats = cache.statsSnapshot();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.translations, 1u);
+    // The per-entry engine split is visible in the dump.
+    EXPECT_NE(cache.dump().find("runs 3 interp 2 jit 1"),
+              std::string::npos)
+        << cache.dump();
+}
+
+TEST_F(DexJitTest, RegisterNativeRebindInvalidates)
+{
+    DexFile file;
+    DexAssembler as(file, "m", 0);
+    as.callNative("n").ret(); // argc 0
+    as.finish();
+
+    DalvikVm vm(profile_);
+    TranslationCache cache;
+    vm.setTranslationCache(&cache);
+    vm.setJitWarmup(0);
+    vm.registerNative("n", [](std::vector<DexVal> &) {
+        return DexVal{std::int64_t{1}};
+    });
+
+    EXPECT_EQ(dexI(vm.run(file, "m")), 1);
+    EXPECT_EQ(cache.translatedCount(), 1u);
+
+    // Rebinding the name must drop the translation: the cached entry
+    // resolved a pointer to the old function.
+    vm.registerNative("n", [](std::vector<DexVal> &) {
+        return DexVal{std::int64_t{2}};
+    });
+    EXPECT_EQ(dexI(vm.run(file, "m")), 2);
+
+    TranslationCache::Stats stats = cache.statsSnapshot();
+    EXPECT_EQ(stats.invalidations, 1u);
+    EXPECT_EQ(stats.translations, 2u); // retranslated after rebind
+    EXPECT_NE(cache.dump().find("native-rebind"), std::string::npos);
+}
+
+TEST_F(DexJitTest, PersonaIsolationKeysSeparateEntries)
+{
+    DexFile file;
+    buildSum(file);
+
+    kernel::Kernel kernel(profile_);
+    kernel::Process &droid =
+        kernel.createProcess("droid", kernel::Persona::Android);
+    kernel::Process &iapp =
+        kernel.createProcess("iapp", kernel::Persona::Ios);
+
+    DalvikVm vm(profile_);
+    TranslationCache cache;
+    vm.setTranslationCache(&cache);
+    vm.setJitWarmup(0);
+
+    {
+        kernel::ThreadScope scope(droid.mainThread());
+        EXPECT_EQ(dexI(vm.run(file, "sum", {std::int64_t{10}})), 55);
+    }
+    {
+        kernel::ThreadScope scope(iapp.mainThread());
+        EXPECT_EQ(dexI(vm.run(file, "sum", {std::int64_t{10}})), 55);
+    }
+
+    // Same VM, same file, same method — but two personas mean two
+    // entries, each translated on its own.
+    EXPECT_EQ(cache.entryCount(), 2u);
+    TranslationCache::Stats stats = cache.statsSnapshot();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.translations, 2u);
+}
+
+TEST_F(DexJitTest, ExecInvalidatesSystemCache)
+{
+    setLogQuiet(true);
+    core::SystemOptions opts;
+    core::CiderSystem sys(opts);
+
+    DexFile file;
+    buildSum(file);
+    sys.dalvik().setJitWarmup(0);
+    EXPECT_EQ(dexI(sys.dalvik().run(file, "sum", {std::int64_t{9}})),
+              45);
+    ASSERT_EQ(sys.translationCache().entryCount(), 1u);
+    ASSERT_EQ(sys.translationCache().translatedCount(), 1u);
+
+    // exec (and the image unload on exit) flush every entry: the new
+    // image may alias identities the old translations were keyed on.
+    sys.installElfExecutable("/system/bin/noop", "noop.main",
+                             [](binfmt::UserEnv &) { return 0; });
+    EXPECT_EQ(sys.runProgram("/system/bin/noop"), 0);
+
+    EXPECT_EQ(sys.translationCache().entryCount(), 0u);
+    EXPECT_GE(sys.translationCache().statsSnapshot().invalidations,
+              1u);
+
+    // The cache repopulates cleanly afterwards.
+    EXPECT_EQ(dexI(sys.dalvik().run(file, "sum", {std::int64_t{9}})),
+              45);
+    EXPECT_EQ(sys.translationCache().translatedCount(), 1u);
+}
+
+TEST_F(DexJitTest, InjectedTranslateFaultFallsBackToInterpreter)
+{
+    DexFile file;
+    buildSum(file);
+
+    DalvikVm vm(profile_);
+    TranslationCache cache;
+    vm.setTranslationCache(&cache);
+    vm.setJitWarmup(0);
+
+    kernel::FaultRail::global().armNth("dexjit.translate", 1);
+    EXPECT_EQ(dexI(vm.run(file, "sum", {std::int64_t{10}})), 55);
+    kernel::FaultRail::global().disarmAll();
+
+    // The injected failure is permanent for the entry: no translation
+    // exists, the fallback is counted, and later runs interpret
+    // without re-attempting.
+    TranslationCache::Stats stats = cache.statsSnapshot();
+    EXPECT_EQ(stats.fallbacks, 1u);
+    EXPECT_EQ(stats.translations, 0u);
+    EXPECT_EQ(cache.translatedCount(), 0u);
+
+    EXPECT_EQ(dexI(vm.run(file, "sum", {std::int64_t{10}})), 55);
+    stats = cache.statsSnapshot();
+    EXPECT_EQ(stats.fallbacks, 1u);
+    EXPECT_EQ(stats.translations, 0u);
+    EXPECT_NE(cache.dump().find("fallback"), std::string::npos);
+}
+
+TEST_F(DexJitTest, ProcJitNodeIsReadable)
+{
+    setLogQuiet(true);
+    core::SystemOptions opts;
+    core::CiderSystem sys(opts);
+
+    DexFile file;
+    buildSum(file);
+    sys.dalvik().setJitWarmup(0);
+    sys.dalvik().run(file, "sum", {std::int64_t{5}});
+
+    kernel::Kernel &k = sys.kernel();
+    kernel::Process &proc = k.createProcess("jitreader");
+    kernel::Thread &t = proc.mainThread();
+    kernel::ThreadScope scope(t);
+    kernel::SyscallResult r =
+        k.sysOpen(t, "/proc/cider/jit", kernel::oflag::RDONLY);
+    ASSERT_TRUE(r.ok());
+    kernel::Fd fd = static_cast<kernel::Fd>(r.value);
+    Bytes buf;
+    r = k.sysRead(t, fd, buf, 65536);
+    ASSERT_TRUE(r.ok());
+    std::string text(buf.begin(), buf.end());
+    EXPECT_NE(text.find("jit: translation cache"), std::string::npos);
+    EXPECT_NE(text.find("sum"), std::string::npos);
+    EXPECT_NE(text.find("translated"), std::string::npos);
+    k.sysClose(t, fd);
+}
+
+// ---------------------------------------------------------------------------
+// SchedRail trace parity: the JIT keeps the method-entry yield point
+// and nothing else, so an episode's schedule trace is byte-identical
+// with the JIT on or off, and a schedule recorded JIT-off replays
+// JIT-on without divergence.
+
+struct RailOutcome
+{
+    kernel::SchedResult result;
+    std::vector<std::int64_t> r0, r1;
+};
+
+RailOutcome
+runDexRail(const hw::DeviceProfile &profile, DexFile &file, bool jitOn,
+           kernel::SchedPolicy policy, std::uint64_t seed,
+           std::vector<std::uint32_t> schedule = {})
+{
+    kernel::SchedRail &sr = kernel::SchedRail::global();
+    kernel::SchedOptions opt;
+    opt.policy = policy;
+    opt.seed = seed;
+    opt.schedule = std::move(schedule);
+    sr.arm(opt);
+
+    DalvikVm vm(profile);
+    TranslationCache cache;
+    vm.setTranslationCache(&cache);
+    vm.setJitEnabled(jitOn);
+    vm.setJitWarmup(0);
+
+    RailOutcome out;
+    sr.spawn("worker0", [&] {
+        for (std::int64_t i = 1; i <= 4; ++i)
+            out.r0.push_back(
+                dexI(vm.run(file, "sum", {std::int64_t{i}})));
+    });
+    sr.spawn("worker1", [&] {
+        for (std::int64_t i = 5; i <= 8; ++i)
+            out.r1.push_back(
+                dexI(vm.run(file, "sum", {std::int64_t{i}})));
+    });
+    out.result = sr.run();
+    sr.disarm();
+    return out;
+}
+
+bool
+railResultsOk(const RailOutcome &o)
+{
+    auto tri = [](std::int64_t n) { return n * (n + 1) / 2; };
+    if (o.r0.size() != 4 || o.r1.size() != 4)
+        return false;
+    for (std::int64_t i = 1; i <= 4; ++i)
+        if (o.r0[static_cast<std::size_t>(i - 1)] != tri(i))
+            return false;
+    for (std::int64_t i = 5; i <= 8; ++i)
+        if (o.r1[static_cast<std::size_t>(i - 5)] != tri(i))
+            return false;
+    return true;
+}
+
+TEST_F(DexJitTest, RailTracesIdenticalJitOnAndOff)
+{
+    DexFile file;
+    buildSum(file);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        RailOutcome off = runDexRail(profile_, file, false,
+                                     kernel::SchedPolicy::Random, seed);
+        RailOutcome on = runDexRail(profile_, file, true,
+                                    kernel::SchedPolicy::Random, seed);
+        ASSERT_TRUE(off.result.completed) << "seed " << seed;
+        ASSERT_TRUE(on.result.completed) << "seed " << seed;
+        EXPECT_TRUE(railResultsOk(off)) << "seed " << seed;
+        EXPECT_TRUE(railResultsOk(on)) << "seed " << seed;
+        EXPECT_EQ(off.result.traceText(), on.result.traceText())
+            << "seed " << seed;
+    }
+}
+
+TEST_F(DexJitTest, JitOffScheduleReplaysJitOnWithoutDivergence)
+{
+    DexFile file;
+    buildSum(file);
+    RailOutcome rec = runDexRail(profile_, file, false,
+                                 kernel::SchedPolicy::Random, 7);
+    ASSERT_TRUE(rec.result.completed);
+    ASSERT_TRUE(railResultsOk(rec));
+
+    // Round-trip through the trace artifact format, then replay the
+    // interpreter-recorded schedule against the JIT.
+    std::vector<std::uint32_t> pinned =
+        kernel::SchedResult::parseSchedule(rec.result.traceText());
+    ASSERT_EQ(pinned, rec.result.schedule());
+    RailOutcome rep = runDexRail(profile_, file, true,
+                                 kernel::SchedPolicy::Replay, 0, pinned);
+    EXPECT_FALSE(rep.result.diverged);
+    EXPECT_TRUE(rep.result.completed);
+    EXPECT_TRUE(railResultsOk(rep));
+    EXPECT_EQ(rep.result.traceText(), rec.result.traceText());
+    EXPECT_EQ(rep.r0, rec.r0);
+    EXPECT_EQ(rep.r1, rec.r1);
+}
+
+TEST_F(DexJitTest, RailExplorationHoldsWithJitOn)
+{
+    DexFile file;
+    buildSum(file);
+
+    struct Scenario
+    {
+        DalvikVm vm;
+        TranslationCache cache;
+        DexFile &file;
+        std::vector<std::int64_t> r0, r1;
+
+        Scenario(const hw::DeviceProfile &p, DexFile &f)
+            : vm(p), file(f)
+        {
+            vm.setTranslationCache(&cache);
+            vm.setJitEnabled(true);
+            vm.setJitWarmup(0);
+        }
+
+        void
+        spawn(kernel::SchedRail &sr)
+        {
+            sr.spawn("worker0", [this] {
+                for (std::int64_t i = 1; i <= 3; ++i)
+                    r0.push_back(dexI(
+                        vm.run(file, "sum", {std::int64_t{i}})));
+            });
+            sr.spawn("worker1", [this] {
+                for (std::int64_t i = 4; i <= 6; ++i)
+                    r1.push_back(dexI(
+                        vm.run(file, "sum", {std::int64_t{i}})));
+            });
+        }
+
+        bool
+        ok() const
+        {
+            auto tri = [](std::int64_t n) { return n * (n + 1) / 2; };
+            if (r0.size() != 3 || r1.size() != 3)
+                return false;
+            for (std::int64_t i = 1; i <= 3; ++i)
+                if (r0[static_cast<std::size_t>(i - 1)] != tri(i))
+                    return false;
+            for (std::int64_t i = 4; i <= 6; ++i)
+                if (r1[static_cast<std::size_t>(i - 4)] != tri(i))
+                    return false;
+            return true;
+        }
+    };
+
+    kernel::SchedRail &rail = kernel::SchedRail::global();
+    Scenario *sc = nullptr;
+    std::vector<std::unique_ptr<Scenario>> keep;
+    auto setup = [&] {
+        keep.push_back(std::make_unique<Scenario>(profile_, file));
+        sc = keep.back().get();
+        sc->spawn(rail);
+    };
+    auto ok = [&sc] { return sc->ok(); };
+    kernel::ExploreOptions eo;
+    eo.maxPreemptions = 1;
+    eo.maxSchedules = 500;
+    kernel::ExploreResult r =
+        kernel::exploreSchedules(rail, setup, ok, eo);
+    EXPECT_FALSE(r.bugFound)
+        << r.failing.traceText() << "\nschedulesRun=" << r.schedulesRun;
+    EXPECT_GT(r.schedulesRun, 1u);
+}
+
+} // namespace
+} // namespace cider::android

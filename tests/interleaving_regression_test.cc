@@ -16,14 +16,24 @@
  * bounded-preemption exploration, and a record/replay round-trip that
  * proves the failing-schedule artifact format can pin these exact
  * interleavings forever.
+ *
+ * Scenario 4 is the Figure 6 workload shape run concurrently: two
+ * guests interleave PassMark dex kernels on one shared Dalvik VM with
+ * the DexJit translation cache attached. Schedules recorded with the
+ * JIT off must be byte-identical with the JIT on and replay without
+ * divergence, under both Random and Explore.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "android/dalvik.h"
+#include "android/dexjit.h"
+#include "bench/passmark.h"
 #include "hw/device_profile.h"
 #include "kernel/kernel.h"
 #include "kernel/sched_rail.h"
@@ -481,6 +491,152 @@ TEST_F(InterleavingRegressionTest, GraceRearmScheduleIsPinnable)
     EXPECT_EQ(rep.result.traceText(), rec.result.traceText());
     EXPECT_EQ(rep.krA, rec.krA);
     EXPECT_EQ(rep.krB, rec.krB);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: the Figure 6 workload shape, concurrently. Two guests
+// interleave PassMark dex kernels on one shared Dalvik VM with the
+// DexJit translation cache attached; every method entry is a
+// scheduling decision. The JIT must neither change the kernels'
+// results nor the schedule trace: a trace recorded with the JIT off
+// is byte-identical with it on, and replays without divergence.
+
+constexpr std::int64_t kFig6Iters = 40;
+
+struct Fig6Outcome
+{
+    SchedResult result;
+    std::int64_t integerR = 0;
+    std::int64_t primesR = 0;
+    bool ok = false;
+};
+
+struct Fig6Scenario
+{
+    binfmt::DexFile suite = bench::passmark::buildDexSuite();
+    android::DalvikVm vm{hw::DeviceProfile::nexus7()};
+    android::TranslationCache cache;
+    std::int64_t integerR = 0;
+    std::int64_t primesR = 0;
+
+    explicit Fig6Scenario(bool jit_on)
+    {
+        vm.setTranslationCache(&cache);
+        vm.setJitEnabled(jit_on);
+        vm.setJitWarmup(0);
+    }
+
+    void
+    spawn(SchedRail &sr)
+    {
+        sr.spawn("integer", [this] {
+            integerR = android::dexI(
+                vm.run(suite, "integer", {kFig6Iters}));
+        });
+        sr.spawn("primes", [this] {
+            primesR = android::dexI(
+                vm.run(suite, "primes", {kFig6Iters}));
+        });
+    }
+};
+
+/** Reference results from a plain interpreter outside the rail. */
+struct Fig6Expected
+{
+    std::int64_t integerR;
+    std::int64_t primesR;
+};
+
+Fig6Expected
+fig6Expected()
+{
+    static const Fig6Expected exp = [] {
+        binfmt::DexFile suite = bench::passmark::buildDexSuite();
+        android::DalvikVm vm(hw::DeviceProfile::nexus7());
+        Fig6Expected e;
+        e.integerR =
+            android::dexI(vm.run(suite, "integer", {kFig6Iters}));
+        e.primesR =
+            android::dexI(vm.run(suite, "primes", {kFig6Iters}));
+        return e;
+    }();
+    return exp;
+}
+
+Fig6Outcome
+runFig6(bool jit_on, SchedPolicy policy, std::uint64_t seed,
+        std::vector<std::uint32_t> schedule = {})
+{
+    SchedRail &sr = SchedRail::global();
+    SchedOptions opt;
+    opt.policy = policy;
+    opt.seed = seed;
+    opt.schedule = std::move(schedule);
+    sr.arm(opt);
+
+    Fig6Scenario sc(jit_on);
+    sc.spawn(sr);
+
+    Fig6Outcome out;
+    out.result = sr.run();
+    sr.disarm();
+    out.integerR = sc.integerR;
+    out.primesR = sc.primesR;
+    Fig6Expected exp = fig6Expected();
+    out.ok = out.result.completed && !out.result.deadlocked &&
+             out.integerR == exp.integerR && out.primesR == exp.primesR;
+    return out;
+}
+
+TEST_F(InterleavingRegressionTest, Fig6WorkloadTracesIdenticalJitOnOff)
+{
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Fig6Outcome off = runFig6(false, SchedPolicy::Random, seed);
+        Fig6Outcome on = runFig6(true, SchedPolicy::Random, seed);
+        EXPECT_TRUE(off.ok) << "seed " << seed << "\n"
+                            << off.result.traceText();
+        EXPECT_TRUE(on.ok) << "seed " << seed << "\n"
+                           << on.result.traceText();
+        EXPECT_EQ(off.result.traceText(), on.result.traceText())
+            << "seed " << seed;
+    }
+}
+
+TEST_F(InterleavingRegressionTest, Fig6JitOffScheduleReplaysJitOn)
+{
+    Fig6Outcome rec = runFig6(false, SchedPolicy::Random, 2024);
+    ASSERT_TRUE(rec.ok) << rec.result.traceText();
+
+    std::vector<std::uint32_t> pinned =
+        SchedResult::parseSchedule(rec.result.traceText());
+    ASSERT_EQ(pinned, rec.result.schedule());
+    Fig6Outcome rep = runFig6(true, SchedPolicy::Replay, 0, pinned);
+    EXPECT_FALSE(rep.result.diverged);
+    EXPECT_TRUE(rep.ok) << rep.result.traceText();
+    EXPECT_EQ(rep.result.traceText(), rec.result.traceText());
+}
+
+TEST_F(InterleavingRegressionTest, Fig6WorkloadHoldsUnderExplorationJitOn)
+{
+    Fig6Scenario *sc = nullptr;
+    std::vector<std::unique_ptr<Fig6Scenario>> keep;
+    auto setup = [this, &sc, &keep] {
+        keep.push_back(std::make_unique<Fig6Scenario>(true));
+        sc = keep.back().get();
+        sc->spawn(rail_);
+    };
+    auto ok = [&sc] {
+        Fig6Expected exp = fig6Expected();
+        return sc->integerR == exp.integerR &&
+               sc->primesR == exp.primesR;
+    };
+    ExploreOptions eo;
+    eo.maxPreemptions = 1;
+    eo.maxSchedules = 400;
+    ExploreResult r = exploreSchedules(rail_, setup, ok, eo);
+    EXPECT_FALSE(r.bugFound)
+        << r.failing.traceText() << "\nschedulesRun=" << r.schedulesRun;
+    EXPECT_GT(r.schedulesRun, 1u);
 }
 
 } // namespace
