@@ -65,7 +65,8 @@ const char *const kSiteCatalog[] = {
     "vfs.create",      "mach.port.alloc",  "mach.name.alloc",
     "mach.right.copyout", "mach.msg.send", "mach.msg.receive",
     "binfmt.elf",      "binfmt.macho",     "psynch.wait",
-    "signal.deliver",  "dexjit.translate",
+    "signal.deliver",  "dexjit.translate", "vm.allocate",
+    "vm.fault",
 };
 
 int g_failures = 0;
@@ -139,6 +140,13 @@ workloadMain(binfmt::UserEnv &env)
             msg.header.remotePort = port;
             msg.header.remoteDisposition = xnu::MsgDisposition::MakeSend;
             msg.header.msgId = 4000 + round;
+            // An OOL region rides along: on receive it lands as a COW
+            // mapping, and the write below breaks its pages through
+            // the "vm.fault" site.
+            xnu::OolDescriptor ool;
+            ool.data = Bytes(static_cast<std::size_t>(512),
+                             static_cast<std::uint8_t>(round));
+            msg.ool.push_back(std::move(ool));
             trap(TrapClass::XnuMach, xnu::machno::MACH_MSG,
                  makeArgs(static_cast<void *>(&msg), xnu::machmsg::SEND,
                           std::uint64_t{0},
@@ -150,8 +158,35 @@ workloadMain(binfmt::UserEnv &env)
                           static_cast<std::uint64_t>(port),
                           static_cast<void *>(&rcv),
                           std::uint64_t{50'000}));
+            if (!rcv.ool.empty() && rcv.ool[0].address != 0) {
+                Bytes poke{7, 7};
+                trap(TrapClass::XnuMach, xnu::machno::VM_WRITE,
+                     makeArgs(rcv.ool[0].address,
+                              static_cast<const Bytes *>(&poke)));
+                trap(TrapClass::XnuMach, xnu::machno::VM_DEALLOCATE,
+                     makeArgs(rcv.ool[0].address));
+            }
             trap(TrapClass::XnuMach, xnu::machno::PORT_DESTROY,
                  makeArgs(static_cast<std::uint64_t>(port)));
+        }
+
+        // --- VM traps: allocate, write, read back, deallocate. An
+        // armed "vm.allocate" rail surfaces as KERN_RESOURCE_SHORTAGE
+        // (or, with the OOM killer armed, a clean process death).
+        std::uint64_t vmaddr = 0;
+        SyscallResult va = trap(
+            TrapClass::XnuMach, xnu::machno::VM_ALLOCATE,
+            makeArgs(std::uint64_t{8192}, static_cast<void *>(&vmaddr)));
+        if (va.ok() && va.value == xnu::KERN_SUCCESS && vmaddr != 0) {
+            Bytes pattern{5, 6, 7, 8};
+            trap(TrapClass::XnuMach, xnu::machno::VM_WRITE,
+                 makeArgs(vmaddr, static_cast<const Bytes *>(&pattern)));
+            Bytes back;
+            trap(TrapClass::XnuMach, xnu::machno::VM_READ,
+                 makeArgs(vmaddr, std::uint64_t{4},
+                          static_cast<Bytes *>(&back)));
+            trap(TrapClass::XnuMach, xnu::machno::VM_DEALLOCATE,
+                 makeArgs(vmaddr));
         }
 
         // --- psynch: signal then timed wait on a Mach semaphore.

@@ -32,6 +32,9 @@ CiderSystem::CiderSystem(const SystemOptions &opts)
     kernel_ = std::make_unique<kernel::Kernel>(profile_);
     kernel::buildLinuxSyscallTable(*kernel_);
     machIpc_ = std::make_unique<xnu::MachIpc>();
+    // Zero-copy OOL and body auto-promotion account against the
+    // kernel's VM subsystem (and its device profile).
+    machIpc_->setVm(&kernel_->vm());
     psynch_ = std::make_unique<xnu::PsynchSubsystem>();
 
     setupDevices();

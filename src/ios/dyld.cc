@@ -52,21 +52,19 @@ Dyld::loadImage(binfmt::UserEnv &env, const std::string &name,
 
     LibSystem libc(env);
     if (!shared_cache) {
-        // Walk the filesystem and map the image individually.
+        // Walk the filesystem and map the image individually. These
+        // pages are what fork() must write-protect-sweep.
         int fd = libc.open(libraryDir_ + "/" + name,
                            kernel::oflag::RDONLY);
         if (fd >= 0)
             libc.close(fd);
         charge(env.kernel.profile().cyclesToNs(kLinkCycles));
+        env.process().mem().addMapping("dylib:" + name, img->pages);
     } else {
+        // Shared-cache images live in the system-wide shared-region
+        // VmObject mapped once in bootstrap(); no per-image mapping.
         charge(env.kernel.profile().cyclesToNs(kSharedCacheLinkCycles));
     }
-
-    // Map the image: these pages are what fork() must duplicate.
-    // Shared-cache images live in the shared region submap,
-    // which fork does not duplicate.
-    env.process().mem().addMapping("dylib:" + name, img->pages,
-                                   shared_cache);
     table.loaded.push_back(img);
     table.byName[name] = img;
     ++imagesLoaded_;
@@ -95,8 +93,22 @@ Dyld::bootstrap(binfmt::UserEnv &env, const binfmt::MachOImage &image)
         shared_cache = sharedCacheOverride_ != 0;
 
     if (shared_cache) {
-        // One mapping covers the whole prelinked cache.
+        // One mapping covers the whole prelinked cache: the cache is
+        // a single system-wide VmObject (created on first boot of any
+        // process), entered into this task as a shared submap that
+        // fork aliases for free.
         charge(env.kernel.profile().storageOpenNs);
+        std::uint64_t cache_pages = 0;
+        for (const std::string &name : libraries_.names())
+            if (const binfmt::LibraryImage *img = libraries_.find(name))
+                cache_pages += img->pages;
+        kernel::VmObjectPtr region =
+            env.kernel.vm().sharedRegion("dyld.shared-cache", cache_pages);
+        if (!env.process().mem().hasMapping("dyld.shared-cache"))
+            env.process().mem().mapObject("dyld.shared-cache",
+                                          std::move(region),
+                                          kernel::VM_PROT_READ,
+                                          /*cow=*/false, /*shared=*/true);
     }
 
     DyldImages &table = images(env);

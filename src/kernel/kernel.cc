@@ -214,8 +214,8 @@ SyscallTable::registeredNumbers() const
 }
 
 Kernel::Kernel(const hw::DeviceProfile &profile)
-    : profile_(profile), percpu_(profile.cpuCores), vfs_(profile),
-      linuxTable_("linux")
+    : profile_(profile), vm_(std::make_unique<VmSubsystem>(&profile)),
+      percpu_(profile.cpuCores), vfs_(profile), linuxTable_("linux")
 {
     dispatcher_ = std::make_unique<VanillaDispatcher>();
     signalHook_ = std::make_unique<SignalDeliveryHook>();
@@ -239,6 +239,8 @@ Kernel::Kernel(const hw::DeviceProfile &profile)
     Device &percpu =
         devices_.add(std::make_unique<PerCpuDevice>(percpu_));
     vfs_.mknod("/proc/cider/percpu", &percpu);
+    Device &vmdev = devices_.add(std::make_unique<VmDevice>(*this));
+    vfs_.mknod("/proc/cider/vm", &vmdev);
 }
 
 Kernel::~Kernel() = default;
@@ -250,10 +252,19 @@ Kernel::createProcess(const std::string &name, Persona persona,
     std::lock_guard<std::mutex> lock(procMu_);
     Pid pid = nextPid_++;
     auto proc = std::make_unique<Process>(pid, name, parent);
+    proc->mem().bind(vm_.get());
     proc->createThread(persona);
     Process &ref = *proc;
     processes_[pid] = std::move(proc);
     return ref;
+}
+
+void
+Kernel::forEachProcess(const std::function<void(Process &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(procMu_);
+    for (const auto &[pid, proc] : processes_)
+        fn(*proc);
 }
 
 Process *
@@ -706,16 +717,17 @@ Kernel::sysFork(Thread &t, EntryFn child_body, bool run_now)
 {
     Process &parent = t.process();
 
-    // Base fork work (task struct, fd table, mm setup) plus
-    // page-table duplication charged to the caller — the latter
-    // dominated by dyld's ~90 MB of dylib mappings when an iOS
-    // binary forks (Figure 5, fork+exit).
+    // Base fork work (task struct, fd table, mm setup); the address
+    // space itself is duplicated by VmMap::forkFrom, which charges the
+    // write-protect sweep over the private entries — dominated by
+    // dyld's ~90 MB of dylib mappings when an iOS binary forks
+    // (Figure 5, fork+exit). COW by default; the eager lever restores
+    // the full content copy as the A/B baseline.
     charge(profile_.cyclesToNs(260000));
-    charge(parent.mem().privatePages() * profile_.pageCopyEntryNs);
 
     Process &child =
         createProcess(parent.name() + ":child", t.persona(), &parent);
-    child.mem() = parent.mem();
+    child.mem().forkFrom(parent.mem(), eagerForkCopy_);
     child.fds() = parent.fds().cloneForFork();
     child.signals() = parent.signals();
     child.image() = parent.image();

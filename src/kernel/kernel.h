@@ -189,6 +189,23 @@ class Kernel
                            Process *parent = nullptr);
     Process *findProcess(Pid pid) const;
     std::size_t processCount() const;
+    /** Visit every live process under the table lock (used by
+     *  /proc/cider/vm; keep @p fn non-blocking). */
+    void forEachProcess(const std::function<void(Process &)> &fn) const;
+    /// @}
+
+    /// @{ Virtual memory.
+    /** System-wide VM state: shared regions, cost tables, counters. */
+    VmSubsystem &vm() { return *vm_; }
+    const VmSubsystem &vm() const { return *vm_; }
+    /**
+     * A/B lever for the fork cost model: true restores the pre-VM
+     * eager behaviour (fork copies page tables AND resident content);
+     * false (default) forks copy-on-write, deferring content copies
+     * to first-write faults.
+     */
+    void setEagerForkCopy(bool on) { eagerForkCopy_ = on; }
+    bool eagerForkCopy() const { return eagerForkCopy_; }
     /// @}
 
     /** The simulated machine's CPU array (profile.cpuCores slots). */
@@ -325,6 +342,7 @@ class Kernel
     void notifyUnload(Process &proc);
 
     const hw::DeviceProfile &profile_;
+    std::unique_ptr<VmSubsystem> vm_;
     PerCpu percpu_;
     Vfs vfs_;
     DeviceRegistry devices_;
@@ -343,6 +361,7 @@ class Kernel
     std::map<Pid, std::unique_ptr<Process>> processes_;
     Pid nextPid_ = 1;
     bool oomKillEnabled_ = false;
+    bool eagerForkCopy_ = false;
 };
 
 } // namespace cider::kernel

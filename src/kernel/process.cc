@@ -6,45 +6,6 @@
 
 namespace cider::kernel {
 
-std::uint64_t
-AddressSpace::pages() const
-{
-    std::uint64_t total = 0;
-    for (const auto &m : mappings)
-        total += m.pages;
-    return total;
-}
-
-std::uint64_t
-AddressSpace::privatePages() const
-{
-    std::uint64_t total = 0;
-    for (const auto &m : mappings)
-        if (!m.shared)
-            total += m.pages;
-    return total;
-}
-
-void
-AddressSpace::addMapping(const std::string &name, std::uint64_t pages,
-                         bool shared)
-{
-    mappings.push_back({name, pages, shared});
-}
-
-bool
-AddressSpace::hasMapping(const std::string &name) const
-{
-    return std::any_of(mappings.begin(), mappings.end(),
-                       [&](const Mapping &m) { return m.name == name; });
-}
-
-void
-AddressSpace::reset()
-{
-    mappings.clear();
-}
-
 Process::Process(Pid pid, std::string name, Process *parent)
     : pid_(pid), name_(std::move(name)), parent_(parent)
 {}

@@ -18,6 +18,7 @@
 #include "kernel/signals.h"
 #include "kernel/thread.h"
 #include "kernel/types.h"
+#include "kernel/vm.h"
 
 namespace cider::kernel {
 
@@ -29,34 +30,13 @@ enum class BinaryFormat
     MachO,
 };
 
-/** One mapped region of an address space (a library, heap, stack). */
-struct Mapping
-{
-    std::string name;
-    std::uint64_t pages = 0;
-    /** Shared submaps (XNU's dyld shared-cache region) are not
-     *  duplicated by fork. */
-    bool shared = false;
-};
-
 /**
- * Simulated address space: a list of mappings whose total page count
- * is what fork() must duplicate page-table entries for. The 90 MB of
- * dylib mappings dyld creates is the dominant fork cost for iOS
- * binaries in the paper's Figure 5.
+ * A process address space is a real vm_map (kernel/vm.h): VmObject
+ * backing stores, COW entries, shared submaps. The 90 MB of dylib
+ * mappings dyld creates is the dominant fork cost for iOS binaries in
+ * the paper's Figure 5; fork aliases them copy-on-write.
  */
-struct AddressSpace
-{
-    std::vector<Mapping> mappings;
-
-    std::uint64_t pages() const;
-    /** Pages fork must copy page-table entries for. */
-    std::uint64_t privatePages() const;
-    void addMapping(const std::string &name, std::uint64_t pages,
-                    bool shared = false);
-    bool hasMapping(const std::string &name) const;
-    void reset();
-};
+using AddressSpace = VmMap;
 
 /** Main-entry callable bound by a binary loader. */
 using EntryFn = std::function<int(Thread &)>;

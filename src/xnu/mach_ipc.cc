@@ -17,6 +17,9 @@ namespace {
 constexpr std::uint64_t kMsgBaseNs = 350;
 constexpr std::uint64_t kMsgPerRightNs = 120;
 constexpr std::uint64_t kMsgPerOolNs = 180;
+/** Installing one vm_map entry in the receiver for a mapped-in OOL
+ *  region (COW alias; the fault cost lands on first write). */
+constexpr std::uint64_t kMsgOolMapNs = 140;
 
 std::uint64_t
 bodyCopyNs(std::size_t bytes)
@@ -282,6 +285,42 @@ MachIpc::destroyKMsgRights(KMsg &kmsg)
     kmsg.reply.port.reset();
     kmsg.ports.clear();
     kmsg.ool.clear();
+    kmsg.bodyObject.reset();
+}
+
+kernel::VmSubsystem &
+MachIpc::vm() const
+{
+    if (vm_)
+        return *vm_;
+    // Standalone instances (unit tests, benches without a kernel)
+    // account against a private subsystem over the default profile.
+    static kernel::VmSubsystem fallback;
+    return fallback;
+}
+
+std::uint64_t
+MachIpc::oolPromoteThreshold() const
+{
+    if (promoteOverride_ >= 0)
+        return static_cast<std::uint64_t>(promoteOverride_);
+    // Promotion pays one descriptor hop per side plus the receiver's
+    // map-in fault; inline pays a body copy per side. Break even at
+    // bytes/4 * 2 == 2 * kMsgPerOolNs + pageFaultNs.
+    return 2 * (2 * kMsgPerOolNs + vm().profile().pageFaultNs);
+}
+
+kern_return_t
+MachIpc::makeOolFromRegion(kernel::VmMap &map, std::uint64_t addr,
+                           bool deallocate, OolDescriptor *out)
+{
+    kernel::VmObjectPtr snap = map.snapshotForSend(addr, deallocate);
+    if (!snap)
+        return KERN_INVALID_ADDRESS;
+    out->data.clear();
+    out->object = std::move(snap);
+    out->deallocate = deallocate;
+    return KERN_SUCCESS;
 }
 
 void
@@ -759,7 +798,13 @@ MachIpc::msgSend(IpcSpace &space, MachMessage &&msg,
                  const SendOptions &opts)
 {
     CIDER_SCHED_POINT("mach.msgSend");
-    charge(kMsgBaseNs + bodyCopyNs(msg.body.size()));
+    // Auto-promotion: a large inline body is wrapped into a VmObject
+    // and moved as a reference (descriptor cost) instead of being
+    // copied per byte on both sides.
+    std::uint64_t promote_at = oolPromoteThreshold();
+    bool promote = promote_at != 0 && msg.body.size() >= promote_at;
+    charge(kMsgBaseNs +
+           (promote ? kMsgPerOolNs : bodyCopyNs(msg.body.size())));
     if (CIDER_FAULT_POINT("mach.msg.send"))
         return MACH_SEND_NO_BUFFER;
 
@@ -774,7 +819,14 @@ MachIpc::msgSend(IpcSpace &space, MachMessage &&msg,
 
     KMsg kmsg;
     kmsg.msgId = msg.header.msgId;
-    kmsg.body = std::move(msg.body);
+    if (promote) {
+        kmsg.bodyObject = vm().wrapBytes("mach.body", std::move(msg.body));
+        vm().noteBodySend(/*promoted=*/true);
+    } else {
+        kmsg.body = std::move(msg.body);
+        if (!kmsg.body.empty())
+            vm().noteBodySend(/*promoted=*/false);
+    }
 
     if (msg.header.localPort != MACH_PORT_NULL) {
         kr = copyinRight(space, msg.header.localPort,
@@ -795,7 +847,14 @@ MachIpc::msgSend(IpcSpace &space, MachMessage &&msg,
     std::uint64_t ool_bytes = 0;
     for (OolDescriptor &ool : msg.ool) {
         charge(kMsgPerOolNs); // zero-copy move: no per-byte cost
-        ool_bytes += ool.data.size();
+        if (!ool.object && !ool.data.empty()) {
+            // Raw payload: wrap the bytes into an object (a move, not
+            // a copy) so the reference rides the ring.
+            ool.object = vm().wrapBytes("mach.ool", std::move(ool.data));
+            ool.data.clear();
+        }
+        ool_bytes += ool.size();
+        vm().noteOolZeroCopy();
         kmsg.ool.push_back(std::move(ool));
     }
 
@@ -831,7 +890,13 @@ MachIpc::msgReceive(IpcSpace &space, mach_port_name_t name,
     if (kr != KERN_SUCCESS)
         return kr;
 
-    charge(kMsgBaseNs + bodyCopyNs(kmsg.body.size()));
+    if (kmsg.bodyObject) {
+        // Promoted body: one descriptor hop plus the receiver's
+        // map-in fault, regardless of size.
+        charge(kMsgBaseNs + kMsgPerOolNs + vm().profile().pageFaultNs);
+    } else {
+        charge(kMsgBaseNs + bodyCopyNs(kmsg.body.size()));
+    }
 
     out = MachMessage{};
     out.header.msgId = kmsg.msgId;
@@ -841,7 +906,13 @@ MachIpc::msgReceive(IpcSpace &space, mach_port_name_t name,
         out.header.remotePort = copyoutRight(space, kmsg.reply);
         out.header.remoteDisposition = kmsg.reply.disposition;
     }
-    out.body = std::move(kmsg.body);
+    if (kmsg.bodyObject) {
+        // The wrapped body is uniquely ours; hand the bytes back.
+        out.body = std::move(kmsg.bodyObject->data);
+        kmsg.bodyObject.reset();
+    } else {
+        out.body = std::move(kmsg.body);
+    }
     for (const KMsgRight &right : kmsg.ports) {
         charge(kMsgPerRightNs);
         PortDescriptor desc;
@@ -851,6 +922,26 @@ MachIpc::msgReceive(IpcSpace &space, mach_port_name_t name,
     }
     for (OolDescriptor &ool : kmsg.ool) {
         charge(kMsgPerOolNs);
+        if (ool.object && opts.mapInto) {
+            // Map the object COW into the receiver's address space:
+            // an entry write now, faults on first write.
+            charge(kMsgOolMapNs);
+            ool.address = opts.mapInto->mapObject(
+                "mach.ool", ool.object, kernel::VM_PROT_RW,
+                /*cow=*/true, /*shared=*/false);
+        } else if (ool.object) {
+            if (ool.object.use_count() == 1 &&
+                !ool.object->sharedRegion) {
+                // Sole reference: the move completes, no byte copy.
+                ool.data = std::move(ool.object->data);
+                ool.object.reset();
+            } else {
+                // Someone else still maps the object (deallocate ==
+                // false, or a shared region): copy the bytes out.
+                charge(bodyCopyNs(ool.object->data.size()));
+                ool.data = ool.object->data;
+            }
+        }
         out.ool.push_back(std::move(ool));
     }
 

@@ -36,6 +36,7 @@
 
 #include "base/bytes.h"
 #include "ducttape/xnu_api.h"
+#include "kernel/vm.h"
 #include "xnu/kern_return.h"
 
 namespace cider::xnu {
@@ -78,11 +79,34 @@ struct PortDescriptor
     MsgDisposition disposition = MsgDisposition::None;
 };
 
-/** Out-of-line memory: moved, not copied. */
+/**
+ * Out-of-line memory: moved, not copied.
+ *
+ * Senders fill either `data` (a raw payload, wrapped into a VmObject
+ * at copyin without copying) or `object` (a region snapshot from
+ * MachIpc::makeOolFromRegion). The reference moves through the KMsg
+ * ring; at copyout the receiver either gets the bytes back in `data`,
+ * or — when RcvOptions::mapInto names a receiver vm_map — a COW
+ * mapping of the object at `address` with `data` left empty.
+ */
 struct OolDescriptor
 {
     Bytes data;
+    kernel::VmObjectPtr object;
     bool deallocate = true; ///< sender's copy is consumed
+    /** Receiver-side: base address of the mapped-in region (only when
+     *  the receive supplied a vm_map). */
+    std::uint64_t address = 0;
+
+    /** Payload size in bytes, whichever form carries it. */
+    std::uint64_t
+    size() const
+    {
+        if (object)
+            return object->data.empty() ? object->sizeBytes()
+                                        : object->data.size();
+        return data.size();
+    }
 };
 
 struct MachMsgHeader
@@ -199,6 +223,10 @@ struct RcvOptions
      *  deadline on expiry). */
     bool hasTimeout = false;
     std::uint64_t timeoutNs = 0;
+    /** When set, OOL objects are mapped COW into this vm_map (the
+     *  receiver task's address space) instead of being copied out as
+     *  bytes; each descriptor reports its mapped base in `address`. */
+    kernel::VmMap *mapInto = nullptr;
 };
 
 /** Options for msgSend. */
@@ -270,6 +298,39 @@ class MachIpc
                          MachMessage &reply);
     /// @}
 
+    /// @{ VM integration (zero-copy OOL, body auto-promotion).
+    /**
+     * Wire the kernel's VM subsystem in (CiderSystem does this at
+     * boot). Standalone instances fall back to a private subsystem
+     * over the Nexus 7 profile, so unit tests need no kernel.
+     */
+    void setVm(kernel::VmSubsystem *vm) { vm_ = vm; }
+    kernel::VmSubsystem &vm() const;
+
+    /**
+     * OOL copyin from a mapped region: snapshot the sender's entry at
+     * @p addr into @p out->object (zero-copy when no pages were
+     * privately broken). @p deallocate true unmaps the sender's
+     * entry; false keeps it, flipped COW (the Mach "copy" form).
+     */
+    kern_return_t makeOolFromRegion(kernel::VmMap &map, std::uint64_t addr,
+                                    bool deallocate, OolDescriptor *out);
+
+    /**
+     * Inline bodies at least this large are auto-promoted to an OOL
+     * VmObject at send (charged per descriptor, not per byte). The
+     * default derives from the profile: promotion wins once two
+     * body copies cost more than two descriptor hops plus the
+     * receiver's map-in fault. 0 disables promotion.
+     */
+    void
+    setOolPromoteThreshold(std::uint64_t bytes)
+    {
+        promoteOverride_ = static_cast<std::int64_t>(bytes);
+    }
+    std::uint64_t oolPromoteThreshold() const;
+    /// @}
+
     MachIpcStats stats() const;
 
     /** Zone accounting (ports live in a zalloc zone, as in XNU). */
@@ -293,6 +354,9 @@ class MachIpc
         std::int32_t msgId = 0;
         KMsgRight reply; ///< from header.localPort
         Bytes body;
+        /** Auto-promoted body: the payload rides as an object
+         *  reference and `body` stays empty. */
+        kernel::VmObjectPtr bodyObject;
         std::vector<KMsgRight> ports;
         std::vector<OolDescriptor> ool;
     };
@@ -325,6 +389,9 @@ class MachIpc
     ducttape::ZoneT *spaceZone_;
     mutable ducttape::LckMtx *statsLock_;
     MachIpcStats stats_;
+    kernel::VmSubsystem *vm_ = nullptr;
+    /** -1 = derive from profile; >= 0 overrides (0 disables). */
+    std::int64_t promoteOverride_ = -1;
 };
 
 } // namespace cider::xnu

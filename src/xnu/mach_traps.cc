@@ -171,6 +171,9 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                 }
                 if ((options & machmsg::RCV) && rcv_msg) {
                     RcvOptions opts;
+                    // OOL regions land as COW mappings in the
+                    // receiving task's address space, not as copies.
+                    opts.mapInto = &c.thread.process().mem();
                     if ((options & machmsg::RCV_TIMEOUT) != 0) {
                         // A real timeout arms a bounded virtual-time
                         // wait; zero (or no argument) keeps the
@@ -223,6 +226,55 @@ buildMachTrapTable(SyscallTable &tbl, MachIpc &ipc, PsynchSubsystem &psynch)
                     static_cast<mach_port_name_t>(c.args.u64(1))));
             },
             &ipc)
+        .returnsKr = true;
+
+    tbl.set(machno::VM_ALLOCATE, "mach_vm_allocate",
+            [](TrapContext &c, void *) {
+                std::uint64_t size = c.args.u64(0);
+                auto *out_addr =
+                    static_cast<std::uint64_t *>(c.args.ptr(1));
+                std::uint64_t pages =
+                    (size + kernel::kVmPageBytes - 1) /
+                    kernel::kVmPageBytes;
+                std::uint64_t addr =
+                    c.thread.process().mem().allocate("vm_allocate",
+                                                      pages);
+                if (addr == 0)
+                    return kr(KERN_RESOURCE_SHORTAGE);
+                if (out_addr)
+                    *out_addr = addr;
+                return kr(KERN_SUCCESS);
+            })
+        .returnsKr = true;
+
+    tbl.set(machno::VM_DEALLOCATE, "mach_vm_deallocate",
+            [](TrapContext &c, void *) {
+                bool ok = c.thread.process().mem().deallocate(
+                    c.args.u64(0));
+                return kr(ok ? KERN_SUCCESS : KERN_INVALID_ADDRESS);
+            })
+        .returnsKr = true;
+
+    tbl.set(machno::VM_WRITE, "mach_vm_write",
+            [](TrapContext &c, void *) {
+                const Bytes *src = c.args.cbytes(1);
+                int rc = c.thread.process().mem().write(c.args.u64(0),
+                                                        *src);
+                if (rc == -2)
+                    return kr(KERN_FAILURE); // injected paging error
+                return kr(rc == 0 ? KERN_SUCCESS
+                                  : KERN_INVALID_ADDRESS);
+            })
+        .returnsKr = true;
+
+    tbl.set(machno::VM_READ, "mach_vm_read",
+            [](TrapContext &c, void *) {
+                Bytes *out = c.args.bytes(2);
+                int rc = c.thread.process().mem().read(
+                    c.args.u64(0), c.args.u64(1), out);
+                return kr(rc == 0 ? KERN_SUCCESS
+                                  : KERN_INVALID_ADDRESS);
+            })
         .returnsKr = true;
 
     tbl.set(machno::SEMAPHORE_WAIT, "semaphore_wait",

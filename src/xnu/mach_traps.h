@@ -26,6 +26,14 @@ class PsynchSubsystem;
 /** Mach trap numbers (real values where XNU defines them). */
 namespace machno {
 
+/** _kernelrpc_mach_vm_allocate_trap / _deallocate_trap (real XNU trap
+ *  numbers). vm_read / vm_write are MIG routines on real XNU; here
+ *  they get trap numbers of their own so foreign user space reaches
+ *  them through the same negative-number class. */
+inline constexpr int VM_ALLOCATE = -10;
+inline constexpr int VM_DEALLOCATE = -12;
+inline constexpr int VM_READ = -23;
+inline constexpr int VM_WRITE = -24;
 inline constexpr int PORT_ALLOCATE = -16;
 inline constexpr int PORT_DESTROY = -17;
 inline constexpr int PORT_DEALLOCATE = -18;
