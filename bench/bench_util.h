@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "bench_json.h"
 #include "core/cider_system.h"
+#include "kernel/percpu.h"
 
 namespace cider::bench {
 
@@ -184,73 +186,6 @@ class ResultTable
     std::map<std::string, double> baselines_;
 };
 
-/**
- * Machine-readable bench output. Each row records a workload's
- * deterministic virtual-time cost *and* its host wall-clock cost, so
- * a hot-path optimisation can prove two things at once: the virtual
- * series is unchanged (bit-identical simulation) and the host-side
- * time actually dropped. Written as `BENCH_<name>.json` in the
- * working directory; CI uploads these as artifacts.
- */
-class BenchJson
-{
-  public:
-    explicit BenchJson(std::string name) : name_(std::move(name)) {}
-
-    void
-    add(const std::string &row, double virtual_ns, double host_ns)
-    {
-        rows_.push_back({row, virtual_ns, host_ns, {}});
-    }
-
-    /** Attach an extra metric to the most recently added row. */
-    void
-    metric(const std::string &key, double value)
-    {
-        if (!rows_.empty())
-            rows_.back().metrics.emplace_back(key, value);
-    }
-
-    bool
-    write() const
-    {
-        std::string path = "BENCH_" + name_ + ".json";
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        if (!f)
-            return false;
-        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
-                     name_.c_str());
-        for (std::size_t i = 0; i < rows_.size(); ++i) {
-            const Row &r = rows_[i];
-            std::fprintf(f,
-                         "    {\"name\": \"%s\", "
-                         "\"virtual_ns\": %.0f, "
-                         "\"host_ns\": %.0f",
-                         r.name.c_str(), r.virtualNs, r.hostNs);
-            for (const auto &[key, value] : r.metrics)
-                std::fprintf(f, ", \"%s\": %g", key.c_str(), value);
-            std::fprintf(f, "}%s\n",
-                         i + 1 < rows_.size() ? "," : "");
-        }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
-        std::printf("wrote %s\n", path.c_str());
-        return true;
-    }
-
-  private:
-    struct Row
-    {
-        std::string name;
-        double virtualNs;
-        double hostNs;
-        std::vector<std::pair<std::string, double>> metrics;
-    };
-
-    std::string name_;
-    std::vector<Row> rows_;
-};
-
 /** True when @p config runs iOS (Mach-O) test binaries. */
 inline bool
 runsIosBinaries(SystemConfig config)
@@ -262,6 +197,14 @@ runsIosBinaries(SystemConfig config)
 /**
  * Install a test program as the right binary format for @p sys and
  * run it, returning the virtual ns consumed by its main thread.
+ *
+ * The run executes as a single ExecutorPool job pinned to simulated
+ * CPU 0, so every figure harness measures through the same executor
+ * path the SMP and fleet subsystems use. With one pinned job on a
+ * single-threaded pool the determinism contract makes the measured
+ * virtual time identical to a direct host-thread run, and the pool's
+ * epoch cross-checks the charge: a job whose epoch disagrees with
+ * its own return value would corrupt every figure at once.
  */
 inline std::uint64_t
 installAndRun(CiderSystem &sys, const std::string &name,
@@ -278,7 +221,21 @@ installAndRun(CiderSystem &sys, const std::string &name,
                                    std::move(fn));
     else
         sys.installElfExecutable(path, clean + ".main", std::move(fn));
-    return sys.runProgramTimed(path, {clean}, exit_code);
+
+    kernel::ExecutorPool pool(sys.kernel().percpu(), 1);
+    std::uint64_t ns = 0;
+    pool.submitOn(
+        0,
+        [&sys, &path, &clean, &ns, exit_code] {
+            ns = sys.runProgramTimed(path, {clean}, exit_code);
+            return ns;
+        },
+        "figbench");
+    kernel::SmpEpoch epoch = pool.runAll();
+    if (epoch.jobs != 1 || epoch.mergedNs != ns)
+        warn("bench: pool epoch ", epoch.mergedNs,
+             " ns disagrees with run ", ns, " ns");
+    return ns;
 }
 
 /**

@@ -18,14 +18,24 @@
  *
  * Exit code 0 on success, 1 on any violated assertion. A per-seed
  * fault report (trips per site, exit codes observed) is written to
- * BENCH_chaos_faults.txt for CI artifact upload.
+ * BENCH_chaos_faults.txt for CI artifact upload, and machine-readable
+ * results (one row per phase/seed) to BENCH_chaos.json in the shared
+ * BenchJson schema.
  *
- * Usage: chaos_soak [seed ...]   (default seeds: 101 202 303)
+ * Usage: chaos_soak [seed ...] [--seed=N] [--duration=RUNS]
+ *                   [--storm=0|1]
+ * Env (CLI wins): CIDER_CHAOS_SEEDS (comma-separated),
+ *                 CIDER_CHAOS_DURATION, CIDER_CHAOS_STORM.
+ * Default seeds: 101 202 303; default duration: 6 workload runs per
+ * storm; --storm=0 skips the storm phase (determinism only).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
@@ -35,6 +45,7 @@
 #include "android/dexjit.h"
 #include "base/cost_clock.h"
 #include "base/logging.h"
+#include "bench_json.h"
 #include "binfmt/dex.h"
 #include "core/app_package.h"
 #include "core/cider_system.h"
@@ -359,10 +370,12 @@ virtualSeries()
     return series;
 }
 
-/** One seeded storm; returns a human-readable report section. */
+/** One seeded storm; returns a human-readable report section and
+ *  appends a row to @p json. @p duration is the workload run count. */
 std::string
-stormRun(std::uint64_t seed)
+stormRun(std::uint64_t seed, int duration, BenchJson &json)
 {
+    auto hostStart = std::chrono::steady_clock::now();
     Soak soak;
     soak.sys.kernel().setOomKillEnabled(true);
     // Timeout storms should expire in host milliseconds, not the
@@ -386,14 +399,17 @@ stormRun(std::uint64_t seed)
     rail.armEveryK("dexjit.translate", 3);
 
     std::map<int, int> exitCodes;
-    for (int run = 0; run < 6; ++run) {
-        int rc = soak.sys.runProgram("/data/chaos_workload");
+    std::uint64_t virtualNs = 0;
+    for (int run = 0; run < duration; ++run) {
+        int rc = -1;
+        virtualNs +=
+            soak.sys.runProgramTimed("/data/chaos_workload", {}, &rc);
         ++exitCodes[rc];
     }
     // Install + run the .ipa under fire too: a corrupt-path or
     // shortage fault must reject the package or fail the exec, not
     // wedge the installer.
-    for (int run = 0; run < 3; ++run) {
+    for (int run = 0; run < std::max(1, duration / 2); ++run) {
         std::string app = soak.sys.installIpa(soak.buildAppIpa());
         int rc = app.empty() ? -2 : soak.sys.runProgram(app);
         ++exitCodes[rc];
@@ -436,7 +452,40 @@ stormRun(std::uint64_t seed)
     // The kernel-side books survived the storm.
     check(soak.sys.trapStats().totalCalls() > 0, "trap stats wedged");
     rail.resetCounters();
+
+    auto hostNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - hostStart)
+            .count());
+    json.add("storm_" + std::to_string(seed), virtualNs, hostNs);
+    json.metric("trips", static_cast<double>(trips));
+    json.metric("workload_runs", duration);
     return report;
+}
+
+/** Env override: integer, falling back to @p fallback. */
+long
+envLong(const char *name, long fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::strtol(v, nullptr, 10) : fallback;
+}
+
+/** Env override: comma-separated seed list appended to @p seeds. */
+void
+envSeeds(const char *name, std::vector<std::uint64_t> &seeds)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return;
+    for (const char *p = v; *p;) {
+        char *end = nullptr;
+        std::uint64_t s = std::strtoull(p, &end, 10);
+        if (end == p)
+            break;
+        seeds.push_back(s);
+        p = *end == ',' ? end + 1 : end;
+    }
 }
 
 int
@@ -444,25 +493,63 @@ soakMain(int argc, char **argv)
 {
     setLogQuiet(true); // fault storms are loud by design
 
+    // Env first, then CLI on top (CLI wins). Positional args stay
+    // seeds for back-compat with `chaos_soak 101 202 303`.
     std::vector<std::uint64_t> seeds;
-    for (int i = 1; i < argc; ++i)
-        seeds.push_back(std::strtoull(argv[i], nullptr, 10));
+    envSeeds("CIDER_CHAOS_SEEDS", seeds);
+    int duration =
+        static_cast<int>(envLong("CIDER_CHAOS_DURATION", 6));
+    bool storm = envLong("CIDER_CHAOS_STORM", 1) != 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--seed=", 7) == 0)
+            seeds.push_back(std::strtoull(arg + 7, nullptr, 10));
+        else if (std::strncmp(arg, "--duration=", 11) == 0)
+            duration = std::atoi(arg + 11);
+        else if (std::strncmp(arg, "--storm=", 8) == 0)
+            storm = std::atoi(arg + 8) != 0;
+        else if (std::strncmp(arg, "--", 2) == 0) {
+            std::fprintf(stderr, "chaos_soak: unknown flag %s\n", arg);
+            return 2;
+        } else
+            seeds.push_back(std::strtoull(arg, nullptr, 10));
+    }
     if (seeds.empty())
         seeds = {101, 202, 303};
+    if (duration < 1)
+        duration = 1;
+
+    BenchJson json("chaos");
 
     // Phase 1: registered-but-disarmed sites leave virtual time
     // bit-identical across two full boots.
+    auto detStart = std::chrono::steady_clock::now();
     std::vector<std::uint64_t> a = virtualSeries();
     std::vector<std::uint64_t> b = virtualSeries();
     check(a == b, "disarmed fault sites perturbed the virtual-time "
                   "series");
     check(!a.empty() && a[0] > 0, "workload consumed no virtual time");
+    std::uint64_t detVirtual = 0;
+    for (std::uint64_t ns : a)
+        detVirtual += ns;
+    json.add("determinism", static_cast<double>(detVirtual),
+             static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - detStart)
+                     .count()));
+    json.metric("identical", a == b ? 1 : 0);
 
-    // Phase 2: seeded storms.
+    // Phase 2: seeded storms (skipped with --storm=0, which leaves
+    // only the determinism gate — useful under slow sanitizers).
     std::string report = "chaos_soak fault report\n";
-    for (std::uint64_t seed : seeds)
-        report += stormRun(seed);
+    if (storm)
+        for (std::uint64_t seed : seeds)
+            report += stormRun(seed, duration, json);
+    else
+        report += "  storm phase skipped (--storm=0)\n";
     report += g_failures == 0 ? "RESULT: PASS\n" : "RESULT: FAIL\n";
+
+    json.write();
 
     std::ofstream out("BENCH_chaos_faults.txt");
     out << report;

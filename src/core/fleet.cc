@@ -1,0 +1,1538 @@
+/**
+ * @file
+ * FleetSoak implementation. See fleet.h for the mode overview and
+ * DESIGN.md §14 for the architecture notes.
+ */
+
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "android/dalvik.h"
+#include "android/dexjit.h"
+#include "android/egl.h"
+#include "base/cost_clock.h"
+#include "base/rng.h"
+#include "binfmt/dex.h"
+#include "ducttape/xnu_api.h"
+#include "ios/eagl.h"
+#include "kernel/fault_rail.h"
+#include "kernel/file.h"
+#include "kernel/sched_rail.h"
+#include "persona/persona.h"
+#include "xnu/kern_return.h"
+#include "xnu/mach_traps.h"
+
+namespace cider::core {
+namespace {
+
+using kernel::FaultRail;
+using kernel::Persona;
+using kernel::Process;
+using kernel::ProcessExit;
+using kernel::SyscallResult;
+using kernel::Thread;
+using kernel::ThreadScope;
+using kernel::TrapClass;
+using kernel::makeArgs;
+
+/** The storm catalog (same sites the chaos soak arms). */
+const char *const kFleetSites[] = {
+    "zone.alloc",      "kalloc.alloc",     "vfs.lookup",
+    "vfs.create",      "mach.port.alloc",  "mach.name.alloc",
+    "mach.right.copyout", "mach.msg.send", "mach.msg.receive",
+    "binfmt.elf",      "binfmt.macho",     "psynch.wait",
+    "signal.deliver",  "dexjit.translate", "vm.allocate",
+    "vm.fault",
+};
+
+const char *const kIosAppPath = "/data/fleet_app_ios";
+const char *const kAndroidAppPath = "/data/fleet_app_android";
+
+/** The app body is empty: all the interesting work — dyld bootstrap,
+ *  dylib mapping, persona tagging — happens inside the loader-wrapped
+ *  entry, and the session engine drives the workload in steps. */
+int
+fleetAppMain(binfmt::UserEnv &)
+{
+    return 0;
+}
+
+/** Idempotent: both executables installed once per system. */
+void
+ensureInstalled(CiderSystem &sys)
+{
+    if (!sys.programs().find("fleet.app.ios"))
+        sys.installMachOExecutable(kIosAppPath, "fleet.app.ios",
+                                   fleetAppMain);
+    if (!sys.programs().find("fleet.app.android"))
+        sys.installElfExecutable(kAndroidAppPath, "fleet.app.android",
+                                 fleetAppMain);
+}
+
+/** Sum 1..n loop, same shape the chaos soak JITs. sum(100) == 5050. */
+void
+buildSumDex(binfmt::DexFile &file)
+{
+    binfmt::DexAssembler as(file, "sum", 2);
+    as.constI(0).store(1);
+    std::int64_t top = as.here();
+    as.load(0);
+    std::size_t done = as.jz();
+    as.load(1).load(0).op(binfmt::DexOp::Add).store(1);
+    as.load(0).constI(1).op(binfmt::DexOp::Sub).store(0);
+    as.op(binfmt::DexOp::Jmp, top);
+    as.patch(done, as.here());
+    as.load(1).ret();
+    as.finish();
+}
+
+/** Transient vs permanent classification (the retry policy's heart). */
+bool
+transientErrno(int err)
+{
+    return err == kernel::lnx::NOMEM || err == kernel::lnx::AGAIN;
+}
+
+bool
+transientKr(std::int64_t kr)
+{
+    return kr == xnu::KERN_RESOURCE_SHORTAGE || kr == xnu::KERN_NO_SPACE ||
+           kr == xnu::KERN_OPERATION_TIMED_OUT ||
+           kr == xnu::MACH_SEND_TIMED_OUT || kr == xnu::MACH_RCV_TIMED_OUT ||
+           kr == xnu::MACH_SEND_NO_BUFFER;
+}
+
+/// @{ The /proc/cider/fleet hub. Leaky function-local singletons: the
+/// node may be read during static destruction of a test binary, after
+/// any non-leaky global would already be gone.
+std::mutex &
+hubMu()
+{
+    static std::mutex *mu = new std::mutex;
+    return *mu;
+}
+
+std::string &
+hubText()
+{
+    static std::string *text = new std::string;
+    return *text;
+}
+/// @}
+
+/**
+ * RAII diplomatic persona switch: Mach traps only dispatch from the
+ * iOS persona, so Android sessions (and the rail guests) hop personas
+ * around their Mach segments exactly the way diplomatic functions do —
+ * which also makes the fleet hammer set_persona concurrently on pool
+ * workers. Restores on unwind (storm kills land mid-segment).
+ */
+class PersonaGuard
+{
+  public:
+    /** No-op when @p pm is null (a vanilla kernel has no personas). */
+    PersonaGuard(persona::PersonaManager *pm, Thread &t, Persona want)
+        : pm_(pm), t_(t), prev_(t.persona()),
+          switched_(pm != nullptr && prev_ != want)
+    {
+        if (switched_)
+            pm_->setPersona(t_, want);
+    }
+
+    ~PersonaGuard()
+    {
+        if (switched_)
+            pm_->setPersona(t_, prev_);
+    }
+
+    PersonaGuard(const PersonaGuard &) = delete;
+    PersonaGuard &operator=(const PersonaGuard &) = delete;
+
+  private:
+    persona::PersonaManager *pm_;
+    Thread &t_;
+    Persona prev_;
+    bool switched_;
+};
+
+class FleetDevice : public kernel::Device
+{
+  public:
+    FleetDevice() : Device("fleet", "proc") {}
+
+    SyscallResult
+    read(Thread &, Bytes &out, std::size_t n) override
+    {
+        std::string text;
+        {
+            std::lock_guard<std::mutex> lock(hubMu());
+            text = hubText();
+        }
+        if (text.empty())
+            text = "fleet: no soak has published yet\n";
+        std::size_t len = std::min(n, text.size());
+        out.assign(text.begin(), text.begin() + static_cast<long>(len));
+        return SyscallResult::success(static_cast<std::int64_t>(len));
+    }
+};
+
+std::string
+buildReportText(const FleetReport &r, const char *mode)
+{
+    char line[256];
+    std::string text = std::string("FleetSoak report (") + mode + ")\n";
+    std::snprintf(line, sizeof line,
+                  "sessions: started %zu completed %zu killed %zu "
+                  "failed %zu peak-live %zu\n",
+                  r.sessionsStarted, r.sessionsCompleted, r.sessionsKilled,
+                  r.sessionsFailed, r.peakLive);
+    text += line;
+    std::snprintf(line, sizeof line,
+                  "time: %" PRIu64 " waves, %.1f ms virtual, %.1f ms host, "
+                  "%" PRIu64 " steals\n",
+                  r.waves, static_cast<double>(r.virtualDurationNs) / 1e6,
+                  r.hostMs, r.steals);
+    text += line;
+    std::snprintf(line, sizeof line,
+                  "robustness: deferred %" PRIu64 " retried %" PRIu64
+                  " exhausted %" PRIu64 " permanent %" PRIu64
+                  " wd-warn %zu wd-kill %zu chld %" PRIu64 " trips %" PRIu64
+                  "\n",
+                  r.admissionDeferred, r.retriesTransient, r.retriesExhausted,
+                  r.permanentErrors, r.watchdogWarnings, r.watchdogKills,
+                  r.chldReceived, r.faultTrips);
+    text += line;
+    for (const auto &[name, st] : r.subsystems) {
+        std::snprintf(line, sizeof line,
+                      "  %-8s ops %8" PRIu64 "  p50 %10" PRIu64
+                      "ns  p99 %10" PRIu64 "ns  %10.1f ops/vsec\n",
+                      name.c_str(), st.ops, st.p50(), st.p99(),
+                      r.opsPerVirtualSec(name));
+        text += line;
+    }
+    if (!r.railSeries.empty()) {
+        std::snprintf(line, sizeof line,
+                      "rail: %s, %zu guests\n",
+                      r.railDeadlocked   ? "DEADLOCKED"
+                      : r.railCompleted  ? "completed"
+                                         : "aborted",
+                      r.railSeries.size());
+        text += line;
+    }
+    text += std::string("leak audit: ") +
+            (r.auditClean ? "CLEAN" : ("DIRTY " + r.auditDetail)) + "\n";
+    std::size_t shown = 0;
+    for (const std::string &trace : r.failureTraces) {
+        if (++shown > 16) {
+            text += "  ... (more traces elided)\n";
+            break;
+        }
+        text += "  trace: " + trace + "\n";
+    }
+    return text;
+}
+
+/**
+ * The soak engine: owns the session table and the wave loop. One
+ * engine instance per run; FleetSoak is the thin durable facade.
+ */
+class Engine
+{
+  public:
+    Engine(CiderSystem &sys, const FleetOptions &opts)
+        : sys_(sys), opts_(opts), k_(sys.kernel())
+    {}
+
+    FleetReport runScale();
+    FleetReport runRailed(std::uint64_t seed, std::size_t n);
+
+  private:
+    enum class Phase
+    {
+        Launching,
+        Foreground,
+        Background,
+        Done,
+    };
+
+    struct Session
+    {
+        std::size_t id = 0;
+        unsigned vcpu = 0;
+        Persona persona = Persona::Android;
+        Process *proc = nullptr;
+        Rng rng{1};
+        Phase phase = Phase::Launching;
+        int round = 0;
+        int launchAttempts = 0;
+        xnu::mach_port_name_t selfPort = xnu::MACH_PORT_NULL;
+        xnu::mach_port_name_t peerSend = xnu::MACH_PORT_NULL;
+        kernel::Pid peerPid = -1;
+        bool wired = false;
+        std::string dir;
+        std::unique_ptr<binfmt::DexFile> dex;
+        std::unique_ptr<android::TranslationCache> jitCache;
+        std::unique_ptr<android::DalvikVm> dalvik;
+        std::atomic<std::uint64_t> pokesSeen{0};
+        int warns = 0;
+        /** Virtual ns the last step consumed (watchdog input). Written
+         *  by the step job, read post-wave — never concurrently. */
+        std::uint64_t lastStepNs = 0;
+        std::map<std::string, SubsystemStats> stats;
+    };
+
+    /// @{ Session state machine (run on pool workers).
+    std::uint64_t step(Session &s);
+    void doLaunch(Session &s, Thread &t);
+    void postLaunch(Session &s, Thread &t);
+    void doRound(Session &s, Thread &t);
+    void doIdle(Session &s, Thread &t);
+    void glBurst(Session &s, Thread &t);
+    void dropGlLayers(binfmt::UserEnv &env);
+    /// @}
+
+    /// @{ Driver-side passes (between waves; no jobs in flight).
+    void admit(kernel::ExecutorPool &pool, std::size_t id);
+    void wirePeers();
+    void watchdog(Thread &initT);
+    void killStorm(Thread &initT, Rng &rng);
+    std::size_t reapPass(Thread &initT, std::size_t *live);
+    void cleanupSessionDir(Thread &t, const std::string &dir);
+    /// @}
+
+    void warmupSession(Persona persona);
+    void wireSelf(Session &s);
+    void armStorm(std::uint64_t seed_base);
+    void disarmStorm();
+    void foldCounters();
+    void mergeStats(Session &s);
+    void railRound(Thread &t, std::size_t idx, int round,
+                   xnu::mach_port_name_t port, const binfmt::DexFile &dex,
+                   android::DalvikVm &vm);
+
+    /**
+     * Mach trap with bounded retry on transient kern_return codes
+     * (and transient errno). @p build re-creates the argument pack per
+     * attempt — msgSend consumes its message, so arguments must be
+     * rebuilt, not reused. Backoff is charged virtual time.
+     */
+    SyscallResult
+    machRetry(Thread &t, int nr,
+              const std::function<kernel::SyscallArgs()> &build)
+    {
+        SyscallResult r;
+        for (int attempt = 0;; ++attempt) {
+            r = k_.trap(t, TrapClass::XnuMach, nr, build());
+            bool transient = !r.ok() ? transientErrno(r.err)
+                                     : (r.value != xnu::KERN_SUCCESS &&
+                                        transientKr(r.value));
+            if (!transient) {
+                // A send landing on a dead port is the normal fate of
+                // fan-out racing a peer's exit, not an error.
+                bool tolerated =
+                    r.ok() && r.value == xnu::MACH_SEND_INVALID_DEST;
+                if ((!r.ok() || r.value != xnu::KERN_SUCCESS) && !tolerated)
+                    permanentErrors_.fetch_add(1, std::memory_order_relaxed);
+                return r;
+            }
+            if (attempt >= opts_.retryLimit) {
+                retriesExhausted_.fetch_add(1, std::memory_order_relaxed);
+                return r;
+            }
+            retriesTransient_.fetch_add(1, std::memory_order_relaxed);
+            charge(opts_.retryBackoffNs << attempt);
+        }
+    }
+
+    void
+    sample(Session &s, const char *name, std::uint64_t ns)
+    {
+        SubsystemStats &st = s.stats[name];
+        st.samples.push_back(ns);
+        ++st.ops;
+        st.virtualNs += ns;
+    }
+
+    CiderSystem &sys_;
+    FleetOptions opts_;
+    kernel::Kernel &k_;
+    FleetReport report_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+    Process *init_ = nullptr;
+    /** Most recently wired session — the fan-out peer of the next one.
+     *  Only touched between waves. */
+    Session *lastLaunched_ = nullptr;
+    std::atomic<std::uint64_t> retriesTransient_{0};
+    std::atomic<std::uint64_t> retriesExhausted_{0};
+    std::atomic<std::uint64_t> permanentErrors_{0};
+    std::atomic<std::uint64_t> chld_{0};
+    std::atomic<std::uint64_t> dexWrong_{0};
+};
+
+std::uint64_t
+Engine::step(Session &s)
+{
+    if (!s.proc || s.proc->state() != Process::State::Running ||
+        s.phase == Phase::Done)
+        return 0;
+    Thread &t = s.proc->mainThread();
+    ThreadScope scope(t);
+    std::uint64_t start = t.clock().now();
+    try {
+        switch (s.phase) {
+        case Phase::Launching:
+            doLaunch(s, t);
+            break;
+        case Phase::Foreground:
+            doRound(s, t);
+            break;
+        case Phase::Background:
+            doIdle(s, t);
+            break;
+        case Phase::Done:
+            break;
+        }
+    } catch (const ProcessExit &) {
+        // Clean unwind of sysExit / the OOM killer / a storm-delivered
+        // fatal signal; the reap pass classifies by exit code.
+    }
+    std::uint64_t consumed = t.clock().now() - start;
+    s.lastStepNs = consumed;
+    return consumed;
+}
+
+void
+Engine::doLaunch(Session &s, Thread &t)
+{
+    std::uint64_t start = t.clock().now();
+    const char *path =
+        s.persona == Persona::Ios ? kIosAppPath : kAndroidAppPath;
+    SyscallResult r;
+    for (;;) {
+        r = k_.execLoad(t, path, {path});
+        if (r.ok())
+            break;
+        if (!transientErrno(r.err) || s.launchAttempts >= opts_.retryLimit)
+            break;
+        ++s.launchAttempts;
+        retriesTransient_.fetch_add(1, std::memory_order_relaxed);
+        charge(opts_.retryBackoffNs
+               << static_cast<unsigned>(s.launchAttempts));
+    }
+    if (!r.ok()) {
+        int code;
+        if (transientErrno(r.err)) {
+            retriesExhausted_.fetch_add(1, std::memory_order_relaxed);
+            code = 126;
+        } else {
+            permanentErrors_.fetch_add(1, std::memory_order_relaxed);
+            code = 127;
+        }
+        k_.sysExit(t, code); // throws ProcessExit
+    }
+    // The loader wrapped dyld/linker bootstrap into the entry; the app
+    // body returns 0 and the process stays Running, fully booted.
+    if (s.proc->image().entry)
+        s.proc->image().entry(t);
+    postLaunch(s, t);
+    s.phase = Phase::Foreground;
+    sample(s, "launch", t.clock().now() - start);
+}
+
+void
+Engine::postLaunch(Session &s, Thread &t)
+{
+    s.dir = "/data/fleet_s" + std::to_string(s.proc->pid());
+
+    // Peer pokes land here; the handler only bumps an atomic, so a
+    // queued delivery draining at any later trap boundary is safe.
+    kernel::SignalAction act;
+    act.kind = kernel::SignalAction::Kind::Handler;
+    std::atomic<std::uint64_t> *pokes = &s.pokesSeen;
+    act.fn = [pokes](int, const kernel::SigInfo &) {
+        pokes->fetch_add(1, std::memory_order_relaxed);
+    };
+    k_.sysSigaction(t, kernel::lsig::USR1, act);
+
+    // The session mailbox: the next-launched session gets a send right
+    // to it (wirePeers), forming a cross-persona fan-out chain.
+    PersonaGuard diplomat(sys_.personaManager(), t, Persona::Ios);
+    xnu::mach_port_name_t port = xnu::MACH_PORT_NULL;
+    SyscallResult r = machRetry(t, xnu::machno::PORT_ALLOCATE, [&port] {
+        return makeArgs(
+            static_cast<std::uint64_t>(xnu::PortRight::Receive),
+            static_cast<void *>(&port));
+    });
+    if (r.ok() && r.value == xnu::KERN_SUCCESS)
+        s.selfPort = port;
+
+    // Private Dalvik/JIT state: per-session translation cache so hot
+    // sessions JIT independently.
+    s.dex = std::make_unique<binfmt::DexFile>();
+    buildSumDex(*s.dex);
+    s.jitCache = std::make_unique<android::TranslationCache>();
+    s.dalvik = std::make_unique<android::DalvikVm>(sys_.profile());
+    s.dalvik->setTranslationCache(s.jitCache.get());
+    s.dalvik->setJitEnabled(true);
+    s.dalvik->setJitWarmup(0);
+}
+
+void
+Engine::doRound(Session &s, Thread &t)
+{
+    // --- VFS churn in a private single-level directory.
+    std::uint64_t t0 = t.clock().now();
+    k_.sysMkdir(t, s.dir);
+    int files = static_cast<int>(2 + s.rng.below(3));
+    for (int i = 0; i < files; ++i) {
+        std::string path = s.dir + "/f" + std::to_string(i);
+        SyscallResult fd = k_.sysOpen(
+            t, path, kernel::oflag::WRONLY | kernel::oflag::CREAT);
+        if (fd.ok()) {
+            k_.sysWrite(t, static_cast<kernel::Fd>(fd.value),
+                        Bytes{1, 2, 3, 4, 5, 6, 7, 8});
+            k_.sysClose(t, static_cast<kernel::Fd>(fd.value));
+        }
+        SyscallResult rd = k_.sysOpen(t, path, kernel::oflag::RDONLY);
+        if (rd.ok()) {
+            Bytes buf;
+            k_.sysRead(t, static_cast<kernel::Fd>(rd.value), buf, 8);
+            k_.sysClose(t, static_cast<kernel::Fd>(rd.value));
+        }
+        k_.sysUnlink(t, path);
+    }
+    k_.sysRmdir(t, s.dir);
+    sample(s, "vfs", t.clock().now() - t0);
+
+    // --- Mach segments (IPC, VM, psynch) form a diplomatic block:
+    // Android sessions hop to the iOS persona for their duration (Mach
+    // traps only dispatch there), so the fleet hammers set_persona
+    // concurrently from every pool worker.
+    {
+        PersonaGuard diplomat(sys_.personaManager(), t, Persona::Ios);
+
+        // Mach IPC fan-out: poke the peer's mailbox, drain our own.
+        t0 = t.clock().now();
+        if (s.peerSend != xnu::MACH_PORT_NULL) {
+            xnu::MachMessage msg;
+            auto build = [&msg, &s] {
+                msg = xnu::MachMessage{};
+                msg.header.remotePort = s.peerSend;
+                msg.header.remoteDisposition =
+                    xnu::MsgDisposition::CopySend;
+                msg.header.msgId = 7000 + s.round;
+                xnu::OolDescriptor ool;
+                ool.data = Bytes(static_cast<std::size_t>(256),
+                                 static_cast<std::uint8_t>(s.round));
+                msg.ool.push_back(std::move(ool));
+                return makeArgs(static_cast<void *>(&msg),
+                                xnu::machmsg::SEND, std::uint64_t{0},
+                                static_cast<void *>(nullptr));
+            };
+            SyscallResult sr = machRetry(t, xnu::machno::MACH_MSG, build);
+            if (sr.ok() && sr.value == xnu::MACH_SEND_INVALID_DEST) {
+                // The peer exited; drop the dead right and go quiet.
+                k_.trap(t, TrapClass::XnuMach,
+                        xnu::machno::PORT_DEALLOCATE,
+                        makeArgs(static_cast<std::uint64_t>(s.peerSend)));
+                s.peerSend = xnu::MACH_PORT_NULL;
+                s.peerPid = -1;
+            }
+        }
+        if (s.selfPort != xnu::MACH_PORT_NULL) {
+            for (int i = 0; i < 4; ++i) {
+                xnu::MachMessage rcv;
+                // Zero timeout = poll: an empty mailbox never blocks.
+                SyscallResult r = k_.trap(
+                    t, TrapClass::XnuMach, xnu::machno::MACH_MSG,
+                    makeArgs(static_cast<void *>(nullptr),
+                             xnu::machmsg::RCV | xnu::machmsg::RCV_TIMEOUT,
+                             static_cast<std::uint64_t>(s.selfPort),
+                             static_cast<void *>(&rcv), std::uint64_t{0}));
+                if (!r.ok() || r.value != xnu::KERN_SUCCESS)
+                    break;
+                if (!rcv.ool.empty() && rcv.ool[0].address != 0) {
+                    Bytes poke{7, 7};
+                    k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_WRITE,
+                            makeArgs(rcv.ool[0].address,
+                                     static_cast<const Bytes *>(&poke)));
+                    k_.trap(t, TrapClass::XnuMach,
+                            xnu::machno::VM_DEALLOCATE,
+                            makeArgs(rcv.ool[0].address));
+                }
+            }
+        }
+        sample(s, "ipc", t.clock().now() - t0);
+
+        // VM traps.
+        t0 = t.clock().now();
+        std::uint64_t vmaddr = 0;
+        SyscallResult va =
+            machRetry(t, xnu::machno::VM_ALLOCATE, [&vmaddr] {
+                vmaddr = 0;
+                return makeArgs(std::uint64_t{16384},
+                                static_cast<void *>(&vmaddr));
+            });
+        if (va.ok() && va.value == xnu::KERN_SUCCESS && vmaddr != 0) {
+            Bytes pattern{1, 2, 3, 4};
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_WRITE,
+                    makeArgs(vmaddr, static_cast<const Bytes *>(&pattern)));
+            Bytes back;
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_READ,
+                    makeArgs(vmaddr, std::uint64_t{4},
+                             static_cast<Bytes *>(&back)));
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_DEALLOCATE,
+                    makeArgs(vmaddr));
+        }
+        sample(s, "vm", t.clock().now() - t0);
+
+        // psynch: a pid-namespaced semaphore (sessions must not alias
+        // each other's waitq channels under SMP).
+        if (s.rng.chance(0.7)) {
+            t0 = t.clock().now();
+            std::uint64_t sem =
+                (static_cast<std::uint64_t>(s.proc->pid()) << 20) |
+                static_cast<std::uint64_t>(s.round);
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::SEMAPHORE_SIGNAL,
+                    makeArgs(sem));
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::SEMAPHORE_WAIT,
+                    makeArgs(sem, std::uint64_t{25'000}));
+            sample(s, "psynch", t.clock().now() - t0);
+        }
+    }
+
+    // --- Signal fan-out: poke the peer (SRCH once it exits is fine).
+    if (s.peerPid > 0 && s.rng.chance(0.5)) {
+        t0 = t.clock().now();
+        k_.sysKill(t, s.peerPid, kernel::lsig::USR1);
+        sample(s, "signal", t.clock().now() - t0);
+    }
+
+    // --- Dex/JIT: every other round per session.
+    if ((s.round + static_cast<int>(s.id)) % 2 == 0 && s.dalvik) {
+        t0 = t.clock().now();
+        android::DexVal r =
+            s.dalvik->run(*s.dex, "sum", {std::int64_t{100}});
+        if (android::dexI(r) != 5050)
+            dexWrong_.fetch_add(1, std::memory_order_relaxed);
+        sample(s, "dex", t.clock().now() - t0);
+    }
+
+    // --- Diplomatic GL burst: every fourth round per session.
+    if ((s.round + static_cast<int>(s.id)) % 4 == 0) {
+        t0 = t.clock().now();
+        glBurst(s, t);
+        sample(s, "gl", t.clock().now() - t0);
+    }
+
+    ++s.round;
+    if (s.round >= opts_.rounds)
+        k_.sysExit(t, 0); // throws ProcessExit
+    if (s.rng.chance(0.15))
+        s.phase = Phase::Background;
+}
+
+void
+Engine::doIdle(Session &s, Thread &t)
+{
+    charge(25'000); // parked in the background
+    if (s.selfPort != xnu::MACH_PORT_NULL) {
+        PersonaGuard diplomat(sys_.personaManager(), t, Persona::Ios);
+        xnu::MachMessage rcv;
+        SyscallResult r = k_.trap(
+            t, TrapClass::XnuMach, xnu::machno::MACH_MSG,
+            makeArgs(static_cast<void *>(nullptr),
+                     xnu::machmsg::RCV | xnu::machmsg::RCV_TIMEOUT,
+                     static_cast<std::uint64_t>(s.selfPort),
+                     static_cast<void *>(&rcv), std::uint64_t{0}));
+        if (r.ok() && r.value == xnu::KERN_SUCCESS && !rcv.ool.empty() &&
+            rcv.ool[0].address != 0)
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_DEALLOCATE,
+                    makeArgs(rcv.ool[0].address));
+    }
+    ++s.round;
+    if (s.round >= opts_.rounds)
+        k_.sysExit(t, 0);
+    if (s.rng.chance(0.5))
+        s.phase = Phase::Foreground;
+}
+
+void
+Engine::dropGlLayers(binfmt::UserEnv &env)
+{
+    // EAGL has no destroy export (apps just drop the ObjC context), so
+    // sessions must sweep their SurfaceFlinger layers explicitly or
+    // thousands of dead layers would pile into every composeFrame.
+    android::EglState &st = android::eglState(env);
+    for (auto &[id, surf] : st.surfaces)
+        sys_.surfaceFlinger().removeLayer(surf.layerId);
+    st.surfaces.clear();
+}
+
+void
+Engine::glBurst(Session &s, Thread &t)
+{
+    binfmt::UserEnv env{k_, t, {}};
+    auto call = [&env](const binfmt::LibraryImage *lib, const char *name,
+                       std::vector<binfmt::Value> args) -> binfmt::Value {
+        if (!lib)
+            return {};
+        const binfmt::Symbol *sym = lib->exports.find(name);
+        if (!sym)
+            return {};
+        return sym->fn(env, args);
+    };
+    try {
+        if (s.persona == Persona::Ios) {
+            const binfmt::LibraryImage *eagl =
+                sys_.iosLibraries().find("EAGL.dylib");
+            const binfmt::LibraryImage *gles =
+                sys_.iosLibraries().find("OpenGLES.dylib");
+            if (!eagl || !gles)
+                return;
+            binfmt::Value ctx =
+                call(eagl, ios::kEaglCreateContext,
+                     {std::int64_t{64}, std::int64_t{64}});
+            call(eagl, ios::kEaglSetCurrent, {ctx});
+            for (int i = 0; i < 3; ++i)
+                call(gles, "glUniform1f", {std::int64_t{1}, 0.25});
+            call(gles, "glDrawArrays",
+                 {std::int64_t{4}, std::int64_t{0}, std::int64_t{24}});
+            call(eagl, ios::kEaglPresent, {ctx});
+        } else {
+            const binfmt::LibraryImage *egl =
+                sys_.androidLibraries().find("libEGL.so");
+            const binfmt::LibraryImage *gles =
+                sys_.androidLibraries().find("libGLESv2.so");
+            if (!egl || !gles)
+                return;
+            call(egl, "eglInitialize", {});
+            binfmt::Value surf =
+                call(egl, "eglCreateWindowSurface",
+                     {std::int64_t{64}, std::int64_t{64}});
+            call(egl, "eglMakeCurrent", {surf});
+            call(gles, "glClearColor", {0.1, 0.2, 0.3, 1.0});
+            call(gles, "glClear", {std::int64_t{0x4000}});
+            call(gles, "glDrawArrays",
+                 {std::int64_t{4}, std::int64_t{0}, std::int64_t{24}});
+            call(egl, "eglSwapBuffers", {surf});
+            call(egl, "eglDestroySurface", {surf});
+        }
+    } catch (const ProcessExit &) {
+        dropGlLayers(env); // OOM-killed mid-burst still sweeps layers
+        throw;
+    }
+    dropGlLayers(env);
+}
+
+void
+Engine::admit(kernel::ExecutorPool &pool, std::size_t id)
+{
+    auto up = std::make_unique<Session>();
+    Session &s = *up;
+    s.id = id;
+    s.vcpu = static_cast<unsigned>(id % k_.percpu().count());
+    s.persona = (id % 2 == 0) ? Persona::Ios : Persona::Android;
+    s.rng = Rng((opts_.seed << 16) ^ (id * 0x9e3779b97f4a7c15ULL + 1));
+    s.proc = &k_.createProcess("fleet.s" + std::to_string(id), s.persona,
+                               init_);
+    ++report_.sessionsStarted;
+    Session *raw = &s;
+    pool.submitOn(s.vcpu, [this, raw] { return step(*raw); },
+                  "fleet.launch");
+    sessions_.push_back(std::move(up));
+}
+
+void
+Engine::wirePeers()
+{
+    xnu::MachIpc &ipc = sys_.machIpc();
+    for (auto &up : sessions_) {
+        Session &s = *up;
+        if (s.wired || s.phase == Phase::Launching ||
+            s.phase == Phase::Done)
+            continue;
+        if (!s.proc || s.proc->state() != Process::State::Running)
+            continue;
+        s.wired = true;
+        if (s.selfPort == xnu::MACH_PORT_NULL)
+            continue;
+        Session *peer = &s; // self-wire until a chain partner exists
+        if (lastLaunched_ && lastLaunched_ != &s && lastLaunched_->proc &&
+            lastLaunched_->proc->state() == Process::State::Running &&
+            lastLaunched_->selfPort != xnu::MACH_PORT_NULL)
+            peer = lastLaunched_;
+        xnu::MachTaskState &peerTask = xnu::machTask(ipc, *peer->proc);
+        xnu::MachTaskState &ownTask = xnu::machTask(ipc, *s.proc);
+        xnu::PortPtr port;
+        if (peerTask.space &&
+            ipc.portLookup(*peerTask.space, peer->selfPort, &port) ==
+                xnu::KERN_SUCCESS &&
+            ownTask.space) {
+            xnu::mach_port_name_t name = xnu::MACH_PORT_NULL;
+            if (ipc.insertSendRight(*ownTask.space, port, &name) ==
+                xnu::KERN_SUCCESS) {
+                s.peerSend = name;
+                s.peerPid = peer->proc->pid();
+            }
+        }
+        lastLaunched_ = &s;
+    }
+}
+
+void
+Engine::watchdog(Thread &initT)
+{
+    for (auto &up : sessions_) {
+        Session &s = *up;
+        if (!s.proc || s.proc->state() != Process::State::Running ||
+            s.phase == Phase::Done || s.phase == Phase::Launching)
+            continue;
+        if (s.lastStepNs <= opts_.watchdogBudgetNs)
+            continue;
+        ++s.warns;
+        ++report_.watchdogWarnings;
+        char buf[192];
+        if (s.warns > opts_.watchdogWarnLimit) {
+            std::snprintf(buf, sizeof buf,
+                          "watchdog: session %zu pid %d step consumed "
+                          "%.1fms virtual (warning %d) -> SIGKILL",
+                          s.id, static_cast<int>(s.proc->pid()),
+                          static_cast<double>(s.lastStepNs) / 1e6, s.warns);
+            report_.failureTraces.push_back(buf);
+            ThreadScope scope(initT);
+            k_.sysKill(initT, s.proc->pid(), kernel::lsig::KILL);
+            ++report_.watchdogKills;
+        } else if (report_.failureTraces.size() < 64) {
+            std::snprintf(buf, sizeof buf,
+                          "watchdog: session %zu pid %d step consumed "
+                          "%.1fms virtual (warning %d/%d)",
+                          s.id, static_cast<int>(s.proc->pid()),
+                          static_cast<double>(s.lastStepNs) / 1e6, s.warns,
+                          opts_.watchdogWarnLimit);
+            report_.failureTraces.push_back(buf);
+        }
+    }
+    for (const ducttape::BlockedWait &w :
+         ducttape::waitq_blocked_waits(1000.0)) {
+        if (report_.failureTraces.size() >= 64)
+            break;
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "watchdog: hung wait at %s, blocked %.0fms host "
+                      "(virtual %" PRIu64 "ns)",
+                      w.site ? w.site : "?", w.hostBlockedMs, w.virtualNs);
+        report_.failureTraces.push_back(buf);
+    }
+}
+
+void
+Engine::killStorm(Thread &initT, Rng &rng)
+{
+    ThreadScope scope(initT);
+    for (auto &up : sessions_) {
+        Session &s = *up;
+        if (!s.proc || s.proc->state() != Process::State::Running)
+            continue;
+        if (s.phase != Phase::Foreground && s.phase != Phase::Background)
+            continue;
+        if (!rng.chance(opts_.killStormFraction))
+            continue;
+        k_.sysKill(initT, s.proc->pid(), kernel::lsig::KILL);
+    }
+}
+
+void
+Engine::cleanupSessionDir(Thread &t, const std::string &dir)
+{
+    // A storm/watchdog kill can land mid-VFS-churn; sweep the corpse's
+    // files so the namespace (and any zone-backed inodes) return to
+    // baseline. Clean exits already unlinked everything.
+    if (dir.empty())
+        return;
+    for (int i = 0; i < 5; ++i)
+        k_.sysUnlink(t, dir + "/f" + std::to_string(i));
+    k_.sysRmdir(t, dir);
+}
+
+std::size_t
+Engine::reapPass(Thread &initT, std::size_t *live)
+{
+    ThreadScope scope(initT);
+    k_.checkPendingSignals(initT); // drain queued SIGCHLDs
+    std::size_t reaped = 0;
+    for (auto &up : sessions_) {
+        Session &s = *up;
+        if (!s.proc || s.phase == Phase::Done)
+            continue;
+        if (s.proc->state() != Process::State::Zombie)
+            continue;
+        kernel::Pid pid = s.proc->pid();
+        int status = -1;
+        SyscallResult r = k_.sysWaitpid(initT, pid, &status);
+        cleanupSessionDir(initT, s.dir);
+        k_.reapProcess(pid);
+        if (lastLaunched_ == &s)
+            lastLaunched_ = nullptr;
+        s.proc = nullptr;
+        s.phase = Phase::Done;
+        s.dalvik.reset();
+        s.jitCache.reset();
+        s.dex.reset();
+        mergeStats(s);
+        if (!r.ok())
+            ++report_.sessionsFailed;
+        else if (status == 0)
+            ++report_.sessionsCompleted;
+        else if (status >= 128)
+            ++report_.sessionsKilled;
+        else
+            ++report_.sessionsFailed;
+        ++reaped;
+        if (live && *live > 0)
+            --*live;
+    }
+    return reaped;
+}
+
+void
+Engine::mergeStats(Session &s)
+{
+    for (auto &[name, st] : s.stats) {
+        SubsystemStats &agg = report_.subsystems[name];
+        agg.samples.insert(agg.samples.end(), st.samples.begin(),
+                           st.samples.end());
+        agg.ops += st.ops;
+        agg.virtualNs += st.virtualNs;
+    }
+    s.stats.clear();
+}
+
+void
+Engine::wireSelf(Session &s)
+{
+    if (s.wired || !s.proc || s.selfPort == xnu::MACH_PORT_NULL)
+        return;
+    xnu::MachIpc &ipc = sys_.machIpc();
+    xnu::MachTaskState &task = xnu::machTask(ipc, *s.proc);
+    xnu::PortPtr port;
+    if (task.space &&
+        ipc.portLookup(*task.space, s.selfPort, &port) ==
+            xnu::KERN_SUCCESS) {
+        xnu::mach_port_name_t name = xnu::MACH_PORT_NULL;
+        if (ipc.insertSendRight(*task.space, port, &name) ==
+            xnu::KERN_SUCCESS) {
+            s.peerSend = name;
+            s.peerPid = s.proc->pid();
+        }
+    }
+    s.wired = true;
+}
+
+void
+Engine::warmupSession(Persona persona)
+{
+    // One inline session per persona before the before-snapshot, so
+    // lazy first-touch state — the shared dyld cache region, zone
+    // slabs, framework singletons — is steady before accounting
+    // starts. Its stats are discarded.
+    auto up = std::make_unique<Session>();
+    Session &s = *up;
+    s.id = 0xFFFF; // odd-ish id so the dex/gl cadences still fire
+    s.persona = persona;
+    s.rng = Rng(opts_.seed ^
+                (persona == Persona::Ios ? 0x1505u : 0x0a0du));
+    s.proc = &k_.createProcess(
+        persona == Persona::Ios ? "fleet.warm_ios" : "fleet.warm_android",
+        persona, nullptr);
+    int guard = opts_.rounds * 4 + 8;
+    while (guard-- > 0 && s.proc->state() == Process::State::Running &&
+           s.phase != Phase::Done) {
+        step(s);
+        if (s.phase == Phase::Foreground && !s.wired)
+            wireSelf(s);
+    }
+    kernel::Pid pid = s.proc->pid();
+    s.proc = nullptr;
+    k_.reapProcess(pid); // orphan corpse: direct init-style reap
+}
+
+void
+Engine::armStorm(std::uint64_t seed_base)
+{
+    ducttape::waitq_set_block_grace_ms(2);
+    k_.setOomKillEnabled(true);
+    FaultRail &rail = FaultRail::global();
+    rail.disarmAll();
+    rail.resetCounters();
+    rail.setTracking(true);
+    std::uint64_t idx = 0;
+    for (const char *site : kFleetSites)
+        rail.armProbability(site, opts_.stormProbability,
+                            seed_base + idx++);
+}
+
+void
+Engine::disarmStorm()
+{
+    FaultRail &rail = FaultRail::global();
+    report_.faultTrips = rail.totalTrips();
+    rail.disarmAll();
+    rail.setTracking(false);
+    rail.resetCounters();
+    ducttape::waitq_set_block_grace_ms(100);
+    k_.setOomKillEnabled(false);
+}
+
+void
+Engine::foldCounters()
+{
+    report_.retriesTransient =
+        retriesTransient_.load(std::memory_order_relaxed);
+    report_.retriesExhausted =
+        retriesExhausted_.load(std::memory_order_relaxed);
+    report_.permanentErrors =
+        permanentErrors_.load(std::memory_order_relaxed);
+    report_.chldReceived = chld_.load(std::memory_order_relaxed);
+    std::uint64_t wrong = dexWrong_.load(std::memory_order_relaxed);
+    if (wrong > 0)
+        report_.failureTraces.push_back(
+            "dex: " + std::to_string(wrong) +
+            " wrong results (JIT fallback contract violated)");
+}
+
+FleetReport
+Engine::runScale()
+{
+    auto hostStart = std::chrono::steady_clock::now();
+    ensureInstalled(sys_);
+    warmupSession(Persona::Ios);
+    warmupSession(Persona::Android);
+    k_.sweepReaped();
+    report_.before = takeLeakSnapshot(sys_);
+
+    init_ = &k_.createProcess("fleet.init", Persona::Android, nullptr);
+    Thread &initT = init_->mainThread();
+    {
+        ThreadScope scope(initT);
+        kernel::SignalAction act;
+        act.kind = kernel::SignalAction::Kind::Handler;
+        std::atomic<std::uint64_t> *chld = &chld_;
+        act.fn = [chld](int, const kernel::SigInfo &) {
+            chld->fetch_add(1, std::memory_order_relaxed);
+        };
+        k_.sysSigaction(initT, kernel::lsig::CHLD, act);
+    }
+
+    if (opts_.storm)
+        armStorm(opts_.seed * 1000);
+
+    kernel::ExecutorPool pool(
+        k_.percpu(),
+        opts_.hostThreads != 0 ? opts_.hostThreads : k_.percpu().count());
+
+    std::size_t spawned = 0;
+    std::size_t live = 0;
+    std::size_t finished = 0;
+    Rng stormRng(opts_.seed ^ 0xdead5eedULL);
+    std::uint64_t waveCap =
+        static_cast<std::uint64_t>(opts_.sessions) *
+            static_cast<std::uint64_t>(opts_.rounds + 16) +
+        64;
+
+    while (finished < opts_.sessions) {
+        // Step every live session this wave (before admission reads
+        // the queue depth, so backpressure sees the real load).
+        for (auto &up : sessions_) {
+            Session *raw = up.get();
+            if (raw->phase == Phase::Done || !raw->proc ||
+                raw->proc->state() != Process::State::Running)
+                continue;
+            pool.submitOn(raw->vcpu, [this, raw] { return step(*raw); },
+                          "fleet.step");
+        }
+
+        // Admission control: top the fleet up to maxActive unless the
+        // run queues or the port zone are saturated.
+        while (spawned < opts_.sessions && live < opts_.maxActive) {
+            if (pool.queuedJobs() >= opts_.queueHighWater ||
+                sys_.machIpc().portZoneStats().live >=
+                    opts_.portZoneHighWater) {
+                ++report_.admissionDeferred;
+                break;
+            }
+            admit(pool, spawned++);
+            ++live;
+        }
+        if (spawned < opts_.sessions && live >= opts_.maxActive)
+            ++report_.admissionDeferred;
+        report_.peakLive = std::max(report_.peakLive, live);
+
+        kernel::SmpEpoch epoch = pool.runAll();
+        report_.virtualDurationNs += epoch.mergedNs;
+        report_.steals += epoch.steals;
+        ++report_.waves;
+
+        wirePeers();
+        watchdog(initT);
+        if (opts_.storm)
+            killStorm(initT, stormRng);
+        finished += reapPass(initT, &live);
+
+        if (report_.waves > waveCap) {
+            report_.failureTraces.push_back(
+                "wave cap exceeded: " + std::to_string(finished) + "/" +
+                std::to_string(opts_.sessions) + " sessions finished");
+            break;
+        }
+    }
+
+    // Teardown: init drains its last SIGCHLDs, exits, and is reaped.
+    {
+        ThreadScope scope(initT);
+        k_.checkPendingSignals(initT);
+        try {
+            k_.sysExit(initT, 0);
+        } catch (const ProcessExit &) {
+        }
+    }
+    k_.reapProcess(init_->pid());
+    init_ = nullptr;
+
+    if (opts_.storm)
+        disarmStorm();
+    k_.sweepReaped();
+    report_.after = takeLeakSnapshot(sys_);
+    report_.auditClean = leakAuditClean(report_.before, report_.after,
+                                        &report_.auditDetail);
+    foldCounters();
+    report_.hostMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - hostStart)
+            .count();
+    return report_;
+}
+
+void
+Engine::railRound(Thread &t, std::size_t idx, int round,
+                  xnu::mach_port_name_t port, const binfmt::DexFile &dex,
+                  android::DalvikVm &vm)
+{
+    // Paths key off the guest *index*, never the pid: two same-seed
+    // runs on fresh systems must charge identical costs.
+    std::string dir = "/data/fleet_rail" + std::to_string(idx);
+    k_.sysMkdir(t, dir);
+    std::string path = dir + "/f" + std::to_string(round);
+    SyscallResult fd =
+        k_.sysOpen(t, path, kernel::oflag::WRONLY | kernel::oflag::CREAT);
+    if (fd.ok()) {
+        k_.sysWrite(t, static_cast<kernel::Fd>(fd.value), Bytes{1, 2, 3, 4});
+        k_.sysClose(t, static_cast<kernel::Fd>(fd.value));
+    }
+    k_.sysUnlink(t, path);
+    k_.sysRmdir(t, dir);
+
+    // The guests are Android/ELF; their Mach segments are diplomatic
+    // blocks just like the scale fleet's.
+    PersonaGuard diplomat(sys_.personaManager(), t, Persona::Ios);
+    if (port != xnu::MACH_PORT_NULL) {
+        xnu::MachMessage msg;
+        msg.header.remotePort = port;
+        msg.header.remoteDisposition = xnu::MsgDisposition::MakeSend;
+        msg.header.msgId = 7100 + round;
+        xnu::OolDescriptor ool;
+        ool.data = Bytes(static_cast<std::size_t>(128),
+                         static_cast<std::uint8_t>(round));
+        msg.ool.push_back(std::move(ool));
+        k_.trap(t, TrapClass::XnuMach, xnu::machno::MACH_MSG,
+                makeArgs(static_cast<void *>(&msg), xnu::machmsg::SEND,
+                         std::uint64_t{0}, static_cast<void *>(nullptr)));
+        xnu::MachMessage rcv;
+        SyscallResult r = k_.trap(
+            t, TrapClass::XnuMach, xnu::machno::MACH_MSG,
+            makeArgs(static_cast<void *>(nullptr),
+                     xnu::machmsg::RCV | xnu::machmsg::RCV_TIMEOUT,
+                     static_cast<std::uint64_t>(port),
+                     static_cast<void *>(&rcv), std::uint64_t{50'000}));
+        if (r.ok() && r.value == xnu::KERN_SUCCESS && !rcv.ool.empty() &&
+            rcv.ool[0].address != 0) {
+            Bytes poke{9, 9};
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_WRITE,
+                    makeArgs(rcv.ool[0].address,
+                             static_cast<const Bytes *>(&poke)));
+            k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_DEALLOCATE,
+                    makeArgs(rcv.ool[0].address));
+        }
+    }
+
+    std::uint64_t vmaddr = 0;
+    SyscallResult va =
+        k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_ALLOCATE,
+                makeArgs(std::uint64_t{8192}, static_cast<void *>(&vmaddr)));
+    if (va.ok() && va.value == xnu::KERN_SUCCESS && vmaddr != 0) {
+        Bytes pattern{5, 6, 7, 8};
+        k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_WRITE,
+                makeArgs(vmaddr, static_cast<const Bytes *>(&pattern)));
+        Bytes back;
+        k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_READ,
+                makeArgs(vmaddr, std::uint64_t{4},
+                         static_cast<Bytes *>(&back)));
+        k_.trap(t, TrapClass::XnuMach, xnu::machno::VM_DEALLOCATE,
+                makeArgs(vmaddr));
+    }
+
+    // One semaphore shared across all guests and one private. The
+    // shared one is wait-THEN-signal: whether a guest's wait consumes
+    // a peer's earlier signal or burns its timeout depends on the
+    // schedule, so different rail seeds produce genuinely different
+    // virtual-time series (same seed still reproduces bit-for-bit).
+    k_.trap(t, TrapClass::XnuMach, xnu::machno::SEMAPHORE_WAIT,
+            makeArgs(std::uint64_t{0xF1EE7}, std::uint64_t{40'000}));
+    k_.trap(t, TrapClass::XnuMach, xnu::machno::SEMAPHORE_SIGNAL,
+            makeArgs(std::uint64_t{0xF1EE7}));
+    std::uint64_t psem = (static_cast<std::uint64_t>(idx + 1) << 24) |
+                         static_cast<std::uint64_t>(round);
+    k_.trap(t, TrapClass::XnuMach, xnu::machno::SEMAPHORE_SIGNAL,
+            makeArgs(psem));
+    k_.trap(t, TrapClass::XnuMach, xnu::machno::SEMAPHORE_WAIT,
+            makeArgs(psem, std::uint64_t{25'000}));
+
+    // Synchronous self-poke through the hardened delivery path.
+    k_.sysKill(t, t.process().pid(), kernel::lsig::USR1);
+
+    if ((round + static_cast<int>(idx)) % 2 == 0) {
+        android::DexVal r = vm.run(dex, "sum", {std::int64_t{100}});
+        if (android::dexI(r) != 5050)
+            dexWrong_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+FleetReport
+Engine::runRailed(std::uint64_t seed, std::size_t n)
+{
+    auto hostStart = std::chrono::steady_clock::now();
+    n = std::min<std::size_t>(std::max<std::size_t>(n, 1), 8);
+    ensureInstalled(sys_);
+    // Rail guests are Android/ELF only: the iOS dyld bootstrap holds
+    // the shared-region mutex across work that contains rail yield
+    // points, which would deadlock the host under an armed rail. The
+    // rail-relevant subsystems — Mach IPC, psynch, waitq, zones, the
+    // trap boundary — are all exercised by the Android path.
+    warmupSession(Persona::Android);
+    k_.sweepReaped();
+    report_.before = takeLeakSnapshot(sys_);
+
+    if (opts_.storm) {
+        FaultRail &frail = FaultRail::global();
+        frail.disarmAll();
+        frail.resetCounters();
+        frail.setTracking(true);
+        std::uint64_t idx = 0;
+        for (const char *site : kFleetSites)
+            frail.armProbability(site, opts_.stormProbability,
+                                 seed * 997 + idx++);
+    }
+
+    std::vector<std::uint64_t> series(n, 0);
+    std::vector<kernel::Pid> pids(n, -1);
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        names.push_back("fleet.rail" + std::to_string(i));
+
+    kernel::SchedRail &rail = kernel::SchedRail::global();
+    kernel::SchedOptions sopt;
+    sopt.policy = kernel::SchedPolicy::Random;
+    sopt.seed = seed;
+    rail.arm(sopt);
+    for (std::size_t i = 0; i < n; ++i) {
+        rail.spawn(names[i].c_str(), [this, i, &series, &pids] {
+            Process &proc = k_.createProcess(
+                "fleet.rail" + std::to_string(i), Persona::Android,
+                nullptr);
+            pids[i] = proc.pid();
+            Thread &t = proc.mainThread();
+            // Only ProcessExit is caught: a SchedRailAbort must reach
+            // the rail's guest wrapper or deadlock recovery breaks.
+            try {
+                ThreadScope scope(t);
+                SyscallResult r =
+                    k_.execLoad(t, kAndroidAppPath, {kAndroidAppPath});
+                if (!r.ok())
+                    k_.sysExit(t, 127);
+                if (proc.image().entry)
+                    proc.image().entry(t);
+                int pokes = 0;
+                kernel::SignalAction act;
+                act.kind = kernel::SignalAction::Kind::Handler;
+                act.fn = [&pokes](int, const kernel::SigInfo &) {
+                    ++pokes;
+                };
+                k_.sysSigaction(t, kernel::lsig::USR1, act);
+                xnu::mach_port_name_t port = xnu::MACH_PORT_NULL;
+                {
+                    PersonaGuard diplomat(sys_.personaManager(), t,
+                                          Persona::Ios);
+                    k_.trap(t, TrapClass::XnuMach,
+                            xnu::machno::PORT_ALLOCATE,
+                            makeArgs(static_cast<std::uint64_t>(
+                                         xnu::PortRight::Receive),
+                                     static_cast<void *>(&port)));
+                }
+                binfmt::DexFile dex;
+                buildSumDex(dex);
+                android::TranslationCache cache;
+                android::DalvikVm vm(sys_.profile());
+                vm.setTranslationCache(&cache);
+                vm.setJitEnabled(true);
+                vm.setJitWarmup(0);
+                for (int round = 0; round < 4; ++round)
+                    railRound(t, i, round, port, dex, vm);
+                k_.sysExit(t, 0);
+            } catch (const ProcessExit &) {
+            }
+            series[i] = t.clock().now();
+        });
+    }
+    kernel::SchedResult res = rail.run();
+    rail.disarm();
+
+    report_.railCompleted = res.completed;
+    report_.railDeadlocked = res.deadlocked;
+    report_.waves = res.decisions;
+    report_.sessionsStarted = n;
+    report_.sessionsCompleted = res.completed ? n : 0;
+    if (res.deadlocked)
+        for (const std::string &b : res.blockedThreads)
+            report_.failureTraces.push_back("rail deadlock: " + b);
+
+    if (opts_.storm) {
+        FaultRail &frail = FaultRail::global();
+        report_.faultTrips = frail.totalTrips();
+        frail.disarmAll();
+        frail.setTracking(false);
+        frail.resetCounters();
+    }
+
+    if (res.completed) {
+        for (kernel::Pid pid : pids)
+            if (pid > 0)
+                k_.reapProcess(pid);
+    }
+    k_.sweepReaped();
+
+    report_.railSeries = series;
+    std::uint64_t maxNs = 0;
+    for (std::uint64_t ns : series)
+        maxNs = std::max(maxNs, ns);
+    report_.virtualDurationNs = maxNs;
+    report_.after = takeLeakSnapshot(sys_);
+    if (res.completed) {
+        report_.auditClean = leakAuditClean(report_.before, report_.after,
+                                            &report_.auditDetail);
+    } else {
+        report_.auditClean = false;
+        report_.auditDetail =
+            "rail episode aborted; poisoned guests left in place";
+    }
+    foldCounters();
+    report_.hostMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - hostStart)
+            .count();
+    return report_;
+}
+
+} // namespace
+
+std::uint64_t
+SubsystemStats::percentile(double p) const
+{
+    if (samples.empty())
+        return 0;
+    std::vector<std::uint64_t> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    auto idx = static_cast<std::size_t>(rank + 0.5);
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+LeakSnapshot
+takeLeakSnapshot(CiderSystem &sys)
+{
+    LeakSnapshot snap;
+    sys.kernel().forEachProcess([&snap](kernel::Process &p) {
+        ++snap.processes;
+        if (p.state() == kernel::Process::State::Zombie)
+            ++snap.zombies;
+        snap.threads += p.threads().size();
+    });
+    snap.portsLive = sys.machIpc().portZoneStats().live;
+    snap.vmObjectsLive = kernel::vmLiveObjects();
+    snap.zoneLiveElements = ducttape::zone_registry_totals().liveElements;
+    snap.blockedWaits = ducttape::waitq_blocked_waits(250.0).size();
+    return snap;
+}
+
+bool
+leakAuditClean(const LeakSnapshot &before, const LeakSnapshot &after,
+               std::string *why)
+{
+    std::string detail;
+    auto drift = [&detail](const char *name, std::uint64_t b,
+                           std::uint64_t a) {
+        if (a == b)
+            return;
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%s %llu -> %llu; ", name,
+                      static_cast<unsigned long long>(b),
+                      static_cast<unsigned long long>(a));
+        detail += buf;
+    };
+    drift("processes", before.processes, after.processes);
+    drift("zombies", before.zombies, after.zombies);
+    drift("threads", before.threads, after.threads);
+    drift("ports", before.portsLive, after.portsLive);
+    drift("vmObjects", before.vmObjectsLive, after.vmObjectsLive);
+    drift("zoneElements", before.zoneLiveElements, after.zoneLiveElements);
+    drift("blockedWaits", before.blockedWaits, after.blockedWaits);
+    if (why)
+        *why = detail;
+    return detail.empty();
+}
+
+std::vector<SloGate>
+defaultSloGates(double scale)
+{
+    if (scale <= 0)
+        scale = 1.0;
+    auto gate = [scale](const char *name, std::uint64_t p50,
+                        std::uint64_t p99, double floor) {
+        SloGate g;
+        g.subsystem = name;
+        g.p50CeilingNs =
+            static_cast<std::uint64_t>(static_cast<double>(p50) * scale);
+        g.p99CeilingNs =
+            static_cast<std::uint64_t>(static_cast<double>(p99) * scale);
+        g.minOpsPerVirtualSec = floor / scale;
+        return g;
+    };
+    // Ceilings sit ~3-5x above the measured default-profile numbers at
+    // 1200 sessions (launch p50 3.9ms, vfs 258/334us, ipc 6.5/11.7us,
+    // vm 1.6us, psynch 1.1us, signal 5-6us, gl 1.35ms, dex 6.8us),
+    // floors ~4x below the worst observed throughput across fleet
+    // sizes — tight enough to catch a real regression (a leaked layer
+    // pile-up, a lock convoy), loose enough to survive profile drift.
+    // Latencies are *virtual* time, so they are host-independent.
+    // gl/dex/launch have no throughput floor: their cadence is a
+    // session-mix choice, not a performance fact.
+    return {
+        gate("launch", 12'000'000, 16'000'000, 0),
+        gate("vfs", 1'000'000, 2'000'000, 300),
+        gate("ipc", 30'000, 60'000, 300),
+        gate("vm", 8'000, 16'000, 300),
+        gate("psynch", 8'000, 16'000, 200),
+        gate("signal", 30'000, 60'000, 60),
+        gate("gl", 5'000'000, 8'000'000, 0),
+        gate("dex", 30'000, 60'000, 0),
+    };
+}
+
+bool
+evaluateSlos(const FleetReport &report, const std::vector<SloGate> &gates,
+             std::vector<std::string> *violations)
+{
+    bool ok = true;
+    auto fail = [&ok, violations](const std::string &line) {
+        ok = false;
+        if (violations)
+            violations->push_back(line);
+    };
+    char buf[192];
+    for (const SloGate &g : gates) {
+        auto it = report.subsystems.find(g.subsystem);
+        if (it == report.subsystems.end() || it->second.ops == 0) {
+            fail(g.subsystem + ": no samples recorded");
+            continue;
+        }
+        const SubsystemStats &st = it->second;
+        if (g.p50CeilingNs != 0 && st.p50() > g.p50CeilingNs) {
+            std::snprintf(buf, sizeof buf,
+                          "%s: p50 %" PRIu64 "ns > ceiling %" PRIu64 "ns",
+                          g.subsystem.c_str(), st.p50(), g.p50CeilingNs);
+            fail(buf);
+        }
+        if (g.p99CeilingNs != 0 && st.p99() > g.p99CeilingNs) {
+            std::snprintf(buf, sizeof buf,
+                          "%s: p99 %" PRIu64 "ns > ceiling %" PRIu64 "ns",
+                          g.subsystem.c_str(), st.p99(), g.p99CeilingNs);
+            fail(buf);
+        }
+        if (g.minOpsPerVirtualSec > 0) {
+            double rate = report.opsPerVirtualSec(g.subsystem);
+            if (rate < g.minOpsPerVirtualSec) {
+                std::snprintf(buf, sizeof buf,
+                              "%s: %.1f ops/vsec < floor %.1f",
+                              g.subsystem.c_str(), rate,
+                              g.minOpsPerVirtualSec);
+                fail(buf);
+            }
+        }
+    }
+    return ok;
+}
+
+FleetSoak::FleetSoak(CiderSystem &sys, const FleetOptions &opts)
+    : sys_(sys), opts_(opts)
+{
+    kernel::Kernel &k = sys.kernel();
+    if (!k.devices().find("fleet")) {
+        kernel::Device &dev =
+            k.devices().add(std::make_unique<FleetDevice>());
+        k.vfs().mknod("/proc/cider/fleet", &dev);
+    }
+}
+
+FleetReport
+FleetSoak::run()
+{
+    Engine engine(sys_, opts_);
+    FleetReport report = engine.runScale();
+    publish(report, "scale");
+    return report;
+}
+
+FleetReport
+FleetSoak::runRailed(std::uint64_t seed, std::size_t n)
+{
+    Engine engine(sys_, opts_);
+    FleetReport report = engine.runRailed(seed, n);
+    publish(report, "railed");
+    return report;
+}
+
+std::string
+FleetSoak::procText()
+{
+    std::lock_guard<std::mutex> lock(hubMu());
+    return hubText();
+}
+
+void
+FleetSoak::publish(const FleetReport &report, const char *mode)
+{
+    std::string text = buildReportText(report, mode);
+    std::lock_guard<std::mutex> lock(hubMu());
+    hubText() = text;
+}
+
+} // namespace cider::core

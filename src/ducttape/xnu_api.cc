@@ -247,6 +247,27 @@ class LockOrderNote
 
 } // namespace
 
+namespace {
+
+/** Registry of live zones for process-wide leak accounting. Leaky
+ *  singletons: zones created by static-lifetime subsystems may be
+ *  destroyed after any registry with normal storage duration. */
+std::mutex &
+zoneRegistryMu()
+{
+    static auto *mu = new std::mutex;
+    return *mu;
+}
+
+std::vector<ZoneT *> &
+zoneRegistry()
+{
+    static auto *r = new std::vector<ZoneT *>;
+    return *r;
+}
+
+} // namespace
+
 ZoneT *
 zinit(std::size_t elem_size, const char *zone_name)
 {
@@ -260,15 +281,47 @@ zinit(std::size_t elem_size, const char *zone_name)
     z->slotSize = (slot + kAlign - 1) / kAlign * kAlign;
     // Refill roughly a page at a time, as XNU zones do.
     z->chunkElems = std::clamp<std::size_t>(4096 / z->slotSize, 8, 256);
+    {
+        std::lock_guard<std::mutex> lock(zoneRegistryMu());
+        zoneRegistry().push_back(z);
+    }
     return z;
 }
 
 void
 zdestroy(ZoneT *z)
 {
+    {
+        std::lock_guard<std::mutex> lock(zoneRegistryMu());
+        auto &reg = zoneRegistry();
+        reg.erase(std::remove(reg.begin(), reg.end(), z), reg.end());
+    }
     for (void *slab : z->slabs)
         std::free(slab);
     delete z;
+}
+
+ZoneRegistryTotals
+zone_registry_totals()
+{
+    ZoneRegistryTotals totals;
+    std::lock_guard<std::mutex> lock(zoneRegistryMu());
+    for (const ZoneT *z : zoneRegistry()) {
+        ZoneStats s = zone_stats(z);
+        ++totals.zones;
+        totals.liveElements += s.live;
+        totals.magazineCached += s.magazineCached;
+    }
+    return totals;
+}
+
+void
+zone_registry_each(
+    const std::function<void(const char *name, const ZoneStats &)> &fn)
+{
+    std::lock_guard<std::mutex> lock(zoneRegistryMu());
+    for (const ZoneT *z : zoneRegistry())
+        fn(z->name.c_str(), zone_stats(z));
 }
 
 namespace {

@@ -89,6 +89,25 @@ struct ZoneStats
 
 ZoneStats zone_stats(const ZoneT *z);
 
+/**
+ * Process-wide totals over every zone currently alive (zinit'd and
+ * not yet zdestroy'd). The fleet leak audit asserts liveElements
+ * returns to its baseline after teardown; magazineCached is reported
+ * separately because parked-but-free elements are not leaks.
+ */
+struct ZoneRegistryTotals
+{
+    std::size_t zones = 0;
+    std::uint64_t liveElements = 0;
+    std::uint64_t magazineCached = 0;
+};
+
+ZoneRegistryTotals zone_registry_totals();
+
+/** Visit every live zone (name + stats) — leak-report detail. */
+void zone_registry_each(
+    const std::function<void(const char *name, const ZoneStats &)> &fn);
+
 /** Failure injection: the (n+1)-th allocation onward returns null.
  *  Pass a negative value to disable. */
 void zone_set_fail_after(ZoneT *z, std::int64_t n);

@@ -16,6 +16,7 @@
 #ifndef CIDER_IOS_DYLD_H
 #define CIDER_IOS_DYLD_H
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -66,7 +67,11 @@ class Dyld
         sharedCacheOverride_ = enabled;
     }
 
-    std::uint64_t imagesLoaded() const { return imagesLoaded_; }
+    std::uint64_t
+    imagesLoaded() const
+    {
+        return imagesLoaded_.load(std::memory_order_relaxed);
+    }
 
     /** A MachOBootstrap adapter for the kernel loader seam. */
     binfmt::MachOBootstrap asBootstrap();
@@ -78,7 +83,8 @@ class Dyld
     binfmt::LibraryRegistry &libraries_;
     std::string libraryDir_;
     int sharedCacheOverride_ = -1;
-    std::uint64_t imagesLoaded_ = 0;
+    /** Relaxed atomic: fleet sessions bootstrap concurrently. */
+    std::atomic<std::uint64_t> imagesLoaded_{0};
 };
 
 } // namespace cider::ios

@@ -282,6 +282,47 @@ Kernel::processCount() const
     return processes_.size();
 }
 
+bool
+Kernel::reapProcess(Pid pid)
+{
+    std::lock_guard<std::mutex> lock(procMu_);
+    auto it = processes_.find(pid);
+    if (it == processes_.end())
+        return false;
+    Process &proc = *it->second;
+    if (proc.state() == Process::State::Running)
+        return false;
+    if (proc.state() == Process::State::Zombie)
+        proc.markReaped();
+    // Children keep raw parent pointers; orphans are adopted by
+    // "init" (no parent) before the entry is destroyed.
+    for (auto &[cpid, child] : processes_)
+        if (child->parent() == &proc)
+            child->reparent(nullptr);
+    processes_.erase(it);
+    return true;
+}
+
+std::size_t
+Kernel::sweepReaped()
+{
+    std::lock_guard<std::mutex> lock(procMu_);
+    std::size_t freed = 0;
+    for (auto it = processes_.begin(); it != processes_.end();) {
+        if (it->second->state() != Process::State::Reaped) {
+            ++it;
+            continue;
+        }
+        Process &proc = *it->second;
+        for (auto &[cpid, child] : processes_)
+            if (child.get() != &proc && child->parent() == &proc)
+                child->reparent(nullptr);
+        it = processes_.erase(it);
+        ++freed;
+    }
+    return freed;
+}
+
 SyscallResult
 Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
 {
@@ -339,14 +380,7 @@ Kernel::trap(Thread &t, TrapClass cls, int nr, SyscallArgs args)
             trapStats_.recordOomKill();
             Process &proc = t.process();
             proc.terminate(code, t.clock().now());
-            if (Process *parent = proc.parent()) {
-                if (parent->state() == Process::State::Running) {
-                    SigInfo info;
-                    info.signo = lsig::CHLD;
-                    info.senderPid = proc.pid();
-                    deliverSignal(parent->mainThread(), info);
-                }
-            }
+            notifyParentExit(proc);
             throw ProcessExit{code};
         }
     }
@@ -691,7 +725,13 @@ Kernel::deliverSignal(Thread &target, SigInfo info)
       case SignalAction::Kind::Default:
         if (SignalState::defaultTerminates(table_signo)) {
             Process &proc = target.process();
+            // Same teardown contract as sysExit: modules drop
+            // image-derived state, then the parent learns of the death
+            // — a SIGKILL storm must leave reapable zombies, not
+            // silent ones.
+            notifyUnload(proc);
             proc.terminate(128 + table_signo, target.clock().now());
+            notifyParentExit(proc);
         }
         return;
     }
@@ -752,6 +792,21 @@ SyscallResult
 Kernel::sysExecve(Thread &t, const std::string &path,
                   const std::vector<std::string> &argv)
 {
+    SyscallResult r = execLoad(t, path, argv);
+    if (!r.ok())
+        return r;
+
+    // execve does not return on success: run the fresh image and
+    // unwind this process.
+    Process &proc = t.process();
+    int rc = proc.image().entry ? proc.image().entry(t) : 0;
+    sysExit(t, rc);
+}
+
+SyscallResult
+Kernel::execLoad(Thread &t, const std::string &path,
+                 const std::vector<std::string> &argv)
+{
     Bytes blob;
     SyscallResult r = vfs_.readFile(path, blob);
     if (!r.ok())
@@ -790,10 +845,7 @@ Kernel::sysExecve(Thread &t, const std::string &path,
     for (const auto &hook : execHooks_)
         hook(proc);
 
-    // execve does not return on success: run the fresh image and
-    // unwind this process.
-    int rc = proc.image().entry ? proc.image().entry(t) : 0;
-    sysExit(t, rc);
+    return SyscallResult::success();
 }
 
 void
@@ -804,19 +856,24 @@ Kernel::notifyUnload(Process &proc)
 }
 
 void
+Kernel::notifyParentExit(Process &proc)
+{
+    Process *parent = proc.parent();
+    if (!parent || parent->state() != Process::State::Running)
+        return;
+    SigInfo info;
+    info.signo = lsig::CHLD;
+    info.senderPid = proc.pid();
+    deliverSignal(parent->mainThread(), info);
+}
+
+void
 Kernel::sysExit(Thread &t, int code)
 {
     Process &proc = t.process();
     notifyUnload(proc);
     proc.terminate(code, t.clock().now());
-    if (Process *parent = proc.parent()) {
-        if (parent->state() == Process::State::Running) {
-            SigInfo info;
-            info.signo = lsig::CHLD;
-            info.senderPid = proc.pid();
-            deliverSignal(parent->mainThread(), info);
-        }
-    }
+    notifyParentExit(proc);
     throw ProcessExit{code};
 }
 

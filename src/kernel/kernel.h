@@ -192,6 +192,21 @@ class Kernel
     /** Visit every live process under the table lock (used by
      *  /proc/cider/vm; keep @p fn non-blocking). */
     void forEachProcess(const std::function<void(Process &)> &fn) const;
+    /**
+     * Init-style reap: release the table entry of a Zombie/Reaped
+     * process, destroying the Process object (address space, fd
+     * table, Mach IPC space, threads). The caller must hold no
+     * references to the process. Returns false when @p pid is
+     * unknown or still Running — a running process is never torn
+     * down out from under its host thread.
+     */
+    bool reapProcess(Pid pid);
+    /**
+     * Release every Reaped table entry (session teardown; the fleet
+     * soak's post-run sweep). Returns the number of entries freed.
+     * Zombies are left alone: they still owe their parent a wait.
+     */
+    std::size_t sweepReaped();
     /// @}
 
     /// @{ Virtual memory.
@@ -313,6 +328,19 @@ class Kernel
     SyscallResult sysExecve(Thread &t, const std::string &path,
                             const std::vector<std::string> &argv);
 
+    /**
+     * The load half of execve: tear down the old image, probe the
+     * binfmt loaders, install the new image, and run the exec hooks —
+     * everything sysExecve does *except* running the entry point.
+     * Session drivers (FleetSoak, CiderPress-style hosts) use this to
+     * materialise a launched process whose image then runs in slices
+     * on pool workers instead of to completion on the calling host
+     * thread. On failure the process is left imageless, exactly as a
+     * failed execve leaves it.
+     */
+    SyscallResult execLoad(Thread &t, const std::string &path,
+                           const std::vector<std::string> &argv);
+
     [[noreturn]] void sysExit(Thread &t, int code);
 
     SyscallResult sysWaitpid(Thread &t, Pid pid, int *status);
@@ -340,6 +368,13 @@ class Kernel
   private:
     /** Fire the unload hooks for @p proc's current image. */
     void notifyUnload(Process &proc);
+
+    /**
+     * SIGCHLD to the parent of a freshly-terminated @p proc (no-op for
+     * orphans or dead parents). Every exit path — sysExit, the OOM
+     * killer, signal default-terminate — owes the parent this.
+     */
+    void notifyParentExit(Process &proc);
 
     const hw::DeviceProfile &profile_;
     std::unique_ptr<VmSubsystem> vm_;

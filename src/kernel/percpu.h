@@ -213,6 +213,14 @@ class ExecutorPool
 
     unsigned hostThreads() const { return hostThreads_; }
 
+    /**
+     * Jobs queued and not yet consumed by runAll. Only meaningful
+     * between batches (the submit/runAll caller's thread); admission
+     * controllers read it as a backpressure probe before submitting
+     * more work.
+     */
+    std::uint64_t queuedJobs() const { return queued_; }
+
   private:
     struct Job
     {

@@ -70,6 +70,8 @@ class Process
     const std::string &name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
     Process *parent() const { return parent_; }
+    /** Re-home this process (init-style orphan adoption on reap). */
+    void reparent(Process *p) { parent_ = p; }
 
     AddressSpace &mem() { return mem_; }
     FdTable &fds() { return fds_; }

@@ -97,8 +97,17 @@ class Thread
     Process &process() { return *proc_; }
     const Process &process() const { return *proc_; }
 
-    Persona persona() const { return persona_; }
-    void setPersona(Persona p) { persona_ = p; }
+    /** Relaxed atomics: a signal sender on another host thread reads
+     *  the receiver's persona (delivery translation) while the owner
+     *  may be mid-switch in a diplomatic call. */
+    Persona persona() const
+    {
+        return persona_.load(std::memory_order_relaxed);
+    }
+    void setPersona(Persona p)
+    {
+        persona_.store(p, std::memory_order_relaxed);
+    }
 
     CostClock &clock() { return clock_; }
 
@@ -133,7 +142,7 @@ class Thread
   private:
     Tid tid_;
     Process *proc_;
-    Persona persona_;
+    std::atomic<Persona> persona_;
     CostClock clock_;
     mutable std::mutex sigMu_;
     std::deque<SigInfo> pending_;

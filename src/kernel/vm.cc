@@ -1,6 +1,7 @@
 #include "kernel/vm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "base/cost_clock.h"
@@ -37,6 +38,31 @@ copyPage(const VmObject &src, VmObject &dst, std::uint64_t page)
 
 // ---------------------------------------------------------------------------
 // VmObject
+
+namespace {
+std::atomic<std::uint64_t> g_vmLiveObjects{0};
+} // namespace
+
+VmLiveTally::VmLiveTally() noexcept
+{
+    g_vmLiveObjects.fetch_add(1, std::memory_order_relaxed);
+}
+
+VmLiveTally::VmLiveTally(const VmLiveTally &) noexcept
+{
+    g_vmLiveObjects.fetch_add(1, std::memory_order_relaxed);
+}
+
+VmLiveTally::~VmLiveTally()
+{
+    g_vmLiveObjects.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+vmLiveObjects()
+{
+    return g_vmLiveObjects.load(std::memory_order_relaxed);
+}
 
 void
 VmObject::readAt(std::uint64_t offset, std::uint64_t len, Bytes *out) const

@@ -68,6 +68,24 @@ enum VmProt : std::uint8_t
 };
 
 /**
+ * Ticket on the process-wide live-VmObject count: constructed (and
+ * copied) objects increment it, destroyed objects decrement it. The
+ * fleet leak audit reads the balance via vmLiveObjects() — any
+ * VmObject alive anywhere (maps, COW shadows, in-flight OOL
+ * descriptors) counts, regardless of which VmSubsystem made it.
+ */
+struct VmLiveTally
+{
+    VmLiveTally() noexcept;
+    VmLiveTally(const VmLiveTally &) noexcept;
+    VmLiveTally &operator=(const VmLiveTally &) noexcept { return *this; }
+    ~VmLiveTally();
+};
+
+/** Number of VmObjects currently alive, process-wide. */
+std::uint64_t vmLiveObjects();
+
+/**
  * A refcounted backing store. `pages` is the mapped size; `resident`
  * counts pages with established content (what an eager fork would
  * have to copy); `data` holds the actual bytes when content matters
@@ -76,6 +94,7 @@ enum VmProt : std::uint8_t
  */
 struct VmObject
 {
+    VmLiveTally liveTally;
     std::string name;
     std::uint64_t pages = 0;
     std::uint64_t resident = 0;

@@ -21,6 +21,7 @@
 #ifndef CIDER_PERSONA_PERSONA_H
 #define CIDER_PERSONA_PERSONA_H
 
+#include <atomic>
 #include <memory>
 
 #include "kernel/kernel.h"
@@ -86,7 +87,11 @@ class PersonaManager
     const PersonaCosts &costs() const { return costs_; }
 
     /** Count of persona switches performed (ablation metric). */
-    std::uint64_t personaSwitches() const { return switches_; }
+    std::uint64_t
+    personaSwitches() const
+    {
+        return switches_.load(std::memory_order_relaxed);
+    }
 
   private:
     friend class MultiPersonaDispatcher;
@@ -99,7 +104,9 @@ class PersonaManager
     kernel::SyscallTable xnuBsd_;
     kernel::SyscallTable mach_;
     kernel::SyscallTable mdep_;
-    std::uint64_t switches_ = 0;
+    /** Relaxed atomic: fleet sessions switch personas concurrently
+     *  on pool workers (diplomatic GL bursts under SMP). */
+    std::atomic<std::uint64_t> switches_{0};
 };
 
 /** The syscall number understood from every persona/table. */
