@@ -19,9 +19,10 @@
  * and SLO violations land in BENCH_fleet_traces.txt for CI upload.
  *
  * CLI: --sessions=N --max-active=N --seed=N --duration=ROUNDS
- *      --storm=0|1 --rail-guests=N --slo-scale=X
+ *      --storm=0|1 --net=0|1 --rail-guests=N --slo-scale=X
  * Env (CLI wins): CIDER_FLEET_SESSIONS, CIDER_FLEET_MAX_ACTIVE,
  *      CIDER_FLEET_SEED, CIDER_FLEET_DURATION, CIDER_FLEET_STORM,
+ *      CIDER_FLEET_NET (NetBurst in the session mix),
  *      CIDER_FLEET_RAIL_GUESTS, CIDER_FLEET_SLO_SCALE,
  *      CIDER_FLEET_SLO=0 (report SLOs without enforcing).
  */
@@ -69,6 +70,7 @@ struct Cli
     std::uint64_t seed = 1;
     int duration = 8; ///< foreground rounds per session
     bool storm = true;
+    bool net = false; ///< NetBurst segment in the session mix
     std::size_t railGuests = 6;
     double sloScale = 1.0;
     bool sloEnforce = true;
@@ -99,6 +101,7 @@ parseCli(int argc, char **argv)
         envU64("CIDER_FLEET_DURATION",
                static_cast<std::uint64_t>(cli.duration)));
     cli.storm = envU64("CIDER_FLEET_STORM", cli.storm ? 1 : 0) != 0;
+    cli.net = envU64("CIDER_FLEET_NET", cli.net ? 1 : 0) != 0;
     cli.railGuests = envU64("CIDER_FLEET_RAIL_GUESTS", cli.railGuests);
     cli.sloScale = envF64("CIDER_FLEET_SLO_SCALE", cli.sloScale);
     cli.sloEnforce = envU64("CIDER_FLEET_SLO", 1) != 0;
@@ -120,6 +123,8 @@ parseCli(int argc, char **argv)
             cli.duration = std::atoi(v);
         else if (const char *v = arg(argv[i], "--storm"))
             cli.storm = std::atoi(v) != 0;
+        else if (const char *v = arg(argv[i], "--net"))
+            cli.net = std::atoi(v) != 0;
         else if (const char *v = arg(argv[i], "--rail-guests"))
             cli.railGuests = std::strtoull(v, nullptr, 10);
         else if (const char *v = arg(argv[i], "--slo-scale"))
@@ -145,6 +150,7 @@ baseOptions(const Cli &cli)
     opts.maxActive = cli.maxActive;
     opts.seed = cli.seed;
     opts.rounds = cli.duration;
+    opts.netBurst = cli.net;
     return opts;
 }
 
@@ -231,7 +237,8 @@ scalePhase(const Cli &cli, BenchJson &json)
 
     std::vector<std::string> violations;
     bool slos = core::evaluateSlos(
-        report, core::defaultSloGates(cli.sloScale), &violations);
+        report, core::defaultSloGates(cli.sloScale, cli.net),
+        &violations);
     for (const std::string &v : violations) {
         g_traces.push_back("scale SLO: " + v);
         std::fprintf(stderr, "fleet_soak: SLO violation: %s\n",

@@ -13,9 +13,11 @@
 #include "binfmt/elf.h"
 #include "binfmt/macho.h"
 #include "ducttape/xnu_api.h"
+#include "iokit/block_storage.h"
 #include "iokit/framebuffer.h"
 #include "iokit/io_surface.h"
 #include "iokit/linux_bridge.h"
+#include "iokit/stub_families.h"
 #include "ios/eagl.h"
 #include "ios/corelocation.h"
 #include "ios/gles_diplomatic.h"
@@ -156,6 +158,26 @@ CiderSystem::setupDevices()
     touch->setProperty("max-points", "10");
     kernel_->devices().add(std::move(touch));
 
+    // Two NICs on the loopback fabric (addresses 1 and 2), a flash
+    // block device, and an audio codec — providers for the I/O Kit
+    // driver families registered in setupCiderExtensions.
+    auto eth0 = std::make_unique<kernel::Device>("eth0", "network");
+    eth0->setProperty("address", "1");
+    eth0->setProperty("tx-depth", "32");
+    kernel_->devices().add(std::move(eth0));
+    auto eth1 = std::make_unique<kernel::Device>("eth1", "network");
+    eth1->setProperty("address", "2");
+    eth1->setProperty("tx-depth", "32");
+    kernel_->devices().add(std::move(eth1));
+
+    auto flash = std::make_unique<kernel::Device>("flash0", "block");
+    flash->setProperty("queue-depth", "8");
+    kernel_->devices().add(std::move(flash));
+
+    auto hda = std::make_unique<kernel::Device>("hda0", "audio");
+    hda->setProperty("codec", "sim-hda");
+    kernel_->devices().add(std::move(hda));
+
     if (opts_.hasGps) {
         auto gps = std::make_unique<android::GpsDevice>(
             opts_.gpsLatitude, opts_.gpsLongitude);
@@ -190,10 +212,23 @@ CiderSystem::setupCiderExtensions()
                     return new iokit::IOSurfaceRoot(rt, g->buffers());
                 });
         });
+    iokit::IONetworkController::registerDriver(
+        cxxRuntime_, *ioCatalogue_, *ioRegistry_, kernel_->net(),
+        netFabric_);
+    iokit::IOBlockStorageDriver::registerDriver(cxxRuntime_,
+                                                *ioCatalogue_, profile_);
+    iokit::IOHDACodec::registerDriver(cxxRuntime_, *ioCatalogue_);
+    iokit::IOAccelerator::registerDriver(cxxRuntime_, *ioCatalogue_);
     cxxRuntime_.bootConstructors();
 
     iokit::registerIoKitTraps(persona_->machTable(), *ioRegistry_,
                               *ioCatalogue_);
+
+    // /proc/cider/iokit: the registry tree + matching statistics.
+    kernel::Device &iodev = kernel_->devices().add(
+        std::make_unique<iokit::IoKitStatsDevice>(*ioRegistry_,
+                                                  *ioCatalogue_));
+    kernel_->vfs().mknod("/proc/cider/iokit", &iodev);
 }
 
 void

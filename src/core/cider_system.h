@@ -34,6 +34,7 @@
 #include "gpu/sim_gpu.h"
 #include "iokit/io_registry.h"
 #include "iokit/io_service.h"
+#include "iokit/network.h"
 #include "ios/dyld.h"
 #include "ios/launchd.h"
 #include "kernel/kernel.h"
@@ -99,6 +100,7 @@ class CiderSystem
 
     iokit::IORegistry &ioRegistry() { return *ioRegistry_; }
     iokit::IOCatalogue &ioCatalogue() { return *ioCatalogue_; }
+    iokit::NetFabric &netFabric() { return netFabric_; }
 
     gpu::SimGpu &gpu() { return *gpu_; }
     gpu::FramebufferDevice &framebuffer() { return *fbDevice_; }
@@ -193,6 +195,7 @@ class CiderSystem
 
     std::unique_ptr<iokit::IORegistry> ioRegistry_;
     std::unique_ptr<iokit::IOCatalogue> ioCatalogue_;
+    iokit::NetFabric netFabric_;
 
     std::unique_ptr<gpu::SimGpu> gpu_;
     gpu::FramebufferDevice *fbDevice_ = nullptr;

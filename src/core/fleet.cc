@@ -49,7 +49,7 @@ const char *const kFleetSites[] = {
     "mach.right.copyout", "mach.msg.send", "mach.msg.receive",
     "binfmt.elf",      "binfmt.macho",     "psynch.wait",
     "signal.deliver",  "dexjit.translate", "vm.allocate",
-    "vm.fault",
+    "vm.fault",        "nic.drop",         "nic.reorder",
 };
 
 const char *const kIosAppPath = "/data/fleet_app_ios";
@@ -280,6 +280,9 @@ class Engine
         std::unique_ptr<binfmt::DexFile> dex;
         std::unique_ptr<android::TranslationCache> jitCache;
         std::unique_ptr<android::DalvikVm> dalvik;
+        /** NetBurst: the session's bound datagram mailbox (-1 when
+         *  the mix does not include net or bind failed). */
+        kernel::Fd dgramFd = -1;
         std::atomic<std::uint64_t> pokesSeen{0};
         int warns = 0;
         /** Virtual ns the last step consumed (watchdog input). Written
@@ -295,6 +298,7 @@ class Engine
     void doRound(Session &s, Thread &t);
     void doIdle(Session &s, Thread &t);
     void glBurst(Session &s, Thread &t);
+    void netBurst(Session &s, Thread &t);
     void dropGlLayers(binfmt::UserEnv &env);
     /// @}
 
@@ -482,6 +486,23 @@ Engine::postLaunch(Session &s, Thread &t)
     s.dalvik->setTranslationCache(s.jitCache.get());
     s.dalvik->setJitEnabled(true);
     s.dalvik->setJitWarmup(0);
+
+    // NetBurst mailbox: a nonblocking datagram socket on a pid-derived
+    // port; fan-out peers poke it (wirePeers gives them the pid).
+    if (opts_.netBurst) {
+        SyscallResult dr = k_.sysNetSocket(t, 2);
+        if (dr.ok()) {
+            s.dgramFd = static_cast<kernel::Fd>(dr.value);
+            int one = 1;
+            k_.sysIoctl(t, s.dgramFd, kernel::netio::FIONBIO, &one);
+            auto port = static_cast<kernel::NetPort>(
+                40000 + s.proc->pid() % 20000);
+            if (!k_.sysNetBind(t, s.dgramFd, 0, port).ok()) {
+                k_.sysClose(t, s.dgramFd);
+                s.dgramFd = -1;
+            }
+        }
+    }
 }
 
 void
@@ -632,6 +653,13 @@ Engine::doRound(Session &s, Thread &t)
         sample(s, "gl", t.clock().now() - t0);
     }
 
+    // --- NetBurst: TCP-lite round trip + datagram peer pokes.
+    if (opts_.netBurst) {
+        t0 = t.clock().now();
+        netBurst(s, t);
+        sample(s, "net", t.clock().now() - t0);
+    }
+
     ++s.round;
     if (s.round >= opts_.rounds)
         k_.sysExit(t, 0); // throws ProcessExit
@@ -730,6 +758,71 @@ Engine::glBurst(Session &s, Thread &t)
         throw;
     }
     dropGlLayers(env);
+}
+
+/**
+ * One NetBurst: a nonblocking TCP-lite round trip hairpinned through
+ * the NIC + loopback fabric, then datagram pokes between fan-out
+ * peers. Every step tolerates failure — under a nic.* storm the SYN,
+ * the data, or the poke can be eaten by the wire, and a peer may have
+ * exited; the segment's job is traffic, not delivery guarantees.
+ */
+void
+Engine::netBurst(Session &s, Thread &t)
+{
+    const kernel::NetAddr addr = k_.net().defaultAddr();
+    const auto lport =
+        static_cast<kernel::NetPort>(20000 + s.proc->pid() % 20000);
+    int one = 1;
+
+    SyscallResult lr = k_.sysNetSocket(t, 1);
+    if (lr.ok()) {
+        auto lfd = static_cast<kernel::Fd>(lr.value);
+        k_.sysIoctl(t, lfd, kernel::netio::FIONBIO, &one);
+        if (k_.sysNetBind(t, lfd, 0, lport).ok() &&
+            k_.sysListen(t, lfd, 4).ok()) {
+            SyscallResult cr = k_.sysNetSocket(t, 1);
+            if (cr.ok()) {
+                auto cfd = static_cast<kernel::Fd>(cr.value);
+                k_.sysIoctl(t, cfd, kernel::netio::FIONBIO, &one);
+                if (k_.sysNetConnect(t, cfd, addr, lport).ok()) {
+                    SyscallResult ar = k_.sysAccept(t, lfd);
+                    if (ar.ok()) {
+                        auto sfd = static_cast<kernel::Fd>(ar.value);
+                        k_.sysIoctl(t, sfd, kernel::netio::FIONBIO,
+                                    &one);
+                        Bytes chunk(
+                            std::size_t{1024},
+                            static_cast<std::uint8_t>(s.round));
+                        k_.sysWrite(t, cfd, chunk);
+                        k_.sysIoctl(t, cfd, kernel::netio::PUMP,
+                                    nullptr);
+                        Bytes got;
+                        k_.sysRead(t, sfd, got, chunk.size());
+                        k_.sysClose(t, sfd);
+                    }
+                }
+                k_.sysClose(t, cfd);
+            }
+        }
+        k_.sysClose(t, lfd);
+    }
+
+    if (s.dgramFd >= 0) {
+        if (s.peerPid > 0) {
+            auto pport = static_cast<kernel::NetPort>(
+                40000 + s.peerPid % 20000);
+            k_.sysNetSendTo(t, s.dgramFd, addr, pport, Bytes{0xCD});
+        }
+        // Drain our own mailbox (nonblocking: AGAIN ends the loop).
+        Bytes pkt;
+        kernel::NetAddr src = 0;
+        kernel::NetPort sport = 0;
+        for (int i = 0; i < 8; ++i)
+            if (!k_.sysNetRecvFrom(t, s.dgramFd, pkt, 64, &src, &sport)
+                     .ok())
+                break;
+    }
 }
 
 void
@@ -1380,6 +1473,9 @@ takeLeakSnapshot(CiderSystem &sys)
     snap.vmObjectsLive = kernel::vmLiveObjects();
     snap.zoneLiveElements = ducttape::zone_registry_totals().liveElements;
     snap.blockedWaits = ducttape::waitq_blocked_waits(250.0).size();
+    kernel::NetStats net = sys.kernel().net().stats();
+    snap.netSocketsLive = net.socketsLive;
+    snap.netBufferedBytes = net.bufferedBytes;
     return snap;
 }
 
@@ -1405,13 +1501,16 @@ leakAuditClean(const LeakSnapshot &before, const LeakSnapshot &after,
     drift("vmObjects", before.vmObjectsLive, after.vmObjectsLive);
     drift("zoneElements", before.zoneLiveElements, after.zoneLiveElements);
     drift("blockedWaits", before.blockedWaits, after.blockedWaits);
+    drift("netSockets", before.netSocketsLive, after.netSocketsLive);
+    drift("netBufferedBytes", before.netBufferedBytes,
+          after.netBufferedBytes);
     if (why)
         *why = detail;
     return detail.empty();
 }
 
 std::vector<SloGate>
-defaultSloGates(double scale)
+defaultSloGates(double scale, bool net)
 {
     if (scale <= 0)
         scale = 1.0;
@@ -1435,7 +1534,7 @@ defaultSloGates(double scale)
     // Latencies are *virtual* time, so they are host-independent.
     // gl/dex/launch have no throughput floor: their cadence is a
     // session-mix choice, not a performance fact.
-    return {
+    std::vector<SloGate> gates = {
         gate("launch", 12'000'000, 16'000'000, 0),
         gate("vfs", 1'000'000, 2'000'000, 300),
         gate("ipc", 30'000, 60'000, 300),
@@ -1445,6 +1544,13 @@ defaultSloGates(double scale)
         gate("gl", 5'000'000, 8'000'000, 0),
         gate("dex", 30'000, 60'000, 0),
     };
+    // A NetBurst is a full handshake + kilobyte transfer + teardown
+    // with link latency charged per frame, so its ceilings sit well
+    // above the single-trap segments'; no throughput floor (the
+    // burst cadence is a mix choice).
+    if (net)
+        gates.push_back(gate("net", 2'000'000, 4'000'000, 0));
+    return gates;
 }
 
 bool

@@ -54,6 +54,13 @@ struct FleetOptions
     double killStormFraction = 0.02;
     /** Host worker threads for the ExecutorPool (0 = one per core). */
     unsigned hostThreads = 0;
+    /**
+     * Add the NetBurst segment to the per-session mix: a TCP-lite
+     * stream round trip over the loopback fabric plus datagram pokes
+     * between fan-out peers. Needs a config whose I/O Kit catalogue
+     * brings up the NIC family (the storm arms nic.* sites too).
+     */
+    bool netBurst = false;
 
     /// @{ Backpressure: admission defers while the executor queue or
     /// the Mach port zone sit above these high-water marks.
@@ -103,6 +110,8 @@ struct LeakSnapshot
     std::uint64_t vmObjectsLive = 0; ///< live VmObjects process-wide
     std::uint64_t zoneLiveElements = 0; ///< sum over the zone registry
     std::size_t blockedWaits = 0; ///< waits parked > 250ms host time
+    std::uint64_t netSocketsLive = 0;   ///< bound/connected AF_INET
+    std::uint64_t netBufferedBytes = 0; ///< bytes in socket buffers
 };
 
 LeakSnapshot takeLeakSnapshot(CiderSystem &sys);
@@ -124,8 +133,10 @@ struct SloGate
 };
 
 /** The default gate profile. @p scale multiplies every ceiling and
- *  divides every floor (sanitizer builds pass a relaxation factor). */
-std::vector<SloGate> defaultSloGates(double scale = 1.0);
+ *  divides every floor (sanitizer builds pass a relaxation factor);
+ *  @p net appends the NetBurst gate when the mix includes it. */
+std::vector<SloGate> defaultSloGates(double scale = 1.0,
+                                     bool net = false);
 
 struct FleetReport
 {

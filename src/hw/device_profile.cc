@@ -83,6 +83,9 @@ DeviceProfile::nexus7()
         .selectMaxFds = 0,
         .pipeTransferNs = 8000,
         .unixSockTransferNs = 10000,
+        .netSegmentNs = 3000,
+        .nicLinkLatencyNs = 12000,
+        .nicPerBytePs = 800,
         .gpuPerCommandNs = 900,
         .gpuPerVertexNs = 18,
         .gpuPerFragmentPs = 650,
@@ -126,6 +129,9 @@ DeviceProfile::ipadMini()
         .selectMaxFds = 200,
         .pipeTransferNs = 13000,
         .unixSockTransferNs = 16000,
+        .netSegmentNs = 4200,
+        .nicLinkLatencyNs = 15000,
+        .nicPerBytePs = 1000,
         .gpuPerCommandNs = 700,
         .gpuPerVertexNs = 11,
         .gpuPerFragmentPs = 380,

@@ -105,6 +105,12 @@ struct DeviceProfile
     std::uint64_t unixSockTransferNs;
     /// @}
 
+    /// @{ Network (simulated NIC + TCP-lite/UDP-lite stack).
+    std::uint64_t netSegmentNs;      ///< protocol work per segment
+    std::uint64_t nicLinkLatencyNs;  ///< link traversal per frame
+    std::uint64_t nicPerBytePs;      ///< serialisation cost per byte
+    /// @}
+
     /// @{ GPU.
     std::uint64_t gpuPerCommandNs;   ///< command fetch/decode
     std::uint64_t gpuPerVertexNs;

@@ -56,6 +56,7 @@ class IORegistry
     IORegistry &operator=(const IORegistry &) = delete;
 
     IORegistryEntry &root() { return *root_; }
+    const IORegistryEntry &root() const { return *root_; }
 
     /**
      * Attach @p entry (taking ownership of one reference) under

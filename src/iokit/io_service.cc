@@ -1,5 +1,9 @@
 #include "iokit/io_service.h"
 
+#include <algorithm>
+#include <set>
+#include <sstream>
+
 #include "base/logging.h"
 #include "kernel/kernel.h"
 #include "kernel/trap_context.h"
@@ -45,10 +49,9 @@ IOCatalogue::IOCatalogue(IORegistry &registry) : registry_(registry)
 }
 
 void
-IOCatalogue::addDriver(const std::string &class_name, OSDictionary match,
-                       Factory factory)
+IOCatalogue::addPersonality(IOPersonality personality)
 {
-    drivers_.push_back({class_name, std::move(match), std::move(factory)});
+    personalities_.push_back(std::move(personality));
     // Late driver registration re-matches everything already
     // published (kernel modules can load after boot).
     for (IORegistryEntry *entry : registry_.matchAll(OSDictionary{}))
@@ -57,34 +60,70 @@ IOCatalogue::addDriver(const std::string &class_name, OSDictionary match,
 }
 
 void
+IOCatalogue::addDriver(const std::string &class_name, OSDictionary match,
+                       Factory factory)
+{
+    addPersonality(
+        {class_name, std::move(match), 0, "", std::move(factory)});
+}
+
+void
 IOCatalogue::matchEntry(IORegistryEntry &entry)
 {
-    for (const DriverInfo &driver : drivers_) {
-        if (!osDictMatches(entry.properties(), driver.match))
+    // Gather the matching personalities, then probe them in descending
+    // score order (stable, so equal scores keep registration order).
+    std::vector<IOPersonality *> candidates;
+    for (IOPersonality &p : personalities_)
+        if (osDictMatches(entry.properties(), p.match))
+            candidates.push_back(&p);
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const IOPersonality *a, const IOPersonality *b) {
+                         return a->probeScore > b->probeScore;
+                     });
+
+    // Each match category admits one winner per provider. Categories
+    // already occupied by a started service keep their incumbent.
+    std::set<std::string> done;
+    for (IORegistryEntry *child : entry.children())
+        if (auto *svc = dynamic_cast<IOService *>(child);
+            svc && svc->started())
+            done.insert(svc->matchCategory());
+
+    for (IOPersonality *p : candidates) {
+        if (done.count(p->matchCategory))
             continue;
         // Don't double-attach the same driver class to one provider.
         bool already = false;
         for (IORegistryEntry *child : entry.children()) {
-            if (child->entryName() == driver.className) {
+            if (child->entryName() == p->className) {
                 already = true;
                 break;
             }
         }
-        if (already)
+        if (already) {
+            done.insert(p->matchCategory);
             continue;
+        }
 
-        IOService *service = driver.factory(registry_.runtime());
+        ++p->probes;
+        IOService *service = p->factory(registry_.runtime());
         if (!service)
             continue;
+        service->setMatchMeta(p->probeScore, p->matchCategory);
         if (!service->probe(entry)) {
+            // A failed probe falls through to the next-best candidate.
             service->release();
+            ++p->probeFailures;
             continue;
         }
         registry_.attach(service, &entry);
         if (service->start(entry)) {
             services_.push_back(service);
+            done.insert(p->matchCategory);
+            ++p->wins;
         } else {
             registry_.detach(service);
+            ++p->startFailures;
         }
     }
 }
@@ -96,6 +135,18 @@ IOCatalogue::findService(const std::string &class_name) const
         if (service->entryName() == class_name && service->started())
             return service;
     return nullptr;
+}
+
+bool
+IOCatalogue::terminate(IOService *service)
+{
+    auto it = std::find(services_.begin(), services_.end(), service);
+    if (it == services_.end())
+        return false;
+    services_.erase(it);
+    service->stop();
+    registry_.detach(service);
+    return true;
 }
 
 void
@@ -146,6 +197,53 @@ registerIoKitTraps(kernel::SyscallTable &mach_table, IORegistry &registry,
                 io->output);
             return kernel::SyscallResult::success(kr);
         }));
+}
+
+namespace {
+
+void
+dumpEntry(const IORegistryEntry &entry, int depth, std::ostringstream &os)
+{
+    os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "+ "
+       << entry.entryName() << " <" << entry.className() << "> id="
+       << entry.entryId();
+    if (const auto *svc = dynamic_cast<const IOService *>(&entry)) {
+        os << " started=" << (svc->started() ? 1 : 0)
+           << " score=" << svc->probeScore();
+        if (!svc->matchCategory().empty())
+            os << " category=" << svc->matchCategory();
+    }
+    os << "\n";
+    for (const IORegistryEntry *child : entry.children())
+        dumpEntry(*child, depth + 1, os);
+}
+
+} // namespace
+
+kernel::SyscallResult
+IoKitStatsDevice::read(kernel::Thread &t, Bytes &out, std::size_t n)
+{
+    (void)t;
+    std::ostringstream os;
+    os << "iokit registry (" << registry_.entryCount() << " entries)\n";
+    dumpEntry(registry_.root(), 0, os);
+    os << "services " << catalogue_.services().size() << "\n";
+    for (const IOService *svc : catalogue_.services())
+        os << "  service " << svc->entryName() << " provider="
+           << (svc->provider() ? svc->provider()->entryName() : "-")
+           << " score=" << svc->probeScore() << "\n";
+    os << "personalities " << catalogue_.personalities().size() << "\n";
+    for (const auto &p : catalogue_.personalities())
+        os << "  personality " << p.className << " score=" << p.probeScore
+           << " probes=" << p.probes
+           << " probe_failures=" << p.probeFailures
+           << " start_failures=" << p.startFailures << " wins=" << p.wins
+           << "\n";
+    std::string text = os.str();
+    std::size_t take = std::min(n, text.size());
+    out.assign(text.begin(), text.begin() + static_cast<long>(take));
+    return kernel::SyscallResult::success(
+        static_cast<std::int64_t>(take));
 }
 
 } // namespace cider::iokit

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "iokit/io_registry.h"
+#include "kernel/device.h"
 #include "xnu/kern_return.h"
 
 namespace cider::kernel {
@@ -42,6 +43,15 @@ class IOService : public IORegistryEntry
     bool started() const { return started_; }
     IORegistryEntry *provider() const { return provider_; }
 
+    /** Matching metadata stamped by the catalogue at instantiation. */
+    std::int32_t probeScore() const { return probeScore_; }
+    const std::string &matchCategory() const { return category_; }
+    void setMatchMeta(std::int32_t score, std::string category)
+    {
+        probeScore_ = score;
+        category_ = std::move(category);
+    }
+
     /**
      * The user-client entry point: iOS libraries call selectors with
      * scalar arguments, exactly the shape of IOConnectCallMethod.
@@ -54,6 +64,8 @@ class IOService : public IORegistryEntry
   private:
     bool started_ = false;
     IORegistryEntry *provider_ = nullptr;
+    std::int32_t probeScore_ = 0;
+    std::string category_;
 };
 
 /**
@@ -66,36 +78,72 @@ class IOCatalogue
     using Factory =
         std::function<IOService *(ducttape::KernelCxxRuntime &)>;
 
+    /**
+     * One driver personality, the unit of matching: a property
+     * dictionary plus a probe score. When several personalities of
+     * the same match category match one provider, candidates probe
+     * in descending score order and the first successful
+     * probe+start wins the category; a failed probe or start falls
+     * through to the next candidate. Personalities with different
+     * categories attach independently (e.g. a storage driver and a
+     * diagnostics driver on the same device).
+     */
+    struct IOPersonality
+    {
+        std::string className;
+        OSDictionary match;
+        std::int32_t probeScore = 0;
+        std::string matchCategory; // "" = the default category
+        Factory factory;
+        // Matching statistics (for /proc/cider/iokit and tests).
+        std::uint64_t probes = 0;
+        std::uint64_t probeFailures = 0;
+        std::uint64_t startFailures = 0;
+        std::uint64_t wins = 0;
+    };
+
     explicit IOCatalogue(IORegistry &registry);
 
     /**
-     * Register a driver class: instances are created for every
-     * published registry entry whose properties match @p match.
-     * Already-published entries are re-matched immediately.
+     * Register a personality: instances are created for published
+     * registry entries whose properties match. Already-published
+     * entries are re-matched immediately (kernel modules can load
+     * after boot).
      */
+    void addPersonality(IOPersonality personality);
+
+    /** Back-compat shorthand: score 0, default match category. */
     void addDriver(const std::string &class_name, OSDictionary match,
                    Factory factory);
 
     /** Find a started service by driver class name. */
     IOService *findService(const std::string &class_name) const;
 
+    /**
+     * Stop a started service and unwind its registry attachment
+     * (subtree detach + release). Returns false when the service is
+     * not one of ours. The provider is NOT re-matched; call
+     * rematch() to let the next-best personality take over.
+     */
+    bool terminate(IOService *service);
+
+    /** Re-run matching for one published provider entry. */
+    void rematch(IORegistryEntry &entry) { matchEntry(entry); }
+
     const std::vector<IOService *> &services() const
     {
         return services_;
     }
+    const std::vector<IOPersonality> &personalities() const
+    {
+        return personalities_;
+    }
 
   private:
-    struct DriverInfo
-    {
-        std::string className;
-        OSDictionary match;
-        Factory factory;
-    };
-
     void matchEntry(IORegistryEntry &entry);
 
     IORegistry &registry_;
-    std::vector<DriverInfo> drivers_;
+    std::vector<IOPersonality> personalities_;
     std::vector<IOService *> services_; ///< borrowed from registry
 };
 
@@ -118,6 +166,24 @@ struct IoConnectArgs
 /** Expose the registry/catalogue through Mach traps. */
 void registerIoKitTraps(kernel::SyscallTable &mach_table,
                         IORegistry &registry, IOCatalogue &catalogue);
+
+/** /proc/cider/iokit: registry tree, services, personality stats. */
+class IoKitStatsDevice : public kernel::Device
+{
+  public:
+    IoKitStatsDevice(const IORegistry &registry,
+                     const IOCatalogue &catalogue)
+        : Device("iokit", "proc"), registry_(registry),
+          catalogue_(catalogue)
+    {}
+
+    kernel::SyscallResult read(kernel::Thread &t, Bytes &out,
+                               std::size_t n) override;
+
+  private:
+    const IORegistry &registry_;
+    const IOCatalogue &catalogue_;
+};
 
 } // namespace cider::iokit
 

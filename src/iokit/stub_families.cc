@@ -1,0 +1,99 @@
+#include "iokit/stub_families.h"
+
+namespace cider::iokit {
+
+// ------------------------------------------------------------ IOHDACodec
+
+bool
+IOHDACodec::probe(IORegistryEntry &provider)
+{
+    return osValueString(provider.property(kLinuxClassKey)) == "audio";
+}
+
+bool
+IOHDACodec::start(IORegistryEntry &provider)
+{
+    setProperty("IOClass", std::string("IOHDACodec"));
+    return IOService::start(provider);
+}
+
+xnu::kern_return_t
+IOHDACodec::externalMethod(std::uint32_t selector,
+                           const std::vector<std::int64_t> &,
+                           std::vector<std::int64_t> &output)
+{
+    if (selector != hdasel::GetSampleRate)
+        return xnu::KERN_FAILURE;
+    output.push_back(44100);
+    return xnu::KERN_SUCCESS;
+}
+
+void
+IOHDACodec::registerDriver(ducttape::KernelCxxRuntime &rt,
+                           IOCatalogue &catalogue)
+{
+    rt.addStaticConstructor("IOHDACodec", [&rt, &catalogue] {
+        OSDictionary match;
+        match[kLinuxClassKey] = std::string("audio");
+        IOCatalogue::IOPersonality personality;
+        personality.className = "IOHDACodec";
+        personality.match = std::move(match);
+        personality.probeScore = 500;
+        personality.matchCategory = "audio";
+        personality.factory =
+            [](ducttape::KernelCxxRuntime &runtime) -> IOService * {
+            return new IOHDACodec(runtime);
+        };
+        catalogue.addPersonality(std::move(personality));
+    });
+}
+
+// ---------------------------------------------------------- IOAccelerator
+
+bool
+IOAccelerator::probe(IORegistryEntry &provider)
+{
+    return osValueString(provider.property(kLinuxClassKey)) == "gpu";
+}
+
+bool
+IOAccelerator::start(IORegistryEntry &provider)
+{
+    setProperty("IOClass", std::string("IOAccelerator"));
+    return IOService::start(provider);
+}
+
+xnu::kern_return_t
+IOAccelerator::externalMethod(std::uint32_t selector,
+                              const std::vector<std::int64_t> &,
+                              std::vector<std::int64_t> &output)
+{
+    if (selector != accelsel::GetDeviceUnits)
+        return xnu::KERN_FAILURE;
+    output.push_back(4);
+    return xnu::KERN_SUCCESS;
+}
+
+void
+IOAccelerator::registerDriver(ducttape::KernelCxxRuntime &rt,
+                              IOCatalogue &catalogue)
+{
+    rt.addStaticConstructor("IOAccelerator", [&rt, &catalogue] {
+        OSDictionary match;
+        match[kLinuxClassKey] = std::string("gpu");
+        IOCatalogue::IOPersonality personality;
+        personality.className = "IOAccelerator";
+        personality.match = std::move(match);
+        personality.probeScore = 400;
+        // Its own category: coexists with other services that claim
+        // the same provider under theirs.
+        personality.matchCategory = "accel";
+        personality.factory =
+            [](ducttape::KernelCxxRuntime &runtime) -> IOService * {
+            return new IOAccelerator(runtime);
+        };
+        catalogue.addPersonality(std::move(personality));
+    });
+}
+
+} // namespace cider::iokit

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Stub audio and graphics-accelerator families.
+ *
+ * Thin driver classes completing the catalogue's family coverage:
+ * IOHDACodec claims "audio"-class providers, IOAccelerator claims
+ * "gpu"-class providers under its own "accel" match category (so it
+ * coexists with other services on the same provider). Both answer a
+ * couple of external methods; neither models hardware beyond that —
+ * they exist so matching, category independence and /proc reporting
+ * are exercised across more than one family.
+ */
+
+#ifndef CIDER_IOKIT_STUB_FAMILIES_H
+#define CIDER_IOKIT_STUB_FAMILIES_H
+
+#include "iokit/io_service.h"
+#include "iokit/linux_bridge.h"
+
+namespace cider::iokit {
+
+/** IOHDACodec external method selectors. */
+namespace hdasel {
+
+inline constexpr std::uint32_t GetSampleRate = 0; ///< out: Hz
+
+} // namespace hdasel
+
+class IOHDACodec : public IOService
+{
+  public:
+    explicit IOHDACodec(ducttape::KernelCxxRuntime &rt)
+        : IOService(rt, "IOHDACodec")
+    {}
+
+    const char *className() const override { return "IOHDACodec"; }
+
+    bool probe(IORegistryEntry &provider) override;
+    bool start(IORegistryEntry &provider) override;
+
+    xnu::kern_return_t
+    externalMethod(std::uint32_t selector,
+                   const std::vector<std::int64_t> &input,
+                   std::vector<std::int64_t> &output) override;
+
+    static void registerDriver(ducttape::KernelCxxRuntime &rt,
+                               IOCatalogue &catalogue);
+};
+
+/** IOAccelerator external method selectors. */
+namespace accelsel {
+
+inline constexpr std::uint32_t GetDeviceUnits = 0; ///< out: core count
+
+} // namespace accelsel
+
+class IOAccelerator : public IOService
+{
+  public:
+    explicit IOAccelerator(ducttape::KernelCxxRuntime &rt)
+        : IOService(rt, "IOAccelerator")
+    {}
+
+    const char *className() const override { return "IOAccelerator"; }
+
+    bool probe(IORegistryEntry &provider) override;
+    bool start(IORegistryEntry &provider) override;
+
+    xnu::kern_return_t
+    externalMethod(std::uint32_t selector,
+                   const std::vector<std::int64_t> &input,
+                   std::vector<std::int64_t> &output) override;
+
+    static void registerDriver(ducttape::KernelCxxRuntime &rt,
+                               IOCatalogue &catalogue);
+};
+
+} // namespace cider::iokit
+
+#endif // CIDER_IOKIT_STUB_FAMILIES_H

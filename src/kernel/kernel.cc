@@ -215,7 +215,8 @@ SyscallTable::registeredNumbers() const
 
 Kernel::Kernel(const hw::DeviceProfile &profile)
     : profile_(profile), vm_(std::make_unique<VmSubsystem>(&profile)),
-      percpu_(profile.cpuCores), vfs_(profile), linuxTable_("linux")
+      percpu_(profile.cpuCores), vfs_(profile), net_(profile),
+      linuxTable_("linux")
 {
     dispatcher_ = std::make_unique<VanillaDispatcher>();
     signalHook_ = std::make_unique<SignalDeliveryHook>();
@@ -241,6 +242,9 @@ Kernel::Kernel(const hw::DeviceProfile &profile)
     vfs_.mknod("/proc/cider/percpu", &percpu);
     Device &vmdev = devices_.add(std::make_unique<VmDevice>(*this));
     vfs_.mknod("/proc/cider/vm", &vmdev);
+    Device &netdev =
+        devices_.add(std::make_unique<NetStackDevice>(net_));
+    vfs_.mknod("/proc/cider/net", &netdev);
 }
 
 Kernel::~Kernel() = default;
@@ -625,6 +629,15 @@ socketFromFd(Thread &t, Fd fd)
     return std::dynamic_pointer_cast<UnixSocket>(desc->file);
 }
 
+InetSocketPtr
+inetFromFd(Thread &t, Fd fd)
+{
+    auto desc = t.process().fds().get(fd);
+    if (!desc)
+        return nullptr;
+    return std::dynamic_pointer_cast<InetSocket>(desc->file);
+}
+
 } // namespace
 
 SyscallResult
@@ -639,6 +652,8 @@ Kernel::sysBind(Thread &t, Fd fd, const std::string &path)
 SyscallResult
 Kernel::sysListen(Thread &t, Fd fd, int backlog)
 {
+    if (auto inet = inetFromFd(t, fd))
+        return inet->listen(backlog);
     auto sock = socketFromFd(t, fd);
     if (!sock)
         return SyscallResult::failure(lnx::NOTSOCK);
@@ -648,6 +663,13 @@ Kernel::sysListen(Thread &t, Fd fd, int backlog)
 SyscallResult
 Kernel::sysAccept(Thread &t, Fd fd)
 {
+    if (auto inet = inetFromFd(t, fd)) {
+        InetSocketPtr peer;
+        SyscallResult r = inet->accept(peer);
+        if (!r.ok())
+            return r;
+        return t.process().fds().install(std::move(peer));
+    }
     auto sock = socketFromFd(t, fd);
     if (!sock)
         return SyscallResult::failure(lnx::NOTSOCK);
@@ -665,6 +687,67 @@ Kernel::sysConnect(Thread &t, Fd fd, const std::string &path)
     if (!sock)
         return SyscallResult::failure(lnx::NOTSOCK);
     return UnixSocket::connect(sock, unixRegistry_.find(path));
+}
+
+SyscallResult
+Kernel::sysNetSocket(Thread &t, int type)
+{
+    NetProto proto;
+    switch (type) {
+    case 1: proto = NetProto::Stream; break;
+    case 2: proto = NetProto::Dgram; break;
+    default: return SyscallResult::failure(lnx::INVAL);
+    }
+    return t.process().fds().install(net_.socket(proto));
+}
+
+SyscallResult
+Kernel::sysNetBind(Thread &t, Fd fd, NetAddr addr, NetPort port)
+{
+    auto sock = inetFromFd(t, fd);
+    if (!sock)
+        return SyscallResult::failure(lnx::NOTSOCK);
+    return sock->bind(addr, port);
+}
+
+SyscallResult
+Kernel::sysNetConnect(Thread &t, Fd fd, NetAddr addr, NetPort port)
+{
+    auto sock = inetFromFd(t, fd);
+    if (!sock)
+        return SyscallResult::failure(lnx::NOTSOCK);
+    return sock->connectTo(addr, port);
+}
+
+SyscallResult
+Kernel::sysNetSendTo(Thread &t, Fd fd, NetAddr addr, NetPort port,
+                     const Bytes &data)
+{
+    auto sock = inetFromFd(t, fd);
+    if (!sock)
+        return SyscallResult::failure(lnx::NOTSOCK);
+    return sock->sendTo(t, addr, port, data);
+}
+
+SyscallResult
+Kernel::sysNetRecvFrom(Thread &t, Fd fd, Bytes &out, std::size_t n,
+                       NetAddr *src_addr, NetPort *src_port)
+{
+    auto sock = inetFromFd(t, fd);
+    if (!sock)
+        return SyscallResult::failure(lnx::NOTSOCK);
+    return sock->recvFrom(t, out, n, src_addr, src_port);
+}
+
+SyscallResult
+Kernel::sysNetShutdown(Thread &t, Fd fd, int how)
+{
+    auto sock = inetFromFd(t, fd);
+    if (!sock)
+        return SyscallResult::failure(lnx::NOTSOCK);
+    if (how < 0 || how > 2)
+        return SyscallResult::failure(lnx::INVAL);
+    return sock->shutdownHow(how);
 }
 
 SyscallResult

@@ -29,6 +29,7 @@
 
 #include "hw/device_profile.h"
 #include "kernel/device.h"
+#include "kernel/net.h"
 #include "kernel/percpu.h"
 #include "kernel/process.h"
 #include "kernel/trap_stats.h"
@@ -180,6 +181,9 @@ class Kernel
     Vfs &vfs() { return vfs_; }
     DeviceRegistry &devices() { return devices_; }
     UnixSocketRegistry &unixSockets() { return unixRegistry_; }
+    /** The AF_INET stack (TCP-lite/UDP-lite over I/O Kit NICs). */
+    NetStack &net() { return net_; }
+    const NetStack &net() const { return net_; }
 
     /// @{ Process management. The table has its own lock (procMu_) so
     /// concurrent host threads can fork/look up without serializing
@@ -309,6 +313,21 @@ class Kernel
     SyscallResult sysAccept(Thread &t, Fd fd);
     SyscallResult sysConnect(Thread &t, Fd fd, const std::string &path);
 
+    /// @{ AF_INET (socket/bind/connect dispatch on the fd's socket
+    /// kind; sysListen/sysAccept above serve both families).
+    SyscallResult sysNetSocket(Thread &t, int type); // 1=stream 2=dgram
+    SyscallResult sysNetBind(Thread &t, Fd fd, NetAddr addr,
+                             NetPort port);
+    SyscallResult sysNetConnect(Thread &t, Fd fd, NetAddr addr,
+                                NetPort port);
+    SyscallResult sysNetSendTo(Thread &t, Fd fd, NetAddr addr,
+                               NetPort port, const Bytes &data);
+    SyscallResult sysNetRecvFrom(Thread &t, Fd fd, Bytes &out,
+                                 std::size_t n, NetAddr *src_addr,
+                                 NetPort *src_port);
+    SyscallResult sysNetShutdown(Thread &t, Fd fd, int how);
+    /// @}
+
     SyscallResult sysSigaction(Thread &t, int linux_signo,
                                const SignalAction &action);
     SyscallResult sysKill(Thread &t, Pid pid, int linux_signo);
@@ -382,6 +401,7 @@ class Kernel
     Vfs vfs_;
     DeviceRegistry devices_;
     UnixSocketRegistry unixRegistry_;
+    NetStack net_;
     SyscallTable linuxTable_;
     TrapStats trapStats_;
     std::unique_ptr<TrapDispatcher> dispatcher_;

@@ -128,15 +128,31 @@ buildLinuxSyscallTable(Kernel &k)
                                   wr ? *wr : empty, *ready);
     });
 
+    // socket(2) serves two families: the historical no-arg form is
+    // AF_UNIX; socket(domain=2, type) is AF_INET (type 1=stream,
+    // 2=dgram). bind/connect likewise dispatch on the argument shape
+    // (a path string is AF_UNIX; numeric addr/port is AF_INET).
     tbl.set(sysno::SOCKET, "socket", [](TrapContext &c, void *) {
+        if (c.args.size() >= 2)
+            return c.kernel.sysNetSocket(c.thread, c.args.i32(1));
         return c.kernel.sysSocket(c.thread);
     });
 
     tbl.set(sysno::BIND, "bind", [](TrapContext &c, void *) {
+        if (c.args.size() >= 3)
+            return c.kernel.sysNetBind(
+                c.thread, c.args.i32(0),
+                static_cast<NetAddr>(c.args.u64(1)),
+                static_cast<NetPort>(c.args.u64(2)));
         return c.kernel.sysBind(c.thread, c.args.i32(0), c.args.str(1));
     });
 
     tbl.set(sysno::CONNECT, "connect", [](TrapContext &c, void *) {
+        if (c.args.size() >= 3)
+            return c.kernel.sysNetConnect(
+                c.thread, c.args.i32(0),
+                static_cast<NetAddr>(c.args.u64(1)),
+                static_cast<NetPort>(c.args.u64(2)));
         return c.kernel.sysConnect(c.thread, c.args.i32(0),
                                    c.args.str(1));
     });
@@ -153,6 +169,32 @@ buildLinuxSyscallTable(Kernel &k)
     tbl.set(sysno::SOCKETPAIR, "socketpair", [](TrapContext &c, void *) {
         return c.kernel.sysSocketpair(c.thread,
                                       static_cast<Fd *>(c.args.ptr(0)));
+    });
+
+    tbl.set(sysno::SENDTO, "sendto", [](TrapContext &c, void *) {
+        const Bytes *data = c.args.cbytes(1);
+        static const Bytes empty;
+        return c.kernel.sysNetSendTo(
+            c.thread, c.args.i32(0),
+            static_cast<NetAddr>(c.args.u64(2)),
+            static_cast<NetPort>(c.args.u64(3)),
+            data ? *data : empty);
+    });
+
+    tbl.set(sysno::RECVFROM, "recvfrom", [](TrapContext &c, void *) {
+        Bytes *out = c.args.bytes(1);
+        if (out == nullptr)
+            return SyscallResult::failure(lnx::FAULT);
+        return c.kernel.sysNetRecvFrom(
+            c.thread, c.args.i32(0), *out,
+            static_cast<std::size_t>(c.args.u64(2)),
+            static_cast<NetAddr *>(c.args.ptr(3)),
+            static_cast<NetPort *>(c.args.ptr(4)));
+    });
+
+    tbl.set(sysno::SHUTDOWN, "shutdown", [](TrapContext &c, void *) {
+        return c.kernel.sysNetShutdown(c.thread, c.args.i32(0),
+                                       c.args.i32(1));
     });
 }
 

@@ -48,6 +48,9 @@ inline constexpr int CONNECT = 283;
 inline constexpr int LISTEN = 284;
 inline constexpr int ACCEPT = 285;
 inline constexpr int SOCKETPAIR = 288;
+inline constexpr int SENDTO = 290;
+inline constexpr int RECVFROM = 292;
+inline constexpr int SHUTDOWN = 293;
 inline constexpr int NULL_SYSCALL = 999; ///< lmbench's do-nothing probe
 
 /**

@@ -161,7 +161,12 @@ inline constexpr int NAMETOOLONG = 36;
 inline constexpr int NOSYS = 38;
 inline constexpr int NOTEMPTY = 39;
 inline constexpr int NOTSOCK = 88;
+inline constexpr int OPNOTSUPP = 95;
 inline constexpr int ADDRINUSE = 98;
+inline constexpr int ADDRNOTAVAIL = 99;
+inline constexpr int NETUNREACH = 101;
+inline constexpr int CONNRESET = 104;
+inline constexpr int NOTCONN = 107;
 inline constexpr int TIMEDOUT = 110;
 inline constexpr int CONNREFUSED = 111;
 inline constexpr int ALREADY = 114;

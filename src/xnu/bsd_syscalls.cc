@@ -158,11 +158,20 @@ buildXnuBsdTable(SyscallTable &tbl, PsynchSubsystem &psynch)
                                   wr ? *wr : empty, *ready);
     });
 
+    // Same dual-family dispatch as the Linux table: argument shape
+    // picks AF_UNIX (path string) or AF_INET (numeric addr/port).
     tbl.set(xnuno::SOCKET, "socket", [](TrapContext &c, void *) {
+        if (c.args.size() >= 2)
+            return c.kernel.sysNetSocket(c.thread, c.args.i32(1));
         return c.kernel.sysSocket(c.thread);
     });
 
     tbl.set(xnuno::CONNECT, "connect", [](TrapContext &c, void *) {
+        if (c.args.size() >= 3)
+            return c.kernel.sysNetConnect(
+                c.thread, c.args.i32(0),
+                static_cast<kernel::NetAddr>(c.args.u64(1)),
+                static_cast<kernel::NetPort>(c.args.u64(2)));
         return c.kernel.sysConnect(c.thread, c.args.i32(0),
                                    c.args.str(1));
     });
@@ -172,6 +181,11 @@ buildXnuBsdTable(SyscallTable &tbl, PsynchSubsystem &psynch)
     });
 
     tbl.set(xnuno::BIND, "bind", [](TrapContext &c, void *) {
+        if (c.args.size() >= 3)
+            return c.kernel.sysNetBind(
+                c.thread, c.args.i32(0),
+                static_cast<kernel::NetAddr>(c.args.u64(1)),
+                static_cast<kernel::NetPort>(c.args.u64(2)));
         return c.kernel.sysBind(c.thread, c.args.i32(0), c.args.str(1));
     });
 
@@ -183,6 +197,32 @@ buildXnuBsdTable(SyscallTable &tbl, PsynchSubsystem &psynch)
     tbl.set(xnuno::SOCKETPAIR, "socketpair", [](TrapContext &c, void *) {
         return c.kernel.sysSocketpair(
             c.thread, static_cast<kernel::Fd *>(c.args.ptr(0)));
+    });
+
+    tbl.set(xnuno::SENDTO, "sendto", [](TrapContext &c, void *) {
+        const Bytes *data = c.args.cbytes(1);
+        static const Bytes empty;
+        return c.kernel.sysNetSendTo(
+            c.thread, c.args.i32(0),
+            static_cast<kernel::NetAddr>(c.args.u64(2)),
+            static_cast<kernel::NetPort>(c.args.u64(3)),
+            data ? *data : empty);
+    });
+
+    tbl.set(xnuno::RECVFROM, "recvfrom", [](TrapContext &c, void *) {
+        Bytes *out = c.args.bytes(1);
+        if (out == nullptr)
+            return SyscallResult::failure(kernel::lnx::FAULT);
+        return c.kernel.sysNetRecvFrom(
+            c.thread, c.args.i32(0), *out,
+            static_cast<std::size_t>(c.args.u64(2)),
+            static_cast<kernel::NetAddr *>(c.args.ptr(3)),
+            static_cast<kernel::NetPort *>(c.args.ptr(4)));
+    });
+
+    tbl.set(xnuno::SHUTDOWN, "shutdown", [](TrapContext &c, void *) {
+        return c.kernel.sysNetShutdown(c.thread, c.args.i32(0),
+                                       c.args.i32(1));
     });
 
     tbl.set(xnuno::MKDIR, "mkdir", [](TrapContext &c, void *) {

@@ -58,6 +58,9 @@ inline constexpr int ACCEPT = 30;
 inline constexpr int BIND = 104;
 inline constexpr int LISTEN = 106;
 inline constexpr int SOCKETPAIR = 135;
+inline constexpr int RECVFROM = 29;
+inline constexpr int SENDTO = 133;
+inline constexpr int SHUTDOWN = 134;
 inline constexpr int MKDIR = 136;
 inline constexpr int RMDIR = 137;
 inline constexpr int POSIX_SPAWN = 244;

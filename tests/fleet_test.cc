@@ -284,6 +284,50 @@ TEST(FleetSoakTest, DifferentRailSeedsDiverge)
     EXPECT_NE(a.railSeries, b.railSeries);
 }
 
+TEST(FleetSoakTest, NetBurstMixPassesLeakAuditAndRecordsTraffic)
+{
+    CiderSystem sys(ciderOptions());
+    FleetOptions opts = smallFleet();
+    opts.netBurst = true;
+    FleetSoak soak(sys, opts);
+    FleetReport report = soak.run();
+
+    EXPECT_EQ(report.sessionsCompleted, 24u);
+    EXPECT_GT(report.subsystems["net"].ops, 0u);
+    // Socket teardown is part of the audit: no bound inet sockets and
+    // no buffered bytes survive the drain.
+    EXPECT_TRUE(report.auditClean) << report.auditDetail;
+    EXPECT_EQ(report.after.netSocketsLive, report.before.netSocketsLive);
+    EXPECT_EQ(report.after.netBufferedBytes,
+              report.before.netBufferedBytes);
+    // Frames actually crossed the fabric.
+    EXPECT_GT(sys.kernel().net().stats().framesRouted, 0u);
+}
+
+TEST(FleetSoakTest, NetBurstSurvivesNicStormsWithCleanTeardown)
+{
+    CiderSystem sys(ciderOptions());
+    FleetOptions opts = smallFleet();
+    opts.netBurst = true;
+    opts.storm = true; // arms nic.drop / nic.reorder among the sites
+    FleetSoak soak(sys, opts);
+    FleetReport report = soak.run();
+
+    EXPECT_EQ(report.sessionsCompleted + report.sessionsKilled +
+                  report.sessionsFailed,
+              report.sessionsStarted);
+    EXPECT_TRUE(report.auditClean) << report.auditDetail;
+    EXPECT_EQ(report.after.netSocketsLive, report.before.netSocketsLive);
+}
+
+TEST(FleetSoakTest, NetGateOnlyAppearsWithTheNetMix)
+{
+    std::vector<SloGate> base = defaultSloGates(1.0, false);
+    std::vector<SloGate> net = defaultSloGates(1.0, true);
+    EXPECT_EQ(net.size(), base.size() + 1);
+    EXPECT_EQ(net.back().subsystem, "net");
+}
+
 TEST(FleetSoakTest, ProcNodePublishesTheLatestReport)
 {
     CiderSystem sys(ciderOptions());
